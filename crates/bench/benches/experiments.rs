@@ -1,0 +1,108 @@
+//! Criterion benches that exercise each paper experiment end to end at a
+//! reduced volume — one bench per table/figure, so `cargo bench` touches
+//! every experiment path. Full-scale regeneration (with the paper-vs-
+//! measured tables) is done by the `fig*`/`table2`/`repro_all` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eleos_bench::tpcc_driver::{run_tpcc, Interface};
+use eleos_bench::ycsb_driver::{run_ycsb, GcMode, YcsbSetup};
+use eleos_flash::{CostProfile, Geometry};
+use eleos_workloads::TpccTraceConfig;
+use std::hint::black_box;
+
+fn small_geo() -> Geometry {
+    Geometry {
+        channels: 8,
+        eblocks_per_channel: 16,
+        wblocks_per_eblock: 32,
+        wblock_bytes: 32 * 1024,
+        rblock_bytes: 4 * 1024,
+    }
+}
+
+const MINI_VOLUME: u64 = 4 * 1024 * 1024;
+
+fn trace_cfg() -> TpccTraceConfig {
+    TpccTraceConfig {
+        pages: 20_000,
+        ..Default::default()
+    }
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_tpcc_weak_controller");
+    g.sample_size(10);
+    for itf in [Interface::Block, Interface::BatchFp, Interface::BatchVp] {
+        g.bench_function(itf.label(), |b| {
+            b.iter(|| {
+                black_box(run_tpcc(
+                    itf,
+                    CostProfile::weak_controller(),
+                    small_geo(),
+                    1024 * 1024,
+                    MINI_VOLUME,
+                    trace_cfg(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_tpcc_high_end_cpu");
+    g.sample_size(10);
+    for itf in [Interface::Block, Interface::BatchFp, Interface::BatchVp] {
+        g.bench_function(itf.label(), |b| {
+            b.iter(|| {
+                black_box(run_tpcc(
+                    itf,
+                    CostProfile::high_end_cpu(),
+                    small_geo(),
+                    1024 * 1024,
+                    MINI_VOLUME,
+                    trace_cfg(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_ycsb");
+    g.sample_size(10);
+    let setup = |gc| YcsbSetup {
+        profile: CostProfile::weak_controller(),
+        records: 10_000,
+        cache_frac: 0.10,
+        ops: 5_000,
+        gc,
+        read_heavy: false,
+        seed: 9,
+        warmup_ops: 0,
+    };
+    for itf in [Interface::Block, Interface::BatchFp, Interface::BatchVp] {
+        g.bench_function(format!("{}_gc_off", itf.label()), |b| {
+            b.iter(|| black_box(run_ycsb(itf, &setup(GcMode::Disabled))))
+        });
+    }
+    g.bench_function("Batch (VP)_gc_on", |b| {
+        b.iter(|| {
+            black_box(run_ycsb(
+                Interface::BatchVp,
+                &setup(GcMode::Enabled { capacity_factor: 3.0 }),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fig9, bench_table2, bench_fig10
+}
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! Criterion microbenchmarks over the core data structures and code paths:
+//! batch encode/parse, mapping-table operations, the ELEOS write/read
+//! paths, GC victim scoring, the log writer, and the workload generators.
+//! These measure *wall-clock* cost of the implementation (the figure
+//! binaries measure *virtual-time* throughput).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use eleos::batch::parse_batch;
+use eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos_flash::{CostProfile, FlashDevice, Geometry};
+use eleos_workloads::{TpccTrace, TpccTraceConfig, YcsbConfig, YcsbWorkload, Zipfian};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn batch_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_batch");
+    let payload = vec![0xABu8; 1900];
+    for (name, mode) in [
+        ("build_vp_512pages", PageMode::Variable),
+        ("build_fp_512pages", PageMode::Fixed(4096)),
+    ] {
+        g.throughput(Throughput::Elements(512));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut batch = WriteBatch::new(mode);
+                for lpid in 0..512u64 {
+                    batch.put(lpid, black_box(&payload)).unwrap();
+                }
+                black_box(batch.wire_len())
+            })
+        });
+    }
+    let mut batch = WriteBatch::new(PageMode::Variable);
+    for lpid in 0..512u64 {
+        batch.put(lpid, &payload).unwrap();
+    }
+    g.throughput(Throughput::Elements(512));
+    g.bench_function("parse_vp_512pages", |b| {
+        b.iter(|| parse_batch(black_box(batch.as_bytes()), PageMode::Variable).unwrap())
+    });
+    g.finish();
+}
+
+fn eleos_write_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eleos_write_path");
+    g.sample_size(20);
+    let geo = Geometry {
+        channels: 8,
+        eblocks_per_channel: 64,
+        wblocks_per_eblock: 32,
+        wblock_bytes: 32 * 1024,
+        rblock_bytes: 4 * 1024,
+    };
+    let payload = vec![0x5Au8; 1900];
+    g.throughput(Throughput::Bytes(512 * 1900));
+    g.bench_function("write_1mb_batch", |b| {
+        b.iter_batched(
+            || {
+                let dev = FlashDevice::new(geo, CostProfile::unit());
+                let cfg = EleosConfig {
+                    max_user_lpid: 1 << 16,
+                    ckpt_log_bytes: u64::MAX,
+                    map_cache_pages: 1 << 14,
+                    ..Default::default()
+                };
+                let ssd = Eleos::format(dev, cfg).unwrap();
+                let mut batch = WriteBatch::new(PageMode::Variable);
+                for lpid in 0..512u64 {
+                    batch.put(lpid, &payload).unwrap();
+                }
+                (ssd, batch)
+            },
+            |(mut ssd, batch)| {
+                ssd.write(black_box(&batch)).unwrap();
+                black_box(ssd.now())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("read_after_write", |b| {
+        let dev = FlashDevice::new(geo, CostProfile::unit());
+        let cfg = EleosConfig {
+            max_user_lpid: 1 << 16,
+            ckpt_log_bytes: u64::MAX,
+            map_cache_pages: 1 << 14,
+            ..Default::default()
+        };
+        let mut ssd = Eleos::format(dev, cfg).unwrap();
+        let mut batch = WriteBatch::new(PageMode::Variable);
+        for lpid in 0..512u64 {
+            batch.put(lpid, &payload).unwrap();
+        }
+        ssd.write(&batch).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(ssd.read(i).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn gc_and_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gc_recovery");
+    g.sample_size(10);
+    // A populated small device for recovery timing.
+    let build = || {
+        let dev = FlashDevice::new(Geometry::tiny(), CostProfile::unit());
+        let cfg = EleosConfig {
+            ckpt_log_bytes: 512 * 1024,
+            ..EleosConfig::test_small()
+        };
+        let mut ssd = Eleos::format(dev, cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for round in 0..120u64 {
+            let mut b = WriteBatch::new(PageMode::Variable);
+            for _ in 0..16 {
+                let lpid = rng.gen_range(0..1024u64);
+                b.put(lpid, &vec![round as u8; rng.gen_range(64..2048)]).unwrap();
+            }
+            ssd.write(&b).unwrap();
+        }
+        ssd
+    };
+    g.bench_function("recover_populated_device", |b| {
+        b.iter_batched(
+            || build().crash(),
+            |dev| {
+                let cfg = EleosConfig {
+                    ckpt_log_bytes: 512 * 1024,
+                    ..EleosConfig::test_small()
+                };
+                black_box(Eleos::recover(dev, cfg).unwrap())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn baselines_and_deletes(c: &mut Criterion) {
+    use eleos_lss::{LogStore, LssConfig};
+    use oxblock::{OxBlock, OxConfig};
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(20);
+    g.bench_function("oxblock_write_64kb", |b| {
+        b.iter_batched(
+            || {
+                let dev = FlashDevice::new(Geometry::tiny(), CostProfile::unit());
+                OxBlock::format(dev, OxConfig::new(2048)).unwrap()
+            },
+            |mut ftl| {
+                ftl.write(0, &vec![0x33u8; 64 * 1024]).unwrap();
+                std::hint::black_box(ftl.now())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("lss_put_flush_100_pages", |b| {
+        b.iter_batched(
+            || {
+                let dev = FlashDevice::new(Geometry::tiny(), CostProfile::unit());
+                let ftl = OxBlock::format(dev, OxConfig::new(2048)).unwrap();
+                LogStore::new(ftl, LssConfig { segment_pages: 64, buffer_pages: 256, ..Default::default() })
+            },
+            |mut s| {
+                for id in 0..100u64 {
+                    s.put(id, &[7u8; 2000]).unwrap();
+                }
+                s.flush().unwrap();
+                std::hint::black_box(s.now())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("eleos_delete_batch_64", |b| {
+        b.iter_batched(
+            || {
+                let dev = FlashDevice::new(Geometry::tiny(), CostProfile::unit());
+                let mut ssd = Eleos::format(dev, EleosConfig::test_small()).unwrap();
+                let mut batch = WriteBatch::new(PageMode::Variable);
+                for lpid in 0..64u64 {
+                    batch.put(lpid, &[1u8; 500]).unwrap();
+                }
+                ssd.write(&batch).unwrap();
+                ssd
+            },
+            |mut ssd| {
+                let lpids: Vec<u64> = (0..64).collect();
+                ssd.delete_batch(&lpids).unwrap();
+                std::hint::black_box(ssd.now())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn workload_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    let zipf = Zipfian::new(10_000_000, 0.99);
+    let mut rng = StdRng::seed_from_u64(1);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("zipfian_scrambled_draw", |b| {
+        b.iter(|| black_box(zipf.next_scrambled(&mut rng)))
+    });
+    let mut ycsb = YcsbWorkload::new(YcsbConfig::write_heavy(1_000_000, 3));
+    g.bench_function("ycsb_next_op", |b| b.iter(|| black_box(ycsb.next_op())));
+    let mut trace = TpccTrace::new(TpccTraceConfig::default());
+    g.bench_function("tpcc_trace_next", |b| b.iter(|| black_box(trace.next())));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = batch_benches, eleos_write_path, gc_and_recovery,
+              baselines_and_deletes, workload_generators
+}
+criterion_main!(benches);

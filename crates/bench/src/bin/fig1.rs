@@ -1,0 +1,4 @@
+//! Regenerates Fig. 1: the analytical cost-vs-performance model.
+fn main() {
+    eleos_bench::experiments::fig1().print();
+}

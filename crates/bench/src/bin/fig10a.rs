@@ -1,0 +1,7 @@
+//! Regenerates Fig. 10a: Bw-tree YCSB throughput vs cache size.
+//! Pass --read-heavy for the footnoted 95%-read variant.
+fn main() {
+    let read_heavy = std::env::args().any(|a| a == "--read-heavy");
+    let (a, _) = eleos_bench::experiments::fig10ab(read_heavy);
+    a.print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 10b: total data written to the SSD during the YCSB
+//! runs.
+fn main() {
+    let (_, b) = eleos_bench::experiments::fig10ab(false);
+    b.print();
+}

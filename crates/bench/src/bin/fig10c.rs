@@ -1,0 +1,4 @@
+//! Regenerates Fig. 10c: Bw-tree YCSB throughput with GC enabled.
+fn main() {
+    eleos_bench::experiments::fig10c().print();
+}

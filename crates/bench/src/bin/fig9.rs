@@ -1,0 +1,5 @@
+//! Regenerates Fig. 9: TPC-C write throughput vs write-buffer size on the
+//! weak-controller profile.
+fn main() {
+    eleos_bench::experiments::fig9().print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table II: TPC-C write throughput on the high-end-CPU
+//! profile, with the paper's numbers for reference.
+fn main() {
+    eleos_bench::experiments::table2().print();
+}

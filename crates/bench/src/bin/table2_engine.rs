@@ -1,0 +1,5 @@
+//! Table II driven by the organic TPC-C engine trace (real transactions +
+//! real page compression) rather than the fitted distribution.
+fn main() {
+    eleos_bench::experiments::table2_engine_trace().print();
+}

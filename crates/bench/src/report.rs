@@ -1,0 +1,123 @@
+//! Plain-text table rendering for experiment output (and EXPERIMENTS.md
+//! sections).
+
+/// A simple aligned table with a title.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let line = |cells: &[String], w: &[usize]| {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:<width$} |", c, width = w[i]));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &w));
+        let mut sep = String::from("|");
+        for wi in &w {
+            sep.push_str(&format!("{}|", "-".repeat(wi + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&line(row, &w));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Format ops-per-second style numbers compactly.
+pub fn fmt_rate(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Format byte quantities compactly.
+pub fn fmt_bytes(v: u64) -> String {
+    let v = v as f64;
+    if v >= 1e9 {
+        format!("{:.2} GB", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} MB", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} KB", v / 1e3)
+    } else {
+        format!("{v:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "123456".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| longer-name | 123456 |"));
+        assert!(s.contains("| a           | 1      |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_rate(52_730.0), "52.73K");
+        assert_eq!(fmt_rate(1_500_000.0), "1.50M");
+        assert_eq!(fmt_rate(12.3), "12.3");
+        assert_eq!(fmt_bytes(2_000_000), "2.00 MB");
+        assert_eq!(fmt_bytes(512), "512 B");
+    }
+}

@@ -1,0 +1,172 @@
+//! Storage backends for the Bw-tree: the paper's three configurations.
+//!
+//! * **Batch (VP)** — ELEOS with variable-size pages: a flush is one
+//!   batched I/O; pages occupy exactly their serialized size.
+//! * **Batch (FP)** — ELEOS with fixed 4 KB pages (the DaMoN'19 prior
+//!   system): one batched I/O, but every page pads to 4 KB.
+//! * **Block** — conventional SSD + host log-structured store: pages pad to
+//!   4 KB slots, every 1 MB flush becomes ~17 write contexts in the FTL,
+//!   and the host runs its own mapping checkpointing and GC.
+
+use eleos::{Eleos, EleosError, PageMode, WriteBatch};
+use eleos_flash::{FlashStats, Nanos};
+use eleos_lss::{LogStore, LssError};
+use std::fmt;
+
+/// Backend errors normalized for the tree layer.
+#[derive(Debug)]
+pub enum StoreError {
+    NotFound(u64),
+    Backend(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(pid) => write!(f, "page {pid} not found"),
+            StoreError::Backend(e) => write!(f, "storage backend error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<EleosError> for StoreError {
+    fn from(e: EleosError) -> Self {
+        match e {
+            EleosError::NotFound(lpid) => StoreError::NotFound(lpid),
+            other => StoreError::Backend(other.to_string()),
+        }
+    }
+}
+
+impl From<LssError> for StoreError {
+    fn from(e: LssError) -> Self {
+        match e {
+            LssError::NotFound(pid) => StoreError::NotFound(pid),
+            other => StoreError::Backend(other.to_string()),
+        }
+    }
+}
+
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+/// What the Bw-tree needs from a page store.
+pub trait PageStore {
+    /// Read the current bytes of a page.
+    fn read_page(&mut self, pid: u64) -> Result<Vec<u8>>;
+    /// Durably write a batch of pages (one flush of the 1 MB write
+    /// buffer). Returns the virtual completion time.
+    fn write_batch(&mut self, pages: &[(u64, Vec<u8>)]) -> Result<Nanos>;
+    /// Current virtual time.
+    fn now(&self) -> Nanos;
+    /// Spend host CPU time on the shared timeline.
+    fn host_cpu(&mut self, ns: u64);
+    /// Flash-level counters (Fig. 10b reports bytes programmed).
+    fn flash_stats(&self) -> FlashStats;
+    /// Run background housekeeping (controller GC for ELEOS; host GC runs
+    /// inside flush for the Block store).
+    fn maintenance(&mut self) -> Result<()>;
+    /// Display label for experiment tables.
+    fn label(&self) -> &'static str;
+}
+
+/// ELEOS-backed store (Batch VP / Batch FP depending on the controller's
+/// page mode).
+pub struct EleosStore {
+    pub ssd: Eleos,
+}
+
+impl EleosStore {
+    pub fn new(ssd: Eleos) -> Self {
+        EleosStore { ssd }
+    }
+
+    fn mode(&self) -> PageMode {
+        self.ssd.config().page_mode
+    }
+}
+
+impl PageStore for EleosStore {
+    fn read_page(&mut self, pid: u64) -> Result<Vec<u8>> {
+        Ok(self.ssd.read(pid)?)
+    }
+
+    fn write_batch(&mut self, pages: &[(u64, Vec<u8>)]) -> Result<Nanos> {
+        let mut batch = WriteBatch::new(self.mode());
+        for (pid, bytes) in pages {
+            batch
+                .put(*pid, bytes)
+                .map_err(|e| StoreError::Backend(e.to_string()))?;
+        }
+        let ack = self.ssd.write(&batch)?;
+        Ok(ack.done_at)
+    }
+
+    fn now(&self) -> Nanos {
+        self.ssd.now()
+    }
+
+    fn host_cpu(&mut self, ns: u64) {
+        self.ssd.device_mut().clock_mut().cpu(ns);
+    }
+
+    fn flash_stats(&self) -> FlashStats {
+        self.ssd.device().stats().clone()
+    }
+
+    fn maintenance(&mut self) -> Result<()> {
+        Ok(self.ssd.maintenance()?)
+    }
+
+    fn label(&self) -> &'static str {
+        match self.mode() {
+            PageMode::Variable => "Batch (VP)",
+            PageMode::Fixed(_) => "Batch (FP)",
+        }
+    }
+}
+
+/// Block-interface store: host LSS over the conventional FTL.
+pub struct BlockStore {
+    pub lss: LogStore,
+}
+
+impl BlockStore {
+    pub fn new(lss: LogStore) -> Self {
+        BlockStore { lss }
+    }
+}
+
+impl PageStore for BlockStore {
+    fn read_page(&mut self, pid: u64) -> Result<Vec<u8>> {
+        Ok(self.lss.get(pid)?)
+    }
+
+    fn write_batch(&mut self, pages: &[(u64, Vec<u8>)]) -> Result<Nanos> {
+        for (pid, bytes) in pages {
+            self.lss.put(*pid, bytes)?;
+        }
+        Ok(self.lss.flush()?)
+    }
+
+    fn now(&self) -> Nanos {
+        self.lss.now()
+    }
+
+    fn host_cpu(&mut self, ns: u64) {
+        self.lss.ftl_mut().device_mut().clock_mut().cpu(ns);
+    }
+
+    fn flash_stats(&self) -> FlashStats {
+        self.lss.ftl().device().stats().clone()
+    }
+
+    fn maintenance(&mut self) -> Result<()> {
+        Ok(()) // host GC runs inside flush
+    }
+
+    fn label(&self) -> &'static str {
+        "Block"
+    }
+}

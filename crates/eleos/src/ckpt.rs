@@ -1,0 +1,356 @@
+//! Checkpoint records and the "well-known location" (Section VIII-B).
+//!
+//! Flash cannot be overwritten in place, so the well-known location is a
+//! pair of reserved EBLOCKs used in strict alternation: checkpoint `seq`
+//! goes to reserved EBLOCK `seq % 2`, which is erased immediately before
+//! writing. A crash mid-write leaves the previous checkpoint intact in the
+//! other EBLOCK; recovery scans both and picks the highest complete,
+//! checksum-valid record.
+//!
+//! The record carries exactly what Section III-B/VIII-B says must fit
+//! there: the truncation LSN, the log resume position, the **tiny table**
+//! (addresses of small-table pages), the EBLOCK-summary **small table**
+//! (addresses of summary pages, "<1 KB"), and the entire session table.
+
+use crate::codec::{checksum, Reader, Writer};
+use crate::error::{EleosError, Result};
+use crate::session::SessionTable;
+use crate::types::{ActionId, Lsn, Usn};
+use eleos_flash::{EblockAddr, FlashDevice, Nanos, WblockAddr};
+
+const CKPT_MAGIC: u64 = 0x454C_454F_5343_4B50; // "ELEOSCKP"
+const PART_HEADER: usize = 32;
+
+fn pack_wb(a: WblockAddr) -> u64 {
+    ((a.channel() as u64) << 48) | ((a.eblock.eblock as u64) << 16) | a.wblock as u64
+}
+
+fn unpack_wb(v: u64) -> WblockAddr {
+    WblockAddr::new(
+        (v >> 48) as u32,
+        ((v >> 16) & 0xFFFF_FFFF) as u32,
+        (v & 0xFFFF) as u32,
+    )
+}
+
+/// The checkpoint record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    pub seq: u64,
+    /// Replay starts here (Section VIII-B's three-factor minimum).
+    pub trunc_lsn: Lsn,
+    /// LSN counter baseline at checkpoint time.
+    pub next_lsn: Lsn,
+    /// Where to find the log page containing `trunc_lsn` (candidate
+    /// locations, honouring the forward-pointer scheme).
+    pub log_resume: Vec<WblockAddr>,
+    /// Expected sequence number of that log page.
+    pub log_resume_seq: u64,
+    pub usn: Usn,
+    pub next_action: ActionId,
+    /// Tiny table: packed addresses of mapping-small-table pages.
+    pub tiny: Vec<u64>,
+    /// Packed addresses of EBLOCK-summary-table pages.
+    pub summary_small: Vec<u64>,
+    pub sessions: SessionTable,
+}
+
+impl CheckpointRecord {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut w = Writer(&mut out);
+        w.u64(self.seq);
+        w.u64(self.trunc_lsn);
+        w.u64(self.next_lsn);
+        w.u32(self.log_resume.len() as u32);
+        for &a in &self.log_resume {
+            w.u64(pack_wb(a));
+        }
+        w.u64(self.log_resume_seq);
+        w.u64(self.usn);
+        w.u64(self.next_action);
+        w.u32(self.tiny.len() as u32);
+        for &t in &self.tiny {
+            w.u64(t);
+        }
+        w.u32(self.summary_small.len() as u32);
+        for &s in &self.summary_small {
+            w.u64(s);
+        }
+        self.sessions.encode(&mut out);
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Option<CheckpointRecord> {
+        let mut r = Reader::new(bytes);
+        let seq = r.u64()?;
+        let trunc_lsn = r.u64()?;
+        let next_lsn = r.u64()?;
+        let n = r.u32()? as usize;
+        let mut log_resume = Vec::with_capacity(n);
+        for _ in 0..n {
+            log_resume.push(unpack_wb(r.u64()?));
+        }
+        let log_resume_seq = r.u64()?;
+        let usn = r.u64()?;
+        let next_action = r.u64()?;
+        let nt = r.u32()? as usize;
+        let mut tiny = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            tiny.push(r.u64()?);
+        }
+        let ns = r.u32()? as usize;
+        let mut summary_small = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            summary_small.push(r.u64()?);
+        }
+        let sessions = SessionTable::decode(&mut r)?;
+        Some(CheckpointRecord {
+            seq,
+            trunc_lsn,
+            next_lsn,
+            log_resume,
+            log_resume_seq,
+            usn,
+            next_action,
+            tiny,
+            summary_small,
+            sessions,
+        })
+    }
+}
+
+/// Manager of the two reserved checkpoint EBLOCKs.
+#[derive(Debug)]
+pub struct CkptArea {
+    ebs: [EblockAddr; 2],
+    next_seq: u64,
+}
+
+impl CkptArea {
+    /// The reserved EBLOCKs: the first two of channel 0.
+    pub fn reserved_eblocks() -> [EblockAddr; 2] {
+        [EblockAddr::new(0, 0), EblockAddr::new(0, 1)]
+    }
+
+    pub fn new(next_seq: u64) -> Self {
+        CkptArea {
+            ebs: Self::reserved_eblocks(),
+            next_seq,
+        }
+    }
+
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Persist a checkpoint record; returns the flash completion time the
+    /// caller must wait on before considering the checkpoint taken.
+    ///
+    /// A program failure poisons the reserved EBLOCK; the write is retried
+    /// once after re-erasing it (the previous checkpoint in the *other*
+    /// reserved EBLOCK stays intact throughout, so a failed attempt is
+    /// never fatal to durability — the caller may simply skip this
+    /// checkpoint).
+    pub fn write(&mut self, dev: &mut FlashDevice, rec: &CheckpointRecord) -> Result<Nanos> {
+        debug_assert_eq!(rec.seq, self.next_seq);
+        let payload = rec.encode();
+        let geo = *dev.geometry();
+        let chunk = geo.wblock_bytes as usize - PART_HEADER;
+        let nparts = payload.len().div_ceil(chunk).max(1);
+        if nparts > geo.wblocks_per_eblock as usize {
+            return Err(EleosError::Corrupt("checkpoint record exceeds reserved eblock"));
+        }
+        let target = self.ebs[(rec.seq % 2) as usize];
+        let sum = checksum(&payload);
+        let mut attempt_err = None;
+        'attempt: for _ in 0..2 {
+            let done = dev.erase(target)?;
+            dev.clock_mut().wait_until(done);
+            let mut last = 0;
+            for part in 0..nparts {
+                let lo = part * chunk;
+                let hi = ((part + 1) * chunk).min(payload.len());
+                let mut page = Vec::with_capacity(geo.wblock_bytes as usize);
+                {
+                    let mut w = Writer(&mut page);
+                    w.u64(CKPT_MAGIC);
+                    w.u64(rec.seq);
+                    w.u16(part as u16);
+                    w.u16(nparts as u16);
+                    w.u32(payload.len() as u32);
+                    w.u64(sum);
+                }
+                page.extend_from_slice(&payload[lo..hi]);
+                page.resize(geo.wblock_bytes as usize, 0);
+                match dev.program(
+                    WblockAddr::new(target.channel, target.eblock, part as u32),
+                    &page,
+                    &[],
+                ) {
+                    Ok(t) => last = t,
+                    Err(e) => {
+                        attempt_err = Some(e.into());
+                        continue 'attempt;
+                    }
+                }
+            }
+            self.next_seq += 1;
+            return Ok(last);
+        }
+        Err(attempt_err.unwrap_or(EleosError::Corrupt("checkpoint write failed")))
+    }
+
+    /// Scan both reserved EBLOCKs for the newest complete checkpoint.
+    pub fn find_latest(dev: &mut FlashDevice) -> Option<CheckpointRecord> {
+        let mut best: Option<CheckpointRecord> = None;
+        for eb in Self::reserved_eblocks() {
+            if let Some(rec) = Self::read_one(dev, eb) {
+                if best.as_ref().is_none_or(|b| rec.seq > b.seq) {
+                    best = Some(rec);
+                }
+            }
+        }
+        best
+    }
+
+    fn read_one(dev: &mut FlashDevice, eb: EblockAddr) -> Option<CheckpointRecord> {
+        let frontier = dev.programmed_wblocks(eb).ok()?;
+        if frontier == 0 {
+            return None;
+        }
+        let (first, _) = dev.read_wblocks(eb, 0, 1).ok()?;
+        let mut r = Reader::new(&first);
+        if r.u64()? != CKPT_MAGIC {
+            return None;
+        }
+        let seq = r.u64()?;
+        let part0 = r.u16()?;
+        let nparts = r.u16()? as u32;
+        let total = r.u32()? as usize;
+        let sum = r.u64()?;
+        if part0 != 0 || nparts == 0 || nparts > frontier {
+            return None;
+        }
+        let geo = *dev.geometry();
+        let chunk = geo.wblock_bytes as usize - PART_HEADER;
+        let mut payload = Vec::with_capacity(total);
+        for part in 0..nparts {
+            let (bytes, _) = dev.read_wblocks(eb, part, 1).ok()?;
+            let mut r = Reader::new(&bytes);
+            if r.u64()? != CKPT_MAGIC || r.u64()? != seq || r.u16()? != part as u16 {
+                return None;
+            }
+            let _ = r.u16()?;
+            let _ = r.u32()?;
+            let _ = r.u64()?;
+            let lo = part as usize * chunk;
+            let take = chunk.min(total - lo);
+            payload.extend_from_slice(&bytes[PART_HEADER..PART_HEADER + take]);
+        }
+        if payload.len() != total || checksum(&payload) != sum {
+            return None;
+        }
+        let rec = CheckpointRecord::decode(&payload)?;
+        if rec.seq != seq {
+            return None;
+        }
+        Some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eleos_flash::{CostProfile, Geometry};
+
+    fn dev() -> FlashDevice {
+        FlashDevice::new(Geometry::tiny(), CostProfile::unit())
+    }
+
+    fn sample(seq: u64) -> CheckpointRecord {
+        let mut sessions = SessionTable::new();
+        sessions.open(0xFEED);
+        sessions.advance(0xFEED, 3);
+        CheckpointRecord {
+            seq,
+            trunc_lsn: 10,
+            next_lsn: 50,
+            log_resume: vec![WblockAddr::new(0, 2, 1), WblockAddr::new(1, 3, 0)],
+            log_resume_seq: 4,
+            usn: 777,
+            next_action: 12,
+            tiny: vec![1, 2, u64::MAX],
+            summary_small: vec![9, 8],
+            sessions,
+        }
+    }
+
+    #[test]
+    fn record_encode_decode_roundtrip() {
+        let rec = sample(1);
+        assert_eq!(CheckpointRecord::decode(&rec.encode()), Some(rec));
+    }
+
+    #[test]
+    fn write_then_find_latest() {
+        let mut d = dev();
+        let mut area = CkptArea::new(1);
+        let done = area.write(&mut d, &sample(1)).unwrap();
+        assert!(done > 0);
+        let found = CkptArea::find_latest(&mut d).unwrap();
+        assert_eq!(found.seq, 1);
+        assert_eq!(found.usn, 777);
+    }
+
+    #[test]
+    fn alternation_keeps_previous_on_crash_window() {
+        let mut d = dev();
+        let mut area = CkptArea::new(1);
+        area.write(&mut d, &sample(1)).unwrap();
+        area.write(&mut d, &sample(2)).unwrap();
+        // Both reserved eblocks now hold one record each; latest wins.
+        assert_eq!(CkptArea::find_latest(&mut d).unwrap().seq, 2);
+        // Seq 3 overwrites the eblock that held seq 1.
+        area.write(&mut d, &sample(3)).unwrap();
+        assert_eq!(CkptArea::find_latest(&mut d).unwrap().seq, 3);
+    }
+
+    #[test]
+    fn empty_area_yields_none() {
+        let mut d = dev();
+        assert!(CkptArea::find_latest(&mut d).is_none());
+    }
+
+    #[test]
+    fn multipart_record_roundtrips() {
+        let mut d = dev();
+        let mut area = CkptArea::new(1);
+        let mut rec = sample(1);
+        // Inflate the tiny table so the record spans several WBLOCKs
+        // (16 KB each in the tiny geometry).
+        rec.tiny = (0..10_000u64).collect();
+        area.write(&mut d, &rec).unwrap();
+        let found = CkptArea::find_latest(&mut d).unwrap();
+        assert_eq!(found.tiny.len(), 10_000);
+        assert_eq!(found, rec);
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_previous() {
+        let mut d = dev();
+        let mut area = CkptArea::new(1);
+        area.write(&mut d, &sample(1)).unwrap();
+        // Simulate a crash mid-write of seq 2: erase target and program only
+        // a partial garbage page.
+        let target = CkptArea::reserved_eblocks()[0]; // seq 2 -> index 0
+        let done = d.erase(target).unwrap();
+        d.clock_mut().wait_until(done);
+        let geo = *d.geometry();
+        let garbage = vec![0xFFu8; geo.wblock_bytes as usize];
+        d.program(WblockAddr::new(target.channel, target.eblock, 0), &garbage, &[])
+            .unwrap();
+        let found = CkptArea::find_latest(&mut d).unwrap();
+        assert_eq!(found.seq, 1, "recovery must use the intact checkpoint");
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimal little-endian serialization helpers for on-flash structures.
+//!
+//! An FTL controls its own storage layout, so encodings are hand-rolled and
+//! fixed: little-endian integers, length-prefixed byte strings. `Reader`
+//! returns `None` on underflow so corrupt/torn pages fail soft (recovery
+//! treats an undecodable log page as end-of-log).
+
+/// Append-only encoder over a `Vec<u8>`.
+pub struct Writer<'a>(pub &'a mut Vec<u8>);
+
+impl<'a> Writer<'a> {
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    pub fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+    }
+}
+
+/// Cursor-based decoder over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+    pub fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+}
+
+/// FNV-1a checksum used to validate log pages and checkpoint records.
+pub fn checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        let mut w = Writer(&mut buf);
+        w.u8(0xAB);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(0x0123_4567_89AB_CDEF);
+        w.bytes(b"hello");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8(), Some(0xAB));
+        assert_eq!(r.u16(), Some(0xBEEF));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(0x0123_4567_89AB_CDEF));
+        assert_eq!(r.bytes(), Some(&b"hello"[..]));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn underflow_returns_none() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u32(), None);
+        // Position unchanged after a failed read of a wider type.
+        assert_eq!(r.u16(), Some(0x0201));
+        assert_eq!(r.u8(), None);
+    }
+
+    #[test]
+    fn bytes_with_bad_length_fails_soft() {
+        let mut buf = Vec::new();
+        Writer(&mut buf).u32(1000); // claims 1000 bytes, provides none
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes(), None);
+    }
+
+    #[test]
+    fn checksum_differs_on_flip() {
+        let a = checksum(b"some log page");
+        let mut v = b"some log page".to_vec();
+        v[3] ^= 1;
+        assert_ne!(a, checksum(&v));
+        assert_eq!(checksum(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,1305 @@
+//! The ELEOS controller: system-action engine, write path (Section IV),
+//! read path (Section V), sessions, and write-failure handling (Section
+//! VII). GC lives in `gc.rs`, checkpointing in `ckpt_ops.rs`, recovery in
+//! `recovery.rs` — all as `impl Eleos` blocks.
+
+use crate::batch::{decode_stored_header, parse_batch, WriteBatch, ENTRY_HEADER};
+use crate::ckpt::CkptArea;
+use crate::config::EleosConfig;
+use crate::error::{EleosError, Result};
+use crate::mapping::MappingTable;
+use crate::phys::{PhysAddr, NULL_PADDR};
+use crate::provision::{encode_eblock_meta, ChannelState, OpenEblock};
+use crate::session::SessionTable;
+use crate::stats::EleosStats;
+use crate::summary::{EblockPurpose, EblockState, SummaryTable};
+use crate::types::{ActionId, ActionKind, Lpid, Lsn, PageKind, Sid, Usn, Wsn};
+use crate::wal::{LogRecord, LogWriter, SealOutcome};
+use eleos_flash::{EblockAddr, FlashDevice, FlashError, Nanos, WblockAddr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Acknowledgement returned for a committed write buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchAck {
+    /// LPAGEs durably written.
+    pub lpages: usize,
+    /// Virtual time at which the buffer became durable.
+    pub done_at: Nanos,
+}
+
+/// One page of work inside a system action: the stored entry bytes plus the
+/// conditional-install expectation for GC/migration.
+#[derive(Debug, Clone)]
+pub(crate) struct ActionPage {
+    pub lpid: Lpid,
+    pub kind: PageKind,
+    /// Stored entry bytes (header + payload + padding).
+    pub bytes: Vec<u8>,
+    /// Packed address this page is being relocated from (GC/migrate);
+    /// `NULL_PADDR` for user and checkpoint writes.
+    pub old_addr: u64,
+}
+
+/// Where a system action's pages are provisioned.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Dest {
+    /// Distribute across all channels into the user open EBLOCKs (Fig. 3
+    /// "new LPAGE write"; checkpoint table writes use this too).
+    User,
+    /// Write into the age-binned GC open EBLOCKs of one channel
+    /// (Section VI-B).
+    GcBin { channel: u32, victim_ts: Usn },
+}
+
+/// Result of a committed system action.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ActionResult {
+    pub done_at: Nanos,
+    /// GC relocations dropped because the mapping no longer matched
+    /// (mirrored into `EleosStats::gc_installs_aborted`; kept here for GC
+    /// callers that need the per-action count).
+    #[allow(dead_code)]
+    pub relocations_aborted: usize,
+}
+
+/// A planned EBLOCK close produced during provisioning.
+#[derive(Debug)]
+pub(crate) struct CloseEvent {
+    pub addr: EblockAddr,
+    pub ts: Usn,
+    pub data_wblocks: u16,
+    pub meta_wblocks: u16,
+    /// Encoded metadata pages, kept for abort-repair (Section VII).
+    pub meta_pages: Vec<Vec<u8>>,
+    /// The metadata entries themselves, kept so a write failure in this
+    /// EBLOCK can still migrate it (the flash copy may never land).
+    pub entries: Vec<(PageKind, Lpid)>,
+}
+
+/// Output of write provisioning for one system action.
+#[derive(Debug, Default)]
+pub(crate) struct Plan {
+    /// Physical address per page (parallel to the action's page list).
+    pub addrs: Vec<PhysAddr>,
+    /// WBLOCK programs to execute, in required program order.
+    pub ios: Vec<(WblockAddr, Vec<u8>)>,
+    /// EBLOCKs closed by this action.
+    pub closes: Vec<CloseEvent>,
+    /// Data regions provisioned: (eblock, start byte, end byte).
+    pub touched: Vec<(EblockAddr, u64, u64)>,
+}
+
+/// The ELEOS SSD controller.
+///
+/// Owns the emulated flash device and all FTL state. See the crate docs for
+/// the public API walkthrough.
+#[derive(Debug)]
+pub struct Eleos {
+    pub(crate) dev: FlashDevice,
+    pub(crate) cfg: EleosConfig,
+    pub(crate) mapping: MappingTable,
+    pub(crate) summary: SummaryTable,
+    pub(crate) sessions: SessionTable,
+    pub(crate) chans: Vec<ChannelState>,
+    pub(crate) wal: LogWriter,
+    pub(crate) ckpt_area: CkptArea,
+    pub(crate) usn: Usn,
+    pub(crate) next_action: ActionId,
+    pub(crate) active_first_lsn: BTreeMap<ActionId, Lsn>,
+    pub(crate) trunc_lsn: Lsn,
+    pub(crate) last_ckpt_bytes: u64,
+    /// `next_lsn` recorded by the previous checkpoint; EBLOCKs open since
+    /// before it are force-closed by the next checkpoint.
+    pub(crate) last_ckpt_lsn: Lsn,
+    pub(crate) stats: EleosStats,
+    pub(crate) rng: StdRng,
+    pub(crate) shutdown: bool,
+    pub(crate) next_chan_rr: u32,
+}
+
+impl Eleos {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Initialize a fresh device: reserve the checkpoint area and the first
+    /// log EBLOCK, build free lists, and take the initial checkpoint.
+    pub fn format(dev: FlashDevice, cfg: EleosConfig) -> Result<Eleos> {
+        let geo = *dev.geometry();
+        assert!(geo.channels <= 64, "PhysAddr packs 6 channel bits");
+        assert!(geo.eblocks_per_channel <= 1 << 18, "PhysAddr packs 18 eblock bits");
+        assert!(
+            geo.eblock_bytes() / 64 <= 1 << 20,
+            "PhysAddr packs 20 offset bits of 64-byte units"
+        );
+        assert!(
+            geo.eblocks_per_channel >= 4,
+            "need room for checkpoint area, log, and data"
+        );
+        let mapping = MappingTable::new(cfg.max_user_lpid, cfg.map_entries_per_page, cfg.map_cache_pages);
+        let mut summary = SummaryTable::new(geo);
+        for eb in CkptArea::reserved_eblocks() {
+            summary.update(eb, 0, |d| {
+                d.state = EblockState::Used;
+                d.purpose = EblockPurpose::CkptArea;
+            });
+        }
+        let log_eb = EblockAddr::new(0, 2);
+        summary.update(log_eb, 0, |d| {
+            d.state = EblockState::Open;
+            d.purpose = EblockPurpose::Log;
+        });
+        let mut chans: Vec<ChannelState> = (0..geo.channels)
+            .map(|c| ChannelState::new(c, cfg.gc_open_bins))
+            .collect();
+        for c in 0..geo.channels {
+            let start = if c == 0 { 3 } else { 0 };
+            for eb in start..geo.eblocks_per_channel {
+                chans[c as usize].free.push_back(eb);
+            }
+        }
+        let mut this = Eleos {
+            dev,
+            mapping,
+            summary,
+            sessions: SessionTable::new(),
+            chans,
+            wal: LogWriter::fresh(log_eb),
+            ckpt_area: CkptArea::new(1),
+            usn: 0,
+            next_action: 1,
+            active_first_lsn: BTreeMap::new(),
+            trunc_lsn: 1,
+            last_ckpt_bytes: 0,
+            last_ckpt_lsn: 0,
+            stats: EleosStats::default(),
+            rng: StdRng::seed_from_u64(0x1EE0_5EED),
+            shutdown: false,
+            next_chan_rr: 0,
+            cfg,
+        };
+        this.top_up_log_standbys()?;
+        this.checkpoint()?;
+        Ok(this)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Current virtual time (CPU timeline).
+    pub fn now(&self) -> Nanos {
+        self.dev.clock().now()
+    }
+
+    pub fn device(&self) -> &FlashDevice {
+        &self.dev
+    }
+
+    pub fn device_mut(&mut self) -> &mut FlashDevice {
+        &mut self.dev
+    }
+
+    pub fn stats(&self) -> &EleosStats {
+        &self.stats
+    }
+
+    pub fn config(&self) -> &EleosConfig {
+        &self.cfg
+    }
+
+    /// Wait until all in-flight flash operations complete (end of an
+    /// experiment).
+    pub fn drain(&mut self) {
+        self.dev.clock_mut().drain();
+    }
+
+    /// Simulate a controller crash: all volatile state is dropped; only the
+    /// flash device (and its clock/stats) survives. Recover with
+    /// [`Eleos::recover`].
+    pub fn crash(self) -> FlashDevice {
+        self.dev
+    }
+
+    // ------------------------------------------------------------------
+    // Sessions (Section III-A2)
+    // ------------------------------------------------------------------
+
+    /// Open an ordered-write session; the controller assigns a random SID
+    /// and makes the session durable before returning it.
+    pub fn open_session(&mut self) -> Result<Sid> {
+        let mut sid: Sid = self.rng.gen();
+        while sid == 0 || self.sessions.is_open(sid) {
+            sid = self.rng.gen();
+        }
+        self.sessions.open(sid);
+        self.log_append(&LogRecord::SessionOpen { sid })?;
+        let t = self.log_force()?;
+        self.dev.clock_mut().wait_until(t);
+        Ok(sid)
+    }
+
+    /// Close a session (durable before returning, like the open).
+    pub fn close_session(&mut self, sid: Sid) -> Result<()> {
+        if !self.sessions.is_open(sid) {
+            return Err(EleosError::UnknownSession(sid));
+        }
+        self.sessions.close(sid);
+        self.log_append(&LogRecord::SessionClose { sid })?;
+        let t = self.log_force()?;
+        self.dev.clock_mut().wait_until(t);
+        Ok(())
+    }
+
+    /// Highest WSN applied for a session (the value re-ACKed on
+    /// out-of-order writes).
+    pub fn session_highest_wsn(&self, sid: Sid) -> Option<Wsn> {
+        self.sessions.highest_wsn(sid)
+    }
+
+    // ------------------------------------------------------------------
+    // Write path (Section IV)
+    // ------------------------------------------------------------------
+
+    /// Write a batch without session ordering ("users without ordering
+    /// requirements can ignore sessions").
+    pub fn write(&mut self, batch: &WriteBatch) -> Result<BatchAck> {
+        self.write_inner(None, batch, true)
+    }
+
+    /// Write a batch within a session; `wsn` must be exactly one higher
+    /// than the session's highest applied WSN. Blocks (on the virtual
+    /// clock) until the buffer is durable.
+    pub fn write_ordered(&mut self, sid: Sid, wsn: Wsn, batch: &WriteBatch) -> Result<BatchAck> {
+        self.sessions.check_next(sid, wsn)?;
+        self.write_inner(Some((sid, wsn)), batch, true)
+    }
+
+    /// Pipelined ordered write (Section III-A2): the host does NOT wait for
+    /// the ACK before submitting the next WSN — "waiting for an ACK wastes
+    /// parallelism". The returned `done_at` is when this buffer becomes
+    /// durable; the host learns of unACKed buffers after a crash via the
+    /// WSN redo protocol. Call [`Eleos::drain`] to synchronize with all
+    /// in-flight flash work.
+    pub fn write_ordered_pipelined(
+        &mut self,
+        sid: Sid,
+        wsn: Wsn,
+        batch: &WriteBatch,
+    ) -> Result<BatchAck> {
+        self.sessions.check_next(sid, wsn)?;
+        self.write_inner(Some((sid, wsn)), batch, false)
+    }
+
+    fn write_inner(
+        &mut self,
+        sid_wsn: Option<(Sid, Wsn)>,
+        batch: &WriteBatch,
+        wait_durable: bool,
+    ) -> Result<BatchAck> {
+        if self.shutdown {
+            return Err(EleosError::ShutDown);
+        }
+        if batch.is_empty() {
+            return Err(EleosError::EmptyBatch);
+        }
+        let bytes = batch.as_bytes();
+        // Host submission + transport (one I/O, many packets).
+        let profile = *self.dev.profile();
+        self.dev
+            .clock_mut()
+            .cpu(profile.host_submit_ns + profile.transport_cpu(bytes.len() as u64));
+        let entries = parse_batch(bytes, self.cfg.page_mode)?;
+        if entries.iter().any(|e| e.kind != PageKind::User) {
+            return Err(EleosError::Corrupt("user batch contains table-page entries"));
+        }
+        let pages: Vec<ActionPage> = entries
+            .iter()
+            .map(|e| ActionPage {
+                lpid: e.lpid,
+                kind: PageKind::User,
+                bytes: bytes[e.stored_range()].to_vec(),
+                old_addr: NULL_PADDR,
+            })
+            .collect();
+        self.maybe_gc()?;
+        let res = self.run_action_inner(ActionKind::User, sid_wsn, &pages, Dest::User, wait_durable)?;
+        self.stats.batches += 1;
+        self.stats.lpages += pages.len() as u64;
+        self.stats.payload_bytes += batch.payload_bytes()
+            .max(pages.iter().map(|p| p.bytes.len() as u64).sum::<u64>()
+                - (pages.len() * ENTRY_HEADER) as u64);
+        self.stats.stored_bytes += pages.iter().map(|p| p.bytes.len() as u64).sum::<u64>();
+        if self.mapping.overfull() {
+            // Cache pressure: evict-flush the oldest dirty mapping pages
+            // ("flushed, e.g., by page eviction or checkpointing" —
+            // Section VIII-C2).
+            let dirty = self.mapping.dirty_pages();
+            let k = dirty.len().min(8);
+            self.flush_map_pages(&dirty[..k])?;
+        }
+        if self.wal.bytes_appended - self.last_ckpt_bytes >= self.cfg.ckpt_log_bytes {
+            self.checkpoint()?;
+        }
+        Ok(BatchAck {
+            lpages: pages.len(),
+            done_at: res.done_at,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Read path (Section V)
+    // ------------------------------------------------------------------
+
+    /// Read the current content of an LPAGE by LPID (`read_LPID` of
+    /// Section IX-A2). Returns exactly the payload bytes — adjacent data in
+    /// the covering RBLOCKs is never revealed.
+    pub fn read(&mut self, lpid: Lpid) -> Result<Vec<u8>> {
+        let profile = *self.dev.profile();
+        self.dev
+            .clock_mut()
+            .cpu(profile.host_submit_ns + profile.read_ctx_ns);
+        let addr = self
+            .mapping
+            .get(lpid, &mut self.dev)?
+            .ok_or(EleosError::NotFound(lpid))?;
+        let (bytes, t) = self.dev.read_extent(addr.extent())?;
+        self.dev.clock_mut().wait_until(t);
+        let (stored_lpid, _kind, plen) = decode_stored_header(&bytes)?;
+        if stored_lpid != lpid {
+            return Err(EleosError::Corrupt("stored lpage identity mismatch"));
+        }
+        self.dev.clock_mut().cpu(profile.transport_cpu(plen as u64));
+        self.stats.reads += 1;
+        self.stats.read_bytes += plen as u64;
+        Ok(bytes[ENTRY_HEADER..ENTRY_HEADER + plen].to_vec())
+    }
+
+    /// Current stored length (on-flash bytes) of an LPID, if mapped.
+    pub fn stored_len(&mut self, lpid: Lpid) -> Result<Option<u64>> {
+        Ok(self.mapping.get(lpid, &mut self.dev)?.map(|a| a.len))
+    }
+
+    /// Mapping pages currently resident in the controller cache
+    /// (introspection for tests/benches).
+    pub fn mapping_cached_pages(&self) -> usize {
+        self.mapping.cached_pages()
+    }
+
+    // ------------------------------------------------------------------
+    // Deletes (TRIM)
+    // ------------------------------------------------------------------
+
+    /// Durably delete one LPAGE. See [`Eleos::delete_batch`].
+    pub fn delete(&mut self, lpid: Lpid) -> Result<()> {
+        self.delete_batch(&[lpid])
+    }
+
+    /// Durably delete a batch of LPAGEs (TRIM): the mappings are cleared
+    /// and the storage they occupied becomes reclaimable garbage. Deletes
+    /// run as an ordinary system action — a Write record with a null new
+    /// address — so crash recovery replays them like any other update.
+    /// Unknown LPIDs are ignored (idempotent redo after a lost ACK).
+    pub fn delete_batch(&mut self, lpids: &[Lpid]) -> Result<()> {
+        if self.shutdown {
+            return Err(EleosError::ShutDown);
+        }
+        if lpids.is_empty() {
+            return Err(EleosError::EmptyBatch);
+        }
+        let profile = *self.dev.profile();
+        self.dev.clock_mut().cpu(
+            profile.host_submit_ns
+                + profile.context_ns
+                + profile.per_page_ns * lpids.len() as u64,
+        );
+        let id = self.next_action;
+        self.next_action += 1;
+        let mut first_lsn = 0;
+        for (i, &lpid) in lpids.iter().enumerate() {
+            if lpid >= crate::types::MAP_PAGE_BASE {
+                return Err(EleosError::ReservedLpid(lpid));
+            }
+            let lsn = self.log_append(&LogRecord::Write {
+                action: id,
+                akind: ActionKind::User,
+                lpid,
+                new_addr: NULL_PADDR,
+                old_addr: NULL_PADDR,
+            })?;
+            if i == 0 {
+                first_lsn = lsn;
+                self.active_first_lsn.insert(id, lsn);
+            }
+        }
+        let commit_lsn = self.log_append(&LogRecord::Commit {
+            action: id,
+            sid: 0,
+            wsn: 0,
+        })?;
+        let _ = commit_lsn;
+        let t = self.log_force()?;
+        self.dev.clock_mut().wait_until(t);
+        self.dev.clock_mut().cpu(profile.commit_force_ns);
+        for &lpid in lpids {
+            let old = self.mapping.set(lpid, NULL_PADDR, first_lsn, &mut self.dev)?;
+            if old != NULL_PADDR {
+                let lsn = self.log_append(&LogRecord::OldAddr {
+                    action: id,
+                    lpid,
+                    old_addr: old,
+                })?;
+                if let Some(oa) = PhysAddr::unpack(old) {
+                    self.summary
+                        .update(oa.eblock_addr(), lsn, |d| d.avail += oa.len);
+                }
+            }
+        }
+        self.log_append(&LogRecord::Done { action: id })?;
+        self.active_first_lsn.remove(&id);
+        self.stats.commits += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Log helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn log_append(&mut self, rec: &LogRecord) -> Result<Lsn> {
+        let (lsn, outcome) = self.wal.append(rec, &mut self.dev)?;
+        if let Some(o) = outcome {
+            self.after_seal(&o)?;
+        }
+        Ok(lsn)
+    }
+
+    pub(crate) fn log_force(&mut self) -> Result<Nanos> {
+        let (t, outcome) = self.wal.force(&mut self.dev)?;
+        if let Some(o) = outcome {
+            self.after_seal(&o)?;
+        }
+        Ok(t)
+    }
+
+    /// Keep EBLOCK summary descriptors in sync with log-page placement and
+    /// keep the forward-pointer standby pool full.
+    fn after_seal(&mut self, o: &SealOutcome) -> Result<()> {
+        let lsn_tag = self.wal.next_lsn();
+        self.summary.update(o.addr.eblock, lsn_tag, |d| {
+            d.max_lsn = d.max_lsn.max(o.last_lsn);
+            if d.state == EblockState::Free {
+                d.state = EblockState::Open;
+                d.purpose = EblockPurpose::Log;
+            }
+        });
+        for &eb in &o.entered {
+            self.summary.update(eb, lsn_tag, |d| {
+                d.state = EblockState::Open;
+                d.purpose = EblockPurpose::Log;
+            });
+        }
+        for &eb in &o.filled {
+            self.summary.update(eb, lsn_tag, |d| {
+                d.state = EblockState::Used;
+            });
+        }
+        for &eb in &o.poisoned {
+            // A poisoned log EBLOCK still holds earlier valid pages; it is
+            // reclaimed by truncation like any full log EBLOCK.
+            self.summary.update(eb, lsn_tag, |d| {
+                d.state = EblockState::Used;
+                d.max_lsn = d.max_lsn.max(o.last_lsn);
+            });
+        }
+        self.top_up_log_standbys()
+    }
+
+    pub(crate) fn top_up_log_standbys(&mut self) -> Result<()> {
+        let need = self.wal.standbys_needed(self.cfg.log_standby_eblocks);
+        for _ in 0..need {
+            match self.alloc_any_eblock() {
+                Ok(eb) => {
+                    self.summary.update(eb, self.wal.next_lsn(), |d| {
+                        d.purpose = EblockPurpose::Log;
+                        d.state = EblockState::Open;
+                    });
+                    self.wal.add_standby(eb);
+                    // Unforced: if the record is lost, the standby either
+                    // entered the log chain (rebuilt by the recovery scan)
+                    // or stays empty and is re-freed by the open-EBLOCK
+                    // fixup.
+                    let (_, outcome) = self.wal.append(
+                        &LogRecord::LogStandby {
+                            channel: eb.channel,
+                            eblock: eb.eblock,
+                        },
+                        &mut self.dev,
+                    )?;
+                    if let Some(o) = outcome {
+                        self.after_seal(&o)?;
+                    }
+                }
+                Err(EleosError::DeviceFull) => break, // degrade to fewer fallbacks
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // EBLOCK allocation
+    // ------------------------------------------------------------------
+
+    pub(crate) fn alloc_eblock(&mut self, channel: u32) -> Result<EblockAddr> {
+        let free = &mut self.chans[channel as usize].free;
+        if free.is_empty() {
+            return Err(EleosError::DeviceFull);
+        }
+        let eb = if self.cfg.wear_aware_alloc {
+            // Pick the least-worn free EBLOCK (wear-leveling extension).
+            let (pos, _) = free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &e)| {
+                    self.summary.get(EblockAddr::new(channel, e)).erase_count
+                })
+                .expect("non-empty free list");
+            free.remove(pos).unwrap()
+        } else {
+            free.pop_front().unwrap()
+        };
+        let addr = EblockAddr::new(channel, eb);
+        self.summary.update(addr, self.wal.next_lsn(), |d| {
+            d.state = EblockState::Open;
+            d.purpose = EblockPurpose::Data;
+        });
+        Ok(addr)
+    }
+
+    /// Allocate from whichever channel has the most free EBLOCKs (used for
+    /// log standbys, which have no channel affinity).
+    fn alloc_any_eblock(&mut self) -> Result<EblockAddr> {
+        let ch = (0..self.chans.len())
+            .max_by_key(|&c| self.chans[c].free.len())
+            .unwrap() as u32;
+        self.alloc_eblock(ch)
+    }
+
+    // ------------------------------------------------------------------
+    // The system-action engine (Section IV: init / execute / commit)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn run_action(
+        &mut self,
+        akind: ActionKind,
+        sid_wsn: Option<(Sid, Wsn)>,
+        pages: &[ActionPage],
+        dest: Dest,
+    ) -> Result<ActionResult> {
+        self.run_action_inner(akind, sid_wsn, pages, dest, true)
+    }
+
+    pub(crate) fn run_action_inner(
+        &mut self,
+        akind: ActionKind,
+        sid_wsn: Option<(Sid, Wsn)>,
+        pages: &[ActionPage],
+        dest: Dest,
+        wait_durable: bool,
+    ) -> Result<ActionResult> {
+        if pages.is_empty() {
+            return Ok(ActionResult {
+                done_at: self.now(),
+                relocations_aborted: 0,
+            });
+        }
+        let profile = *self.dev.profile();
+        self.dev
+            .clock_mut()
+            .cpu(profile.context_ns + profile.per_page_ns * pages.len() as u64);
+
+        let id = self.next_action;
+        self.next_action += 1;
+
+        // ---- initialization: provisioning + I/O command generation ----
+        let plan = self.provision(pages, dest)?;
+
+        // ---- initialization: log records ----
+        let mut first_lsn = 0;
+        for (i, p) in pages.iter().enumerate() {
+            let lsn = self.log_append(&LogRecord::Write {
+                action: id,
+                akind,
+                lpid: p.lpid,
+                new_addr: plan.addrs[i].pack(),
+                old_addr: p.old_addr,
+            })?;
+            if i == 0 {
+                first_lsn = lsn;
+                self.active_first_lsn.insert(id, lsn);
+            }
+        }
+        for c in &plan.closes {
+            self.log_append(&LogRecord::CloseEblock {
+                channel: c.addr.channel,
+                eblock: c.addr.eblock,
+                ts: c.ts,
+                data_wblocks: c.data_wblocks,
+                meta_wblocks: c.meta_wblocks,
+            })?;
+        }
+
+        // ---- execution: transfer data to the storage media ----
+        let mut max_done = 0;
+        for (at, data) in &plan.ios {
+            match self.dev.program(*at, data, &[]) {
+                Ok(t) => max_done = max_done.max(t),
+                Err(FlashError::ProgramFailed(addr)) => {
+                    return self.handle_write_failure(id, &plan, addr, 0);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        // ---- commit: force the commit record, then install ----
+        let (sid, wsn) = sid_wsn.unwrap_or((0, 0));
+        let commit_lsn = self.log_append(&LogRecord::Commit { action: id, sid, wsn })?;
+        let t_log = self.log_force()?;
+        let durable = max_done.max(t_log);
+        if wait_durable {
+            // Synchronous semantics: the host sees the ACK only after the
+            // commit record and all data are on flash.
+            self.dev.clock_mut().wait_until(durable);
+        }
+        self.dev.clock_mut().cpu(profile.commit_force_ns);
+
+        let mut relocations_aborted = 0;
+        for (i, p) in pages.iter().enumerate() {
+            let new_packed = plan.addrs[i].pack();
+            match akind {
+                ActionKind::User | ActionKind::Ckpt => {
+                    let old = self.install_unconditional(p.kind, p.lpid, new_packed, first_lsn)?;
+                    if old != NULL_PADDR {
+                        let lsn = self.log_append(&LogRecord::OldAddr {
+                            action: id,
+                            lpid: p.lpid,
+                            old_addr: old,
+                        })?;
+                        if let Some(oa) = PhysAddr::unpack(old) {
+                            self.summary
+                                .update(oa.eblock_addr(), lsn, |d| d.avail += oa.len);
+                        }
+                    }
+                }
+                ActionKind::Gc | ActionKind::Migrate => {
+                    let installed =
+                        self.install_conditional(p.kind, p.lpid, p.old_addr, new_packed, first_lsn)?;
+                    if installed {
+                        if let Some(oa) = PhysAddr::unpack(p.old_addr) {
+                            self.summary
+                                .update(oa.eblock_addr(), commit_lsn, |d| d.avail += oa.len);
+                        }
+                    } else {
+                        let lsn = self.log_append(&LogRecord::GcInstallAborted {
+                            action: id,
+                            lpid: p.lpid,
+                            new_addr: new_packed,
+                        })?;
+                        let na = plan.addrs[i];
+                        self.summary
+                            .update(na.eblock_addr(), lsn, |d| d.avail += na.len);
+                        relocations_aborted += 1;
+                        self.stats.gc_installs_aborted += 1;
+                    }
+                }
+            }
+        }
+        self.log_append(&LogRecord::Done { action: id })?;
+        self.active_first_lsn.remove(&id);
+        if let Some((sid, wsn)) = sid_wsn {
+            self.sessions.advance(sid, wsn);
+        }
+        self.stats.commits += 1;
+        Ok(ActionResult {
+            done_at: durable,
+            relocations_aborted,
+        })
+    }
+
+    fn install_unconditional(
+        &mut self,
+        kind: PageKind,
+        lpid: Lpid,
+        new_packed: u64,
+        tag_lsn: Lsn,
+    ) -> Result<u64> {
+        Ok(match kind {
+            PageKind::User => self.mapping.set(lpid, new_packed, tag_lsn, &mut self.dev)?,
+            PageKind::MapPage => {
+                let i = PageKind::table_index(lpid) as u32;
+                let old = self.mapping.small_addr(i);
+                self.mapping.mark_page_flushed(i, new_packed);
+                old
+            }
+            PageKind::SmallPage => {
+                let i = PageKind::table_index(lpid) as usize;
+                let old = self.mapping.tiny_addr(i);
+                self.mapping.set_tiny_addr(i, new_packed);
+                old
+            }
+            PageKind::SummaryPage => {
+                let i = PageKind::table_index(lpid) as usize;
+                let old = self.summary.page_addr(i);
+                self.summary.set_page_addr(i, new_packed);
+                old
+            }
+        })
+    }
+
+    fn install_conditional(
+        &mut self,
+        kind: PageKind,
+        lpid: Lpid,
+        expected_old: u64,
+        new_packed: u64,
+        tag_lsn: Lsn,
+    ) -> Result<bool> {
+        Ok(match kind {
+            PageKind::User => {
+                self.mapping
+                    .set_if(lpid, expected_old, new_packed, tag_lsn, &mut self.dev)?
+            }
+            PageKind::MapPage => {
+                let i = PageKind::table_index(lpid) as u32;
+                if self.mapping.small_addr(i) == expected_old {
+                    self.mapping.set_small_addr(i, new_packed);
+                    true
+                } else {
+                    false
+                }
+            }
+            PageKind::SmallPage => {
+                let i = PageKind::table_index(lpid) as usize;
+                if self.mapping.tiny_addr(i) == expected_old {
+                    self.mapping.set_tiny_addr(i, new_packed);
+                    true
+                } else {
+                    false
+                }
+            }
+            PageKind::SummaryPage => {
+                let i = PageKind::table_index(lpid) as usize;
+                if self.summary.page_addr(i) == expected_old {
+                    self.summary.set_page_addr(i, new_packed);
+                    true
+                } else {
+                    false
+                }
+            }
+        })
+    }
+
+    /// Current address of an LPID by its page kind — the table GC consults
+    /// for validity (Section VI-C).
+    pub(crate) fn lookup_addr(&mut self, kind: PageKind, lpid: Lpid) -> Result<u64> {
+        Ok(match kind {
+            PageKind::User => self
+                .mapping
+                .get(lpid, &mut self.dev)?
+                .map(|a| a.pack())
+                .unwrap_or(NULL_PADDR),
+            PageKind::MapPage => self.mapping.small_addr(PageKind::table_index(lpid) as u32),
+            PageKind::SmallPage => self.mapping.tiny_addr(PageKind::table_index(lpid) as usize),
+            PageKind::SummaryPage => self.summary.page_addr(PageKind::table_index(lpid) as usize),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Write provisioning (Section IV-A1)
+    // ------------------------------------------------------------------
+
+    fn provision(&mut self, pages: &[ActionPage], dest: Dest) -> Result<Plan> {
+        let mut plan = Plan {
+            addrs: vec![PhysAddr::new(0, 0, 0, 0); pages.len()],
+            ..Default::default()
+        };
+        match dest {
+            Dest::User => {
+                // Global provisioning: partition into roughly equal chunks,
+                // respecting LPAGE boundaries (Section IV-A1). Channels are
+                // ordered by free capacity so one that GC has not yet
+                // replenished is not starved further.
+                let geo = *self.dev.geometry();
+                let mut order: Vec<u32> = (0..geo.channels).collect();
+                order.rotate_left(self.next_chan_rr as usize % geo.channels as usize);
+                order.sort_by_key(|&c| std::cmp::Reverse(self.chans[c as usize].free.len()));
+                let usable: Vec<u32> = order
+                    .iter()
+                    .copied()
+                    .filter(|&c| {
+                        let ch = &self.chans[c as usize];
+                        !ch.free.is_empty() || ch.user_open.is_some()
+                    })
+                    .collect();
+                let order = if usable.is_empty() { order } else { usable };
+                let total: u64 = pages.iter().map(|p| p.bytes.len() as u64).sum();
+                let target = (total / order.len() as u64).max(geo.wblock_bytes as u64);
+                let mut chunk_start = 0usize;
+                let mut acc = 0u64;
+                let mut chunk_no = 0usize;
+                for i in 0..pages.len() {
+                    acc += pages[i].bytes.len() as u64;
+                    if acc >= target || i + 1 == pages.len() {
+                        let channel = order[chunk_no % order.len()];
+                        self.provision_chunk(channel, pages, chunk_start..i + 1, dest, &mut plan)?;
+                        chunk_no += 1;
+                        chunk_start = i + 1;
+                        acc = 0;
+                    }
+                }
+                self.next_chan_rr = (self.next_chan_rr + 1) % geo.channels;
+            }
+            Dest::GcBin { channel, .. } => {
+                self.provision_chunk(channel, pages, 0..pages.len(), dest, &mut plan)?;
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Channel provisioning: pack a contiguous range of pages into the
+    /// channel's open EBLOCK(s), closing and replacing them as they fill.
+    fn provision_chunk(
+        &mut self,
+        channel: u32,
+        pages: &[ActionPage],
+        range: std::ops::Range<usize>,
+        dest: Dest,
+        plan: &mut Plan,
+    ) -> Result<()> {
+        let geo = *self.dev.geometry();
+        let mut i = range.start;
+        while i < range.end {
+            let mut ob = self.take_cursor(channel, dest)?;
+            let start = ob.frontier;
+            debug_assert_eq!(start % geo.wblock_bytes as u64, 0, "chunk starts at a fresh WBLOCK");
+            let mut cur = start;
+            let first_in_region = i;
+            while i < range.end {
+                let len = pages[i].bytes.len() as u64;
+                if !ob.can_accept(cur - start + len, i - first_in_region + 1, &geo) {
+                    break;
+                }
+                plan.addrs[i] = PhysAddr::new(channel, ob.addr.eblock, cur, len);
+                ob.meta.push((pages[i].kind, pages[i].lpid));
+                if ob.first_lsn.is_none() {
+                    ob.first_lsn = Some(self.wal.next_lsn());
+                }
+                self.usn += 1;
+                cur += len;
+                i += 1;
+            }
+            if cur == start {
+                if ob.frontier == 0 {
+                    // A single page larger than an entire EBLOCK.
+                    self.put_cursor(channel, dest, ob);
+                    return Err(EleosError::PageTooLarge {
+                        len: pages[i].bytes.len(),
+                        max: geo.eblock_bytes() as usize,
+                    });
+                }
+                // Nothing fits in the remainder: close and retry with a
+                // fresh EBLOCK ("the remaining space will be fragmented").
+                self.close_cursor(ob, dest, plan)?;
+                continue;
+            }
+            // Materialize WBLOCK I/O commands for [start, frontier).
+            ob.frontier = cur;
+            let frag = ob.align_frontier(&geo);
+            if frag > 0 {
+                let lsn = self.wal.next_lsn();
+                self.summary.update(ob.addr, lsn, |d| d.avail += frag);
+            }
+            let region_len = (ob.frontier - start) as usize;
+            let mut region = vec![0u8; region_len];
+            for j in first_in_region..i {
+                let off = (plan.addrs[j].offset - start) as usize;
+                region[off..off + pages[j].bytes.len()].copy_from_slice(&pages[j].bytes);
+            }
+            let wb = geo.wblock_bytes as usize;
+            let first_wblock = (start / wb as u64) as u32;
+            for (k, chunk) in region.chunks(wb).enumerate() {
+                let mut buf = chunk.to_vec();
+                buf.resize(wb, 0);
+                plan.ios.push((
+                    WblockAddr::new(channel, ob.addr.eblock, first_wblock + k as u32),
+                    buf,
+                ));
+            }
+            plan.touched.push((ob.addr, start, ob.frontier));
+            // Close if the EBLOCK can no longer accept even a minimal page.
+            if !ob.can_accept(64, 1, &geo) {
+                self.close_cursor(ob, dest, plan)?;
+            } else {
+                self.put_cursor(channel, dest, ob);
+            }
+        }
+        Ok(())
+    }
+
+    fn take_cursor(&mut self, channel: u32, dest: Dest) -> Result<OpenEblock> {
+        let slot = match dest {
+            Dest::User => &mut self.chans[channel as usize].user_open,
+            // With hot/cold separation disabled (ablation), GC relocations
+            // share the user open EBLOCK — cold data mixes back in with
+            // hot, exactly what Section VI-B argues against.
+            Dest::GcBin { .. } if !self.cfg.hot_cold_separation => {
+                &mut self.chans[channel as usize].user_open
+            }
+            Dest::GcBin { victim_ts, .. } => {
+                let bin = self.chans[channel as usize].closest_gc_bin(victim_ts);
+                &mut self.chans[channel as usize].gc_open[bin]
+            }
+        };
+        if let Some(ob) = slot.take() {
+            return Ok(ob);
+        }
+        let addr = self.alloc_eblock(channel)?;
+        let mut ob = OpenEblock::new(addr);
+        if let Dest::GcBin { victim_ts, .. } = dest {
+            ob.bin_ts = Some(victim_ts);
+        }
+        Ok(ob)
+    }
+
+    fn put_cursor(&mut self, channel: u32, dest: Dest, mut ob: OpenEblock) {
+        match dest {
+            Dest::User => self.chans[channel as usize].user_open = Some(ob),
+            Dest::GcBin { .. } if !self.cfg.hot_cold_separation => {
+                self.chans[channel as usize].user_open = Some(ob);
+            }
+            Dest::GcBin { victim_ts, .. } => {
+                ob.bin_ts = Some(victim_ts);
+                let bin = self.chans[channel as usize].closest_gc_bin(victim_ts);
+                self.chans[channel as usize].gc_open[bin] = Some(ob);
+            }
+        }
+    }
+
+    /// Close an open EBLOCK: plan its metadata flush, update its descriptor
+    /// and record the close event (the CloseEblock log record is appended
+    /// by the engine after the Write records).
+    pub(crate) fn close_cursor(&mut self, ob: OpenEblock, dest: Dest, plan: &mut Plan) -> Result<()> {
+        let geo = *self.dev.geometry();
+        let data_wblocks = ob.data_wblocks(&geo);
+        let ts = match dest {
+            Dest::User => self.usn,
+            Dest::GcBin { .. } => ob.bin_ts.unwrap_or(self.usn),
+        };
+        let meta_pages = encode_eblock_meta(&ob.meta, ts, data_wblocks, &geo);
+        let meta_wblocks = meta_pages.len() as u32;
+        debug_assert!(data_wblocks + meta_wblocks <= geo.wblocks_per_eblock);
+        for (k, page) in meta_pages.iter().enumerate() {
+            plan.ios.push((
+                WblockAddr::new(ob.addr.channel, ob.addr.eblock, data_wblocks + k as u32),
+                page.clone(),
+            ));
+        }
+        let lsn = self.wal.next_lsn();
+        let frontier = ob.frontier;
+        self.summary.update(ob.addr, lsn, |d| {
+            d.state = EblockState::Used;
+            d.data_wblocks = data_wblocks as u16;
+            d.meta_wblocks = meta_wblocks as u16;
+            d.ts = ts;
+            // Metadata space and the unprogrammed tail are reclaimable.
+            d.avail += geo.eblock_bytes() - frontier;
+        });
+        plan.closes.push(CloseEvent {
+            addr: ob.addr,
+            ts,
+            data_wblocks: data_wblocks as u16,
+            meta_wblocks: meta_wblocks as u16,
+            meta_pages,
+            entries: ob.meta,
+        });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Write-failure handling (Section VII)
+    // ------------------------------------------------------------------
+
+    /// Abort the failed action and migrate the poisoned EBLOCK's committed
+    /// LPAGEs to new locations. The caller's buffer must be retried.
+    fn handle_write_failure(
+        &mut self,
+        id: ActionId,
+        plan: &Plan,
+        failed: WblockAddr,
+        depth: u8,
+    ) -> Result<ActionResult> {
+        self.stats.aborts += 1;
+        let abort_lsn = self.log_append(&LogRecord::Abort { action: id })?;
+        self.active_first_lsn.remove(&id);
+        let geo = *self.dev.geometry();
+        let failed_eb = failed.eblock;
+        let closed: std::collections::HashSet<EblockAddr> =
+            plan.closes.iter().map(|c| c.addr).collect();
+
+        // Reconcile every touched EBLOCK with the device frontier. EBLOCKs
+        // that this plan *closed* will be repaired to a durable close below
+        // (gaps zero-filled), so their whole provisioned region is garbage;
+        // EBLOCKs still open roll their cursor back to the device frontier,
+        // leaving only the programmed part as garbage.
+        for &(eb, start, end) in &plan.touched {
+            if eb == failed_eb {
+                continue; // migration reclaims the whole EBLOCK
+            }
+            let dev_frontier = self.dev.programmed_wblocks(eb)? as u64 * geo.wblock_bytes as u64;
+            let garbage = if closed.contains(&eb) {
+                end - start
+            } else {
+                self.rollback_cursor_frontier(eb, dev_frontier);
+                dev_frontier.min(end).saturating_sub(start.min(dev_frontier))
+            };
+            if garbage > 0 {
+                self.summary.update(eb, abort_lsn, |d| d.avail += garbage);
+            }
+        }
+        // Closed EBLOCKs whose metadata never hit flash get repaired now.
+        for c in &plan.closes {
+            if c.addr == failed_eb {
+                continue;
+            }
+            self.ensure_close_durable(c)?;
+        }
+        // Migrate the poisoned EBLOCK (Section VII). If it was closed by
+        // this very plan its metadata never reached flash — use the close
+        // event's in-memory copy.
+        match plan.closes.iter().find(|c| c.addr == failed_eb) {
+            Some(c) => self.migrate_with_meta(failed_eb, c.entries.clone(), depth)?,
+            None => self.migrate_eblock(failed_eb, depth)?,
+        }
+        Err(EleosError::ActionAborted)
+    }
+
+    fn rollback_cursor_frontier(&mut self, eb: EblockAddr, dev_frontier: u64) {
+        let ch = &mut self.chans[eb.channel as usize];
+        if let Some(ob) = ch.user_open.as_mut() {
+            if ob.addr == eb {
+                ob.frontier = dev_frontier;
+                return;
+            }
+        }
+        for slot in ch.gc_open.iter_mut().flatten() {
+            if slot.addr == eb {
+                slot.frontier = dev_frontier;
+                return;
+            }
+        }
+    }
+
+    /// Make a planned close durable after an abort interrupted its
+    /// execution: zero-fill any data WBLOCKs the aborted action never
+    /// programmed (their space is already counted as garbage), then program
+    /// whatever metadata WBLOCKs are still missing.
+    fn ensure_close_durable(&mut self, c: &CloseEvent) -> Result<()> {
+        let geo = *self.dev.geometry();
+        let done = self.dev.programmed_wblocks(c.addr)?;
+        let meta_start = c.data_wblocks as u32;
+        if done < meta_start {
+            let zeros = vec![0u8; geo.wblock_bytes as usize];
+            for w in done..meta_start {
+                match self
+                    .dev
+                    .program(WblockAddr::new(c.addr.channel, c.addr.eblock, w), &zeros, &[])
+                {
+                    Ok(_) => {}
+                    Err(FlashError::ProgramFailed(_)) => {
+                        return self.migrate_with_meta(c.addr, c.entries.clone(), 1);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        let done = self.dev.programmed_wblocks(c.addr)?;
+        for (k, page) in c.meta_pages.iter().enumerate() {
+            let w = meta_start + k as u32;
+            if w < done {
+                continue;
+            }
+            match self
+                .dev
+                .program(WblockAddr::new(c.addr.channel, c.addr.eblock, w), page, &[])
+            {
+                Ok(_) => {}
+                Err(FlashError::ProgramFailed(_)) => {
+                    // This EBLOCK is now poisoned too; migrate it as well,
+                    // with the close event's metadata (never durable).
+                    return self.migrate_with_meta(c.addr, c.entries.clone(), 1);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Move all still-valid committed LPAGEs out of `eb`, then erase it.
+    /// Reuses the GC code path (Section VII: "The implementation of EBLOCK
+    /// migration is very similar to GC").
+    pub(crate) fn migrate_eblock(&mut self, eb: EblockAddr, depth: u8) -> Result<()> {
+        // Prefer the open cursor's in-memory metadata (it never reached
+        // flash); fall back to the flash copy for closed EBLOCKs.
+        let mut meta = self.detach_cursor_meta(eb);
+        if meta.is_empty() {
+            meta = self.read_flash_meta(eb).unwrap_or_default();
+        }
+        self.migrate_with_meta(eb, meta, depth)
+    }
+
+    /// Migration core: move all mapping-valid LPAGEs described by `meta`
+    /// out of `eb`, then erase it. `meta` is retained across nested-failure
+    /// retries so committed pages are never dropped.
+    pub(crate) fn migrate_with_meta(
+        &mut self,
+        eb: EblockAddr,
+        meta: Vec<(PageKind, Lpid)>,
+        depth: u8,
+    ) -> Result<()> {
+        if depth > 2 {
+            self.shutdown = true;
+            return Err(EleosError::ShutDown);
+        }
+        self.stats.migrations += 1;
+        let valid = self.scan_valid_pages(eb, &meta)?;
+        if !valid.is_empty() {
+            let victim_ts = self.summary.get(eb).ts;
+            let dest = Dest::GcBin {
+                channel: eb.channel,
+                victim_ts: if victim_ts == 0 { self.usn } else { victim_ts },
+            };
+            match self.run_action(ActionKind::Migrate, None, &valid, dest) {
+                Ok(_) => {}
+                Err(EleosError::ActionAborted) => {
+                    // A nested failure already migrated the nested EBLOCK;
+                    // retry this one with the same metadata.
+                    return self.migrate_with_meta(eb, meta, depth + 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.erase_and_free(eb)?;
+        Ok(())
+    }
+
+    /// Read an EBLOCK's metadata from flash via its descriptor, if present
+    /// and decodable.
+    pub(crate) fn read_flash_meta(&mut self, eb: EblockAddr) -> Option<Vec<(PageKind, Lpid)>> {
+        let geo = *self.dev.geometry();
+        let d = *self.summary.get(eb);
+        let frontier = self.dev.programmed_wblocks(eb).ok()?;
+        let (start, count) = (d.data_wblocks as u32, d.meta_wblocks as u32);
+        if count == 0 || start + count > frontier {
+            return None;
+        }
+        let (bytes, t) = self.dev.read_wblocks(eb, start, count).ok()?;
+        self.dev.clock_mut().wait_until(t);
+        let views: Vec<&[u8]> = bytes.chunks(geo.wblock_bytes as usize).collect();
+        crate::provision::decode_eblock_meta(&views, &geo).map(|m| m.entries)
+    }
+
+    /// Remove and return the in-memory metadata of the open cursor for
+    /// `eb`, if any (otherwise the EBLOCK's metadata must be on flash).
+    pub(crate) fn detach_cursor_meta(&mut self, eb: EblockAddr) -> Vec<(PageKind, Lpid)> {
+        let ch = &mut self.chans[eb.channel as usize];
+        if let Some(ob) = ch.user_open.take() {
+            if ob.addr == eb {
+                return ob.meta;
+            }
+            ch.user_open = Some(ob);
+        }
+        for slot in ch.gc_open.iter_mut() {
+            if let Some(ob) = slot.take() {
+                if ob.addr == eb {
+                    return ob.meta;
+                }
+                *slot = Some(ob);
+            }
+        }
+        Vec::new()
+    }
+
+    /// Newest-to-oldest validity scan over metadata entries (Section VI-C,
+    /// Fig. 6): duplicate LPIDs must be moved only once, and an entry is
+    /// valid only if the mapping still points into this EBLOCK.
+    ///
+    /// The paper deduplicates by requiring monotonically decreasing
+    /// addresses. That invariant breaks when an *aborted* action left a
+    /// metadata entry at a newer position whose LPID still maps to an older
+    /// offset — the stale entry would lower the watermark and cause a later
+    /// valid page to be skipped (and then erased). We therefore deduplicate
+    /// with an explicit seen-set, which subsumes the monotonic rule and is
+    /// immune to aborted-entry poisoning.
+    pub(crate) fn scan_valid_pages(
+        &mut self,
+        eb: EblockAddr,
+        meta: &[(PageKind, Lpid)],
+    ) -> Result<Vec<ActionPage>> {
+        let mut valid_rev: Vec<ActionPage> = Vec::new();
+        let mut seen: std::collections::HashSet<Lpid> = std::collections::HashSet::new();
+        for &(kind, lpid) in meta.iter().rev() {
+            if !seen.insert(lpid) {
+                continue; // obsolete older version of an LPID already seen
+            }
+            let packed = self.lookup_addr(kind, lpid)?;
+            let Some(addr) = PhysAddr::unpack(packed) else {
+                continue;
+            };
+            if addr.eblock_addr() != eb {
+                continue;
+            }
+            let (bytes, t) = self.dev.read_extent(addr.extent())?;
+            self.dev.clock_mut().wait_until(t);
+            valid_rev.push(ActionPage {
+                lpid,
+                kind,
+                bytes,
+                old_addr: packed,
+            });
+        }
+        valid_rev.reverse(); // restore oldest-to-newest write order
+        Ok(valid_rev)
+    }
+
+    /// Erase an EBLOCK, reset its descriptor and return it to the free
+    /// list.
+    pub(crate) fn erase_and_free(&mut self, eb: EblockAddr) -> Result<()> {
+        if let Ok(f) = std::env::var("ELEOS_TRACE_EB") {
+            let parts: Vec<u32> = f.split('/').map(|x| x.parse().unwrap()).collect();
+            if eb.channel == parts[0] && eb.eblock == parts[1] {
+                eprintln!("[trace] erase_and_free ch{}/eb{} next_lsn {}", eb.channel, eb.eblock, self.wal.next_lsn());
+            }
+        }
+        let t = self.dev.erase(eb)?;
+        self.dev.clock_mut().wait_until(t);
+        let lsn = self.log_append(&LogRecord::EraseEblock {
+            channel: eb.channel,
+            eblock: eb.eblock,
+        })?;
+        self.summary.update(eb, lsn, |d| {
+            d.state = EblockState::Free;
+            d.purpose = EblockPurpose::Data;
+            d.erase_count += 1;
+            d.data_wblocks = 0;
+            d.meta_wblocks = 0;
+            d.avail = 0;
+            d.ts = 0;
+            d.max_lsn = 0;
+        });
+        self.chans[eb.channel as usize].free.push_back(eb.eblock);
+        self.stats.gc_erases += 1;
+        Ok(())
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the ELEOS controller.
+
+use crate::types::{Lpid, Wsn};
+use eleos_flash::FlashError;
+use std::fmt;
+
+/// Errors surfaced across the ELEOS I/O interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EleosError {
+    /// Underlying flash operation failed unrecoverably.
+    Flash(FlashError),
+    /// Read of an LPID that has never been written.
+    NotFound(Lpid),
+    /// LPAGE exceeds the configured maximum (fixed-page mode) or the packed
+    /// address length field.
+    PageTooLarge { len: usize, max: usize },
+    /// Empty write buffers are rejected.
+    EmptyBatch,
+    /// Write arrived with a WSN that is not one higher than the session's
+    /// remembered highest WSN (Section III-A2). The write is not applied;
+    /// `highest_acked` is re-ACKed to the host.
+    WsnOutOfOrder { got: Wsn, highest_acked: Wsn },
+    /// Unknown session ID.
+    UnknownSession(u64),
+    /// Application used a reserved (table-page) LPID.
+    ReservedLpid(Lpid),
+    /// No free space could be provisioned even after garbage collection.
+    DeviceFull,
+    /// A write failed and the retry also failed; the user should retry the
+    /// whole buffer (Section IV-B: "the system action is aborted and the
+    /// user must retry writing the buffer").
+    ActionAborted,
+    /// The log could not be written to any of its three provisioned
+    /// locations; ELEOS shuts down writing (Section VIII-A).
+    ShutDown,
+    /// Persistent structure failed validation during recovery.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for EleosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EleosError::Flash(e) => write!(f, "flash error: {e}"),
+            EleosError::NotFound(lpid) => write!(f, "lpid {lpid} not found"),
+            EleosError::PageTooLarge { len, max } => {
+                write!(f, "lpage of {len} bytes exceeds maximum {max}")
+            }
+            EleosError::EmptyBatch => write!(f, "write buffer contains no lpages"),
+            EleosError::WsnOutOfOrder { got, highest_acked } => write!(
+                f,
+                "wsn {got} out of order; highest acked wsn is {highest_acked}"
+            ),
+            EleosError::UnknownSession(sid) => write!(f, "unknown session {sid:#x}"),
+            EleosError::ReservedLpid(lpid) => {
+                write!(f, "lpid {lpid:#x} is in the reserved table-page range")
+            }
+            EleosError::DeviceFull => write!(f, "no space left on device"),
+            EleosError::ActionAborted => write!(f, "system action aborted; retry the buffer"),
+            EleosError::ShutDown => write!(f, "controller shut down after repeated log write failures"),
+            EleosError::Corrupt(what) => write!(f, "corrupt persistent state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EleosError {}
+
+impl From<FlashError> for EleosError {
+    fn from(e: FlashError) -> Self {
+        EleosError::Flash(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, EleosError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from_flash() {
+        let e: EleosError = FlashError::OutOfBounds.into();
+        assert!(e.to_string().contains("flash error"));
+        let e = EleosError::WsnOutOfOrder {
+            got: 5,
+            highest_acked: 2,
+        };
+        assert!(e.to_string().contains('5') && e.to_string().contains('2'));
+    }
+}

@@ -1,0 +1,273 @@
+//! Garbage collection (Section VI).
+//!
+//! GC runs per channel when its free-EBLOCK fraction drops below the
+//! configured watermark. Victims are chosen by the min-cost-decline score
+//! (1 − E) / (E² · age) — smallest first; log EBLOCKs are reclaimed
+//! separately by truncation ("no data movement is needed"). Valid LPAGEs of
+//! a victim are identified by the newest-to-oldest monotonic scan over its
+//! persisted metadata (Fig. 6) and moved through the ordinary system-action
+//! write path with conditional installs.
+
+use crate::config::GcSelection;
+use crate::controller::{Dest, Eleos};
+use crate::error::{EleosError, Result};
+use crate::provision::decode_eblock_meta;
+use crate::summary::{EblockPurpose, EblockState};
+use crate::types::ActionKind;
+use eleos_flash::EblockAddr;
+
+impl Eleos {
+    /// Trigger GC on any channel below the free-space watermark
+    /// (Section IV-A1: "lower than 10%, the channel will be marked for
+    /// GC").
+    pub fn maybe_gc(&mut self) -> Result<()> {
+        if self.shutdown {
+            return Ok(());
+        }
+        let geo = *self.dev.geometry();
+        let total = geo.eblocks_per_channel as f64;
+        for ch in 0..geo.channels {
+            let target = (total * self.cfg.gc_free_target).ceil() as usize;
+            let watermark = (total * self.cfg.gc_free_watermark).ceil() as usize;
+            if self.chans[ch as usize].free.len() >= watermark {
+                continue;
+            }
+            let mut guard = geo.eblocks_per_channel * 2;
+            let mut stalled = 0;
+            while self.chans[ch as usize].free.len() < target && guard > 0 {
+                guard -= 1;
+                let before = self.chans[ch as usize].free.len();
+                if !self.gc_channel_once(ch)? {
+                    break;
+                }
+                if self.chans[ch as usize].free.len() <= before {
+                    stalled += 1;
+                    if stalled >= 3 {
+                        // No net progress (victims too full); stop rather
+                        // than churn.
+                        break;
+                    }
+                } else {
+                    stalled = 0;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// One GC step on a channel: reclaim a truncated log EBLOCK if any,
+    /// else collect the best data victim. Returns false when nothing can
+    /// be reclaimed.
+    pub(crate) fn gc_channel_once(&mut self, channel: u32) -> Result<bool> {
+        // Log EBLOCKs whose records are all below the truncation LSN are
+        // free to erase — "smallest scores because no data movement is
+        // needed" (Section VI-A).
+        let geo = *self.dev.geometry();
+        for eb in 0..geo.eblocks_per_channel {
+            let addr = EblockAddr::new(channel, eb);
+            let d = self.summary.get(addr);
+            if d.state == EblockState::Used
+                && d.purpose == EblockPurpose::Log
+                && d.max_lsn < self.trunc_lsn
+            {
+                self.erase_and_free(addr)?;
+                return Ok(true);
+            }
+        }
+        let Some(victim) = self.select_victim(channel) else {
+            return Ok(false);
+        };
+        self.collect_eblock(victim)?;
+        Ok(true)
+    }
+
+    /// Pick the victim per the configured selection policy.
+    pub(crate) fn select_victim(&self, channel: u32) -> Option<EblockAddr> {
+        let geo = *self.dev.geometry();
+        let now = self.usn;
+        let mut best: Option<(EblockAddr, f64)> = None;
+        for eb in 0..geo.eblocks_per_channel {
+            let addr = EblockAddr::new(channel, eb);
+            let d = self.summary.get(addr);
+            if d.state != EblockState::Used || d.purpose != EblockPurpose::Data {
+                continue;
+            }
+            if d.avail == 0 {
+                continue; // nothing reclaimable
+            }
+            let score = match self.cfg.gc_selection {
+                GcSelection::MinCostDecline => d.gc_score(&geo, now),
+                // Greedy: most available space first -> minimize score.
+                GcSelection::GreedyAvail => -(d.avail as f64),
+                // Oldest first (LLAMA's circular buffer).
+                GcSelection::Oldest => d.ts as f64,
+            };
+            if best.is_none_or(|(_, s)| score < s) {
+                best = Some((addr, score));
+            }
+        }
+        best.map(|(a, _)| a)
+    }
+
+    /// Collect one victim EBLOCK: read its metadata, move valid LPAGEs,
+    /// erase.
+    pub(crate) fn collect_eblock(&mut self, victim: EblockAddr) -> Result<()> {
+        self.stats.gc_collections += 1;
+        let geo = *self.dev.geometry();
+        let d = *self.summary.get(victim);
+        let frontier = self.dev.programmed_wblocks(victim)?;
+        if frontier == 0 {
+            // Descriptor is stale (erase lost in a crash window): self-heal.
+            return self.erase_and_free(victim);
+        }
+        // "only the metadata pages need to be read to decide which data
+        // pages remain valid" (Section IV-A1).
+        let meta_start = d.data_wblocks as u32;
+        let meta_count = d.meta_wblocks as u32;
+        let entries = if meta_count == 0 || meta_start + meta_count > frontier {
+            None
+        } else {
+            let (bytes, t) = self.dev.read_wblocks(victim, meta_start, meta_count)?;
+            self.dev.clock_mut().wait_until(t);
+            let views: Vec<&[u8]> = bytes.chunks(geo.wblock_bytes as usize).collect();
+            decode_eblock_meta(&views, &geo).map(|m| m.entries)
+        };
+        let Some(entries) = entries else {
+            return Err(EleosError::Corrupt("victim eblock metadata unreadable"));
+        };
+        let valid = self.scan_valid_pages(victim, &entries)?;
+        if !valid.is_empty() {
+            self.stats.gc_moved_pages += valid.len() as u64;
+            self.stats.gc_moved_bytes += valid.iter().map(|p| p.bytes.len() as u64).sum::<u64>();
+            let dest = Dest::GcBin {
+                channel: victim.channel,
+                victim_ts: d.ts,
+            };
+            match self.run_action(ActionKind::Gc, None, &valid, dest) {
+                Ok(_) => {}
+                Err(EleosError::ActionAborted) => {
+                    // The GC write itself hit a program failure; the victim
+                    // keeps its data and will be retried by a later GC pass.
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // "Once the system action is successfully committed ... [the old
+        // EBLOCK] can be erased."
+        self.erase_and_free(victim)
+    }
+
+    /// Public hook for applications: run GC and checkpointing housekeeping.
+    pub fn maintenance(&mut self) -> Result<()> {
+        self.maybe_gc()?;
+        if self.wal.bytes_appended - self.last_ckpt_bytes >= self.cfg.ckpt_log_bytes {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Free-EBLOCK count per channel (experiment introspection).
+    pub fn free_eblocks(&self) -> Vec<usize> {
+        self.chans.iter().map(|c| c.free.len()).collect()
+    }
+}
+
+/// Space accounting snapshot (see [`Eleos::space_report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceReport {
+    /// Raw device capacity in bytes.
+    pub total_bytes: u64,
+    /// Bytes in erased (Free) EBLOCKs.
+    pub free_bytes: u64,
+    /// Bytes the summary table counts as reclaimable garbage (AVAIL).
+    pub reclaimable_bytes: u64,
+    /// Bytes consumed by the controller's own structures: the checkpoint
+    /// area and log EBLOCKs.
+    pub overhead_bytes: u64,
+}
+
+impl SpaceReport {
+    /// Upper bound on live data: everything not free, not known garbage,
+    /// not controller overhead.
+    pub fn live_estimate(&self) -> u64 {
+        self.total_bytes
+            .saturating_sub(self.free_bytes)
+            .saturating_sub(self.reclaimable_bytes)
+            .saturating_sub(self.overhead_bytes)
+    }
+}
+
+impl Eleos {
+    /// Aggregate space accounting across the device.
+    pub fn space_report(&self) -> SpaceReport {
+        let geo = *self.dev.geometry();
+        let eb_bytes = geo.eblock_bytes();
+        let mut free = 0u64;
+        let mut reclaimable = 0u64;
+        let mut overhead = 0u64;
+        for ch in 0..geo.channels {
+            for eb in 0..geo.eblocks_per_channel {
+                let d = self.summary.get(EblockAddr::new(ch, eb));
+                match (d.state, d.purpose) {
+                    (EblockState::Free, _) => free += eb_bytes,
+                    (_, EblockPurpose::Log | EblockPurpose::CkptArea) => overhead += eb_bytes,
+                    _ => reclaimable += d.avail.min(eb_bytes),
+                }
+            }
+        }
+        SpaceReport {
+            total_bytes: geo.total_bytes(),
+            free_bytes: free,
+            reclaimable_bytes: reclaimable,
+            overhead_bytes: overhead,
+        }
+    }
+
+    /// Diagnostic report: `(channel, eblock, state, purpose, avail)` for
+    /// every EBLOCK (used by tests and the bench harness).
+    pub fn eblock_report(&self) -> Vec<(u32, u32, String, String, u64)> {
+        let geo = *self.dev.geometry();
+        let mut out = Vec::new();
+        for ch in 0..geo.channels {
+            for eb in 0..geo.eblocks_per_channel {
+                let d = self.summary.get(EblockAddr::new(ch, eb));
+                out.push((
+                    ch,
+                    eb,
+                    format!("{:?}", d.state),
+                    format!("{:?}", d.purpose),
+                    d.avail,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Diagnostic: where an LPID currently lives.
+    pub fn lpid_location(&mut self, lpid: crate::types::Lpid) -> crate::error::Result<Option<crate::phys::PhysAddr>> {
+        self.mapping.get(lpid, &mut self.dev)
+    }
+}
+
+impl Eleos {
+    /// Current log-truncation LSN (diagnostics).
+    pub fn trunc_lsn(&self) -> crate::types::Lsn {
+        self.trunc_lsn
+    }
+
+    /// Diagnostic: `(channel, eblock, max_lsn)` of Used log EBLOCKs.
+    pub fn log_eblock_lsns(&self) -> Vec<(u32, u32, u64)> {
+        let geo = *self.dev.geometry();
+        let mut out = Vec::new();
+        for ch in 0..geo.channels {
+            for eb in 0..geo.eblocks_per_channel {
+                let d = self.summary.get(EblockAddr::new(ch, eb));
+                if d.purpose == EblockPurpose::Log && d.state == EblockState::Used {
+                    out.push((ch, eb, d.max_lsn));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,328 @@
+//! Write provisioning structures (Section IV-A1).
+//!
+//! Each channel keeps a free-EBLOCK list and open-EBLOCK cursors: one for
+//! user writes and several age-binned ones for GC writes (Fig. 3; log
+//! writes are provisioned by the log writer). Provisioning is performed at
+//! WBLOCK granularity: every batch chunk starts at a fresh WBLOCK (the
+//! previously-programmed tail cannot be appended to), and LPAGEs pack
+//! byte-contiguously across WBLOCK boundaries within the chunk.
+//!
+//! An open EBLOCK accumulates *metadata* — the `(type, LPID)` of every
+//! LPAGE written — which is flushed to the WBLOCKs immediately after the
+//! data when the EBLOCK closes, so that it "occurs in the highest order
+//! pages of the EBLOCK and describes all data pages".
+
+use crate::codec::{checksum, Reader, Writer};
+use crate::types::{Lpid, Lsn, PageKind, Usn};
+use eleos_flash::{EblockAddr, Geometry};
+use std::collections::VecDeque;
+
+const META_MAGIC: u64 = 0x454C_454F_534D_4554; // "ELEOSMET"
+const META_HEADER: usize = 48;
+const META_ENTRY: usize = 9; // kind u8 + lpid u64
+
+/// Metadata WBLOCKs needed to describe `n` entries.
+pub fn meta_wblocks_for(n_entries: usize, geo: &Geometry) -> u32 {
+    let per = (geo.wblock_bytes as usize - META_HEADER) / META_ENTRY;
+    n_entries.div_ceil(per).max(1) as u32
+}
+
+/// An open EBLOCK cursor.
+#[derive(Debug, Clone)]
+pub struct OpenEblock {
+    pub addr: EblockAddr,
+    /// First unprovisioned byte. WBLOCK-aligned between batches.
+    pub frontier: u64,
+    /// In-memory metadata: `(kind, LPID)` in write order.
+    pub meta: Vec<(PageKind, Lpid)>,
+    /// LSN of the first write record into this EBLOCK since it was opened —
+    /// truncation factor (3) of Section VIII-B.
+    pub first_lsn: Option<Lsn>,
+    /// For GC destinations: the age bin this EBLOCK approximates
+    /// (Section VI-B).
+    pub bin_ts: Option<Usn>,
+}
+
+impl OpenEblock {
+    pub fn new(addr: EblockAddr) -> Self {
+        OpenEblock {
+            addr,
+            frontier: 0,
+            meta: Vec::new(),
+            first_lsn: None,
+            bin_ts: None,
+        }
+    }
+
+    /// Data WBLOCKs provisioned so far (frontier rounded up).
+    pub fn data_wblocks(&self, geo: &Geometry) -> u32 {
+        (self.frontier.div_ceil(geo.wblock_bytes as u64)) as u32
+    }
+
+    /// Last byte usable for data, leaving room to flush metadata for
+    /// `extra_entries` more LPAGEs.
+    pub fn usable_end(&self, extra_entries: usize, geo: &Geometry) -> u64 {
+        let meta_wb = meta_wblocks_for(self.meta.len() + extra_entries, geo) as u64;
+        geo.eblock_bytes()
+            .saturating_sub(meta_wb * geo.wblock_bytes as u64)
+    }
+
+    /// Can this EBLOCK accept `bytes` more data (plus metadata for
+    /// `entries` more LPAGEs) starting at the current frontier?
+    pub fn can_accept(&self, bytes: u64, entries: usize, geo: &Geometry) -> bool {
+        self.frontier + bytes <= self.usable_end(entries, geo)
+    }
+
+    /// Round the frontier up to the next WBLOCK boundary (end of a batch
+    /// chunk); returns the bytes lost to fragmentation.
+    pub fn align_frontier(&mut self, geo: &Geometry) -> u64 {
+        let wb = geo.wblock_bytes as u64;
+        let aligned = self.frontier.div_ceil(wb) * wb;
+        let frag = aligned - self.frontier;
+        self.frontier = aligned;
+        frag
+    }
+}
+
+/// Serialize an EBLOCK's metadata into WBLOCK-sized pages.
+pub fn encode_eblock_meta(
+    entries: &[(PageKind, Lpid)],
+    ts: Usn,
+    data_wblocks: u32,
+    geo: &Geometry,
+) -> Vec<Vec<u8>> {
+    let per = (geo.wblock_bytes as usize - META_HEADER) / META_ENTRY;
+    let nparts = entries.len().div_ceil(per).max(1);
+    let mut pages = Vec::with_capacity(nparts);
+    for part in 0..nparts {
+        let lo = part * per;
+        let hi = ((part + 1) * per).min(entries.len());
+        let mut body = Vec::with_capacity((hi - lo) * META_ENTRY);
+        for &(kind, lpid) in &entries[lo..hi] {
+            let mut w = Writer(&mut body);
+            w.u8(kind as u8);
+            w.u64(lpid);
+        }
+        let mut page = Vec::with_capacity(geo.wblock_bytes as usize);
+        {
+            let mut w = Writer(&mut page);
+            w.u64(META_MAGIC);
+            w.u16(part as u16);
+            w.u16(nparts as u16);
+            w.u32(entries.len() as u32);
+            w.u32(data_wblocks);
+            w.u64(ts);
+            w.u64(checksum(&body));
+        }
+        page.resize(META_HEADER, 0);
+        page.extend_from_slice(&body);
+        page.resize(geo.wblock_bytes as usize, 0);
+        pages.push(page);
+    }
+    pages
+}
+
+/// Decoded EBLOCK metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EblockMeta {
+    pub entries: Vec<(PageKind, Lpid)>,
+    pub ts: Usn,
+    pub data_wblocks: u32,
+}
+
+/// Decode metadata from consecutive WBLOCK images. `pages` must start at
+/// the first metadata WBLOCK. Returns `None` if the bytes are not valid
+/// metadata (recovery uses this to probe whether an EBLOCK was closed).
+pub fn decode_eblock_meta(pages: &[&[u8]], geo: &Geometry) -> Option<EblockMeta> {
+    let first = pages.first()?;
+    let mut r = Reader::new(first);
+    if r.u64()? != META_MAGIC {
+        return None;
+    }
+    let part0 = r.u16()?;
+    let nparts = r.u16()? as usize;
+    let total = r.u32()? as usize;
+    let data_wblocks = r.u32()?;
+    let ts = r.u64()?;
+    if part0 != 0 || nparts == 0 || nparts > pages.len() {
+        return None;
+    }
+    let per = (geo.wblock_bytes as usize - META_HEADER) / META_ENTRY;
+    let mut entries = Vec::with_capacity(total);
+    for (part, page) in pages.iter().take(nparts).enumerate() {
+        let mut r = Reader::new(page);
+        if r.u64()? != META_MAGIC || r.u16()? != part as u16 || r.u16()? as usize != nparts {
+            return None;
+        }
+        if r.u32()? as usize != total || r.u32()? != data_wblocks || r.u64()? != ts {
+            return None;
+        }
+        let sum = r.u64()?;
+        let lo = part * per;
+        let hi = ((part + 1) * per).min(total);
+        let body_len = (hi - lo) * META_ENTRY;
+        if META_HEADER + body_len > page.len() {
+            return None;
+        }
+        let body = &page[META_HEADER..META_HEADER + body_len];
+        if checksum(body) != sum {
+            return None;
+        }
+        let mut br = Reader::new(body);
+        for _ in lo..hi {
+            let kind = PageKind::from_u8(br.u8()?)?;
+            entries.push((kind, br.u64()?));
+        }
+    }
+    if entries.len() != total {
+        return None;
+    }
+    Some(EblockMeta {
+        entries,
+        ts,
+        data_wblocks,
+    })
+}
+
+/// Per-channel provisioning state.
+#[derive(Debug)]
+pub struct ChannelState {
+    pub channel: u32,
+    /// Erased EBLOCKs ready for use (FIFO for a little wear smoothing).
+    pub free: VecDeque<u32>,
+    /// Open EBLOCK receiving user (and checkpoint) writes.
+    pub user_open: Option<OpenEblock>,
+    /// Age-binned open EBLOCKs receiving GC writes (Section VI-B).
+    pub gc_open: Vec<Option<OpenEblock>>,
+}
+
+impl ChannelState {
+    pub fn new(channel: u32, gc_bins: usize) -> Self {
+        ChannelState {
+            channel,
+            free: VecDeque::new(),
+            user_open: None,
+            gc_open: vec![None; gc_bins],
+        }
+    }
+
+    /// Pick the GC bin whose timestamp is closest to `victim_ts`
+    /// (Section VI-B), preferring an empty bin when none is close.
+    pub fn closest_gc_bin(&self, victim_ts: Usn) -> usize {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, slot) in self.gc_open.iter().enumerate() {
+            match slot {
+                Some(ob) => {
+                    let ts = ob.bin_ts.unwrap_or(0);
+                    let d = ts.abs_diff(victim_ts);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((i, d));
+                    }
+                }
+                None => return i, // an empty bin adopts the victim's age
+            }
+        }
+        best.map(|(i, _)| i).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo() -> Geometry {
+        Geometry::tiny() // 16 KB wblocks, 16 per eblock
+    }
+
+    #[test]
+    fn meta_wblock_sizing() {
+        let g = geo();
+        assert_eq!(meta_wblocks_for(0, &g), 1);
+        assert_eq!(meta_wblocks_for(1, &g), 1);
+        let per = (g.wblock_bytes as usize - META_HEADER) / META_ENTRY;
+        assert_eq!(meta_wblocks_for(per, &g), 1);
+        assert_eq!(meta_wblocks_for(per + 1, &g), 2);
+    }
+
+    #[test]
+    fn meta_encode_decode_roundtrip() {
+        let g = geo();
+        let entries: Vec<(PageKind, Lpid)> = (0..5000u64)
+            .map(|i| {
+                let k = if i % 7 == 0 {
+                    PageKind::MapPage
+                } else {
+                    PageKind::User
+                };
+                (k, i * 3)
+            })
+            .collect();
+        let pages = encode_eblock_meta(&entries, 999, 12, &g);
+        assert!(pages.len() >= 2, "5000 entries need multiple pages");
+        let views: Vec<&[u8]> = pages.iter().map(|p| p.as_slice()).collect();
+        let meta = decode_eblock_meta(&views, &g).unwrap();
+        assert_eq!(meta.entries, entries);
+        assert_eq!(meta.ts, 999);
+        assert_eq!(meta.data_wblocks, 12);
+    }
+
+    #[test]
+    fn meta_decode_rejects_garbage_and_truncation() {
+        let g = geo();
+        let garbage = vec![0u8; g.wblock_bytes as usize];
+        assert!(decode_eblock_meta(&[garbage.as_slice()], &g).is_none());
+        let entries: Vec<(PageKind, Lpid)> = (0..5000u64).map(|i| (PageKind::User, i)).collect();
+        let pages = encode_eblock_meta(&entries, 1, 1, &g);
+        // Only the first part present: incomplete.
+        assert!(decode_eblock_meta(&[pages[0].as_slice()], &g).is_none());
+        // Corrupted body: checksum catches it.
+        let mut bad = pages.clone();
+        bad[1][META_HEADER + 3] ^= 0xFF;
+        let views: Vec<&[u8]> = bad.iter().map(|p| p.as_slice()).collect();
+        assert!(decode_eblock_meta(&views, &g).is_none());
+    }
+
+    #[test]
+    fn open_eblock_frontier_math() {
+        let g = geo();
+        let mut ob = OpenEblock::new(EblockAddr::new(0, 3));
+        assert_eq!(ob.data_wblocks(&g), 0);
+        ob.frontier = 100;
+        assert_eq!(ob.data_wblocks(&g), 1);
+        let frag = ob.align_frontier(&g);
+        assert_eq!(frag, 16 * 1024 - 100);
+        assert_eq!(ob.frontier, 16 * 1024);
+        assert_eq!(ob.align_frontier(&g), 0); // already aligned
+    }
+
+    #[test]
+    fn can_accept_reserves_metadata_space() {
+        let g = geo();
+        let ob = OpenEblock::new(EblockAddr::new(0, 3));
+        let total = g.eblock_bytes();
+        // One metadata WBLOCK is always reserved.
+        assert!(ob.can_accept(total - g.wblock_bytes as u64, 10, &g));
+        assert!(!ob.can_accept(total, 10, &g));
+    }
+
+    #[test]
+    fn gc_bin_selection() {
+        let mut ch = ChannelState::new(0, 3);
+        // All empty: first bin.
+        assert_eq!(ch.closest_gc_bin(100), 0);
+        let mut ob0 = OpenEblock::new(EblockAddr::new(0, 4));
+        ob0.bin_ts = Some(100);
+        ch.gc_open[0] = Some(ob0);
+        // Next empty bin wins over distance computation.
+        assert_eq!(ch.closest_gc_bin(5000), 1);
+        let mut ob1 = OpenEblock::new(EblockAddr::new(0, 5));
+        ob1.bin_ts = Some(5000);
+        ch.gc_open[1] = Some(ob1);
+        let mut ob2 = OpenEblock::new(EblockAddr::new(0, 6));
+        ob2.bin_ts = Some(90);
+        ch.gc_open[2] = Some(ob2);
+        // Full bins: closest timestamp.
+        assert_eq!(ch.closest_gc_bin(94), 2);
+        assert_eq!(ch.closest_gc_bin(4000), 1);
+    }
+}

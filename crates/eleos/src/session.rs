@@ -1,0 +1,165 @@
+//! User sessions and write ordering (Section III-A2).
+//!
+//! Within a session, write buffers carry consecutive WSNs starting at 1.
+//! ELEOS applies buffers in WSN order; a buffer whose WSN is not exactly one
+//! higher than the session's remembered highest WSN is *not applied* and the
+//! highest WSN is re-ACKed — this lets a host redo unACKed writes after a
+//! controller crash without duplicating effects.
+
+use crate::codec::{Reader, Writer};
+use crate::error::{EleosError, Result};
+use crate::types::{Sid, Wsn};
+use std::collections::BTreeMap;
+
+/// Durable state of open sessions.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SessionTable {
+    sessions: BTreeMap<Sid, Wsn>, // sid -> highest applied (ACKed) wsn
+}
+
+impl SessionTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new session (SID assigned by the controller).
+    pub fn open(&mut self, sid: Sid) {
+        self.sessions.insert(sid, 0);
+    }
+
+    pub fn close(&mut self, sid: Sid) {
+        self.sessions.remove(&sid);
+    }
+
+    pub fn is_open(&self, sid: Sid) -> bool {
+        self.sessions.contains_key(&sid)
+    }
+
+    pub fn highest_wsn(&self, sid: Sid) -> Option<Wsn> {
+        self.sessions.get(&sid).copied()
+    }
+
+    /// Validate that `wsn` is the next expected for `sid`. Returns
+    /// `WsnOutOfOrder` carrying the highest applied WSN for re-ACK.
+    pub fn check_next(&self, sid: Sid, wsn: Wsn) -> Result<()> {
+        let cur = self
+            .sessions
+            .get(&sid)
+            .copied()
+            .ok_or(EleosError::UnknownSession(sid))?;
+        if wsn != cur + 1 {
+            return Err(EleosError::WsnOutOfOrder {
+                got: wsn,
+                highest_acked: cur,
+            });
+        }
+        Ok(())
+    }
+
+    /// Record that `wsn` has been applied (called at commit).
+    pub fn advance(&mut self, sid: Sid, wsn: Wsn) {
+        if let Some(cur) = self.sessions.get_mut(&sid) {
+            *cur = (*cur).max(wsn);
+        } else {
+            // Recovery replays commits for sessions opened before the
+            // checkpoint; recreate the entry.
+            self.sessions.insert(sid, wsn);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Serialize the whole table (the checkpoint flushes it "in its
+    /// entirety", Section VIII-B).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut w = Writer(out);
+        w.u32(self.sessions.len() as u32);
+        for (&sid, &wsn) in &self.sessions {
+            w.u64(sid);
+            w.u64(wsn);
+        }
+    }
+
+    pub fn decode(r: &mut Reader<'_>) -> Option<SessionTable> {
+        let n = r.u32()? as usize;
+        let mut sessions = BTreeMap::new();
+        for _ in 0..n {
+            let sid = r.u64()?;
+            let wsn = r.u64()?;
+            sessions.insert(sid, wsn);
+        }
+        Some(SessionTable { sessions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wsn_ordering_enforced() {
+        let mut t = SessionTable::new();
+        t.open(42);
+        assert!(t.check_next(42, 1).is_ok());
+        // Not applied yet, so 2 is still out of order.
+        assert!(matches!(
+            t.check_next(42, 2),
+            Err(EleosError::WsnOutOfOrder {
+                got: 2,
+                highest_acked: 0
+            })
+        ));
+        t.advance(42, 1);
+        assert!(t.check_next(42, 2).is_ok());
+        // Duplicate of an applied WSN is rejected with the highest ACK.
+        assert!(matches!(
+            t.check_next(42, 1),
+            Err(EleosError::WsnOutOfOrder {
+                got: 1,
+                highest_acked: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_session_rejected() {
+        let t = SessionTable::new();
+        assert!(matches!(t.check_next(1, 1), Err(EleosError::UnknownSession(1))));
+    }
+
+    #[test]
+    fn close_removes() {
+        let mut t = SessionTable::new();
+        t.open(7);
+        assert!(t.is_open(7));
+        t.close(7);
+        assert!(!t.is_open(7));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut t = SessionTable::new();
+        t.open(1);
+        t.advance(1, 9);
+        t.open(0xDEADBEEF);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        let t2 = SessionTable::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn advance_recreates_during_replay() {
+        let mut t = SessionTable::new();
+        t.advance(5, 3); // commit replay for a session missing from ckpt
+        assert_eq!(t.highest_wsn(5), Some(3));
+        t.advance(5, 2); // never regresses
+        assert_eq!(t.highest_wsn(5), Some(3));
+    }
+}

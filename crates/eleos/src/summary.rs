@@ -1,0 +1,419 @@
+//! The EBLOCK summary table (Section III-B).
+//!
+//! One descriptor per erase block: state, erase count, WBLOCK counts for
+//! data and metadata, available (reclaimable) space AVAIL, and a timestamp.
+//! A descriptor serializes in under 32 bytes, matching the paper's sizing
+//! argument. The whole table is cached in memory ("can be easily cached"),
+//! but it is *paginated* for durability: each page carries a flush LSN used
+//! to make redo idempotent during recovery (Section VIII-C3), and the
+//! per-page flash addresses form the "small table ... less than 1 KB ...
+//! stored in the checkpoint record".
+
+use crate::codec::{Reader, Writer};
+use crate::phys::NULL_PADDR;
+use crate::types::{Lsn, Usn};
+use eleos_flash::{EblockAddr, Geometry};
+
+/// Lifecycle state of an erase block (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EblockState {
+    /// Erased, holding no data.
+    Free = 0,
+    /// Partially written; owned by an open-EBLOCK cursor.
+    Open = 1,
+    /// Fully written and closed (metadata persisted).
+    Used = 2,
+    /// Permanently retired (endurance exhausted).
+    Bad = 3,
+}
+
+impl EblockState {
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(EblockState::Free),
+            1 => Some(EblockState::Open),
+            2 => Some(EblockState::Used),
+            3 => Some(EblockState::Bad),
+            _ => None,
+        }
+    }
+}
+
+/// What an EBLOCK is used for. Log EBLOCKs are garbage-collected separately
+/// via log truncation (Section VI-A); checkpoint-area EBLOCKs are reserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EblockPurpose {
+    Data = 0,
+    Log = 1,
+    CkptArea = 2,
+}
+
+impl EblockPurpose {
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(EblockPurpose::Data),
+            1 => Some(EblockPurpose::Log),
+            2 => Some(EblockPurpose::CkptArea),
+            _ => None,
+        }
+    }
+}
+
+/// Per-EBLOCK descriptor ("less than 32 bytes": ours serializes to 31).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EblockDesc {
+    pub state: EblockState,
+    pub purpose: EblockPurpose,
+    pub erase_count: u32,
+    /// WBLOCKs holding LPAGE data.
+    pub data_wblocks: u16,
+    /// WBLOCKs holding the closing metadata.
+    pub meta_wblocks: u16,
+    /// Reclaimable bytes: overwritten LPAGEs, aborted provisions,
+    /// fragmentation, truncated log pages, metadata of closed blocks.
+    pub avail: u64,
+    /// Close timestamp (USN); for GC-destination blocks an age-bin
+    /// approximation (Section VI-B).
+    pub ts: Usn,
+    /// For log EBLOCKs: highest LSN stored, enabling truncation reclaim.
+    pub max_lsn: Lsn,
+}
+
+impl Default for EblockDesc {
+    fn default() -> Self {
+        EblockDesc {
+            state: EblockState::Free,
+            purpose: EblockPurpose::Data,
+            erase_count: 0,
+            data_wblocks: 0,
+            meta_wblocks: 0,
+            avail: 0,
+            ts: 0,
+            max_lsn: 0,
+        }
+    }
+}
+
+impl EblockDesc {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let mut w = Writer(out);
+        // State and purpose share one byte; `ts` (data blocks) and `max_lsn`
+        // (log blocks) share one u64 — this keeps the descriptor within the
+        // paper's "less than 32 bytes" budget (25 bytes).
+        w.u8((self.state as u8) | ((self.purpose as u8) << 4));
+        w.u32(self.erase_count);
+        w.u16(self.data_wblocks);
+        w.u16(self.meta_wblocks);
+        w.u64(self.avail);
+        w.u64(match self.purpose {
+            EblockPurpose::Data => self.ts,
+            EblockPurpose::Log | EblockPurpose::CkptArea => self.max_lsn,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<EblockDesc> {
+        let sp = r.u8()?;
+        let state = EblockState::from_u8(sp & 0x0F)?;
+        let purpose = EblockPurpose::from_u8(sp >> 4)?;
+        let erase_count = r.u32()?;
+        let data_wblocks = r.u16()?;
+        let meta_wblocks = r.u16()?;
+        let avail = r.u64()?;
+        let ts_or_lsn = r.u64()?;
+        let (ts, max_lsn) = match purpose {
+            EblockPurpose::Data => (ts_or_lsn, 0),
+            EblockPurpose::Log | EblockPurpose::CkptArea => (0, ts_or_lsn),
+        };
+        Some(EblockDesc {
+            state,
+            purpose,
+            erase_count,
+            data_wblocks,
+            meta_wblocks,
+            avail,
+            ts,
+            max_lsn,
+        })
+    }
+
+    /// Fraction of the EBLOCK that is reclaimable (the paper's `E`).
+    pub fn avail_fraction(&self, geo: &Geometry) -> f64 {
+        self.avail as f64 / geo.eblock_bytes() as f64
+    }
+
+    /// The min-cost-decline GC score (1 − E) / (E² · age), Section VI-A.
+    /// Smaller scores are better victims. Returns `f64::INFINITY` when
+    /// nothing is reclaimable.
+    pub fn gc_score(&self, geo: &Geometry, now: Usn) -> f64 {
+        let e = self.avail_fraction(geo);
+        if e <= 0.0 {
+            return f64::INFINITY;
+        }
+        let age = (now.saturating_sub(self.ts)).max(1) as f64;
+        (1.0 - e) / (e * e * age)
+    }
+}
+
+/// Descriptors per summary-table page.
+pub const DESCS_PER_PAGE: usize = 128;
+
+/// Durability metadata of one summary page.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SummaryPageMeta {
+    /// LSN at which this page was last flushed; guards redo idempotency.
+    pub flush_lsn: Lsn,
+    /// First LSN that dirtied the page since its last flush (0 = clean).
+    pub rec_lsn: Lsn,
+    pub dirty: bool,
+}
+
+/// The complete, memory-resident, paginated summary table.
+#[derive(Debug)]
+pub struct SummaryTable {
+    geo: Geometry,
+    descs: Vec<EblockDesc>,
+    pages: Vec<SummaryPageMeta>,
+    /// Flash address of each summary page (packed PhysAddr); the "<1 KB
+    /// small table" kept in the checkpoint record.
+    page_addrs: Vec<u64>,
+}
+
+impl SummaryTable {
+    pub fn new(geo: Geometry) -> Self {
+        let n = geo.total_eblocks() as usize;
+        let n_pages = n.div_ceil(DESCS_PER_PAGE);
+        SummaryTable {
+            geo,
+            descs: vec![EblockDesc::default(); n],
+            pages: vec![SummaryPageMeta::default(); n_pages],
+            page_addrs: vec![NULL_PADDR; n_pages],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, a: EblockAddr) -> usize {
+        a.flat(&self.geo) as usize
+    }
+
+    #[inline]
+    pub fn page_of(&self, a: EblockAddr) -> usize {
+        self.idx(a) / DESCS_PER_PAGE
+    }
+
+    #[inline]
+    pub fn get(&self, a: EblockAddr) -> &EblockDesc {
+        &self.descs[self.idx(a)]
+    }
+
+    /// Mutate a descriptor, marking its page dirty at `lsn`.
+    pub fn update<R>(&mut self, a: EblockAddr, lsn: Lsn, f: impl FnOnce(&mut EblockDesc) -> R) -> R {
+        let i = self.idx(a);
+        let page = i / DESCS_PER_PAGE;
+        let r = f(&mut self.descs[i]);
+        let pm = &mut self.pages[page];
+        if !pm.dirty {
+            pm.dirty = true;
+            pm.rec_lsn = lsn;
+        }
+        r
+    }
+
+    /// Flush LSN of the page containing `a` (the recovery guard of
+    /// Section VIII-C3).
+    pub fn flush_lsn(&self, a: EblockAddr) -> Lsn {
+        self.pages[self.page_of(a)].flush_lsn
+    }
+
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    pub fn page_meta(&self, page: usize) -> &SummaryPageMeta {
+        &self.pages[page]
+    }
+
+    pub fn page_addr(&self, page: usize) -> u64 {
+        self.page_addrs[page]
+    }
+
+    pub fn set_page_addr(&mut self, page: usize, packed: u64) {
+        self.page_addrs[page] = packed;
+    }
+
+    pub fn page_addrs(&self) -> &[u64] {
+        &self.page_addrs
+    }
+
+    /// Pages currently dirty, with their rec LSNs.
+    pub fn dirty_pages(&self) -> Vec<usize> {
+        (0..self.pages.len()).filter(|&p| self.pages[p].dirty).collect()
+    }
+
+    /// Smallest rec LSN over dirty pages — truncation factor (2) of
+    /// Section VIII-B.
+    pub fn min_rec_lsn(&self) -> Option<Lsn> {
+        self.pages
+            .iter()
+            .filter(|p| p.dirty)
+            .map(|p| p.rec_lsn)
+            .min()
+    }
+
+    /// Serialize one page for flushing. Records the flush LSN.
+    pub fn encode_page(&mut self, page: usize, flush_lsn: Lsn) -> Vec<u8> {
+        let lo = page * DESCS_PER_PAGE;
+        let hi = ((page + 1) * DESCS_PER_PAGE).min(self.descs.len());
+        let mut out = Vec::with_capacity(8 + 4 + (hi - lo) * 31);
+        {
+            let mut w = Writer(&mut out);
+            w.u64(flush_lsn);
+            w.u32((hi - lo) as u32);
+        }
+        for d in &self.descs[lo..hi] {
+            d.encode(&mut out);
+        }
+        let pm = &mut self.pages[page];
+        pm.flush_lsn = flush_lsn;
+        pm.dirty = false;
+        pm.rec_lsn = 0;
+        out
+    }
+
+    /// Load one page from its flushed bytes (recovery).
+    pub fn decode_page(&mut self, page: usize, bytes: &[u8]) -> Option<()> {
+        let mut r = Reader::new(bytes);
+        let flush_lsn = r.u64()?;
+        let n = r.u32()? as usize;
+        let lo = page * DESCS_PER_PAGE;
+        if lo + n > self.descs.len() {
+            return None;
+        }
+        for i in 0..n {
+            self.descs[lo + i] = EblockDesc::decode(&mut r)?;
+        }
+        self.pages[page] = SummaryPageMeta {
+            flush_lsn,
+            rec_lsn: 0,
+            dirty: false,
+        };
+        Some(())
+    }
+
+    /// All EBLOCKs on `channel` in a given state (used by GC selection and
+    /// free-list rebuilding).
+    pub fn channel_eblocks_in_state(&self, channel: u32, state: EblockState) -> Vec<u32> {
+        let geo = self.geo;
+        (0..geo.eblocks_per_channel)
+            .filter(|&eb| self.get(EblockAddr::new(channel, eb)).state == state)
+            .collect()
+    }
+
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SummaryTable {
+        SummaryTable::new(Geometry::tiny())
+    }
+
+    #[test]
+    fn descriptor_fits_32_bytes() {
+        let mut buf = Vec::new();
+        EblockDesc::default().encode(&mut buf);
+        assert!(buf.len() <= 32, "descriptor is {} bytes", buf.len());
+    }
+
+    #[test]
+    fn update_marks_page_dirty_with_rec_lsn() {
+        let mut t = table();
+        let a = EblockAddr::new(0, 0);
+        assert!(t.min_rec_lsn().is_none());
+        t.update(a, 42, |d| d.avail += 100);
+        assert_eq!(t.get(a).avail, 100);
+        assert_eq!(t.min_rec_lsn(), Some(42));
+        // Second update does not move rec_lsn backwards.
+        t.update(a, 50, |d| d.avail += 1);
+        assert_eq!(t.min_rec_lsn(), Some(42));
+    }
+
+    #[test]
+    fn encode_decode_page_roundtrip() {
+        let mut t = table();
+        let a = EblockAddr::new(1, 3);
+        t.update(a, 7, |d| {
+            d.state = EblockState::Used;
+            d.purpose = EblockPurpose::Log;
+            d.avail = 12345;
+            d.erase_count = 3;
+            d.data_wblocks = 14;
+            d.meta_wblocks = 2;
+            d.max_lsn = 1_000_000; // log blocks persist max_lsn, not ts
+        });
+        let b = EblockAddr::new(1, 4); // a data block persists ts
+        t.update(b, 8, |d| {
+            d.state = EblockState::Used;
+            d.ts = 424_242;
+            d.avail = 1;
+        });
+        let page = t.page_of(a);
+        let bytes = t.encode_page(page, 77);
+        assert!(!t.page_meta(page).dirty);
+        assert_eq!(t.page_meta(page).flush_lsn, 77);
+
+        let mut t2 = table();
+        t2.decode_page(page, &bytes).unwrap();
+        assert_eq!(*t2.get(a), *t.get(a));
+        assert_eq!(*t2.get(b), *t.get(b));
+        assert_eq!(t2.get(b).ts, 424_242);
+        assert_eq!(t2.page_meta(page).flush_lsn, 77);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let mut t = table();
+        let bytes = t.encode_page(0, 1);
+        let mut t2 = table();
+        assert!(t2.decode_page(0, &bytes[..bytes.len() - 5]).is_none());
+    }
+
+    #[test]
+    fn gc_score_prefers_empty_and_old() {
+        let geo = Geometry::tiny();
+        let garbage_heavy = EblockDesc {
+            avail: geo.eblock_bytes() * 9 / 10,
+            ts: 100,
+            ..Default::default()
+        };
+        let half = EblockDesc {
+            avail: geo.eblock_bytes() / 2,
+            ts: 100,
+            ..Default::default()
+        };
+        let now = 200;
+        assert!(garbage_heavy.gc_score(&geo, now) < half.gc_score(&geo, now));
+        // Same avail, older block scores lower (preferred).
+        let mut old = half;
+        old.ts = 0;
+        assert!(old.gc_score(&geo, now) < half.gc_score(&geo, now));
+        // Nothing reclaimable -> infinity.
+        assert_eq!(EblockDesc::default().gc_score(&geo, now), f64::INFINITY);
+    }
+
+    #[test]
+    fn state_listing_per_channel() {
+        let mut t = table();
+        t.update(EblockAddr::new(2, 5), 1, |d| d.state = EblockState::Used);
+        t.update(EblockAddr::new(2, 6), 1, |d| d.state = EblockState::Open);
+        let used = t.channel_eblocks_in_state(2, EblockState::Used);
+        assert_eq!(used, vec![5]);
+        let free = t.channel_eblocks_in_state(2, EblockState::Free);
+        assert_eq!(free.len(), 14);
+    }
+}

@@ -1,0 +1,7 @@
+//! Write-ahead logging (Sections IV-A3 and VIII-A).
+
+pub mod record;
+pub mod writer;
+
+pub use record::LogRecord;
+pub use writer::{LogWriter, PageDirEntry, ScanResult, SealOutcome};

@@ -1,0 +1,294 @@
+//! Log record types (Sections IV-A3, VIII).
+//!
+//! ELEOS logs only **redo** information (no-steal policy): changes to the
+//! mapping table and EBLOCK summary table. LPAGE contents are never logged —
+//! a system action commits only after its LPAGE writes are durable.
+//!
+//! Records do not embed their LSN; a log page stores the LSN of its first
+//! record and the rest follow consecutively.
+
+use crate::codec::{Reader, Writer};
+use crate::types::{ActionId, ActionKind, Lpid, Sid, Usn, Wsn};
+
+/// All record kinds written to the recovery log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// An LPAGE write: LPID plus its new packed physical address. For GC and
+    /// migration actions, `old_addr` carries the address being relocated
+    /// from (needed for the conditional install during recovery,
+    /// Section VIII-C2); for user/checkpoint writes it is `NULL_PADDR`.
+    Write {
+        action: ActionId,
+        akind: ActionKind,
+        lpid: Lpid,
+        new_addr: u64,
+        old_addr: u64,
+    },
+    /// Commit of a system action; forced before installing addresses.
+    /// `sid`/`wsn` are zero for unordered and internal actions.
+    Commit { action: ActionId, sid: Sid, wsn: Wsn },
+    /// Explicit abort (e.g. write failure). An action with neither commit
+    /// nor abort is implicitly aborted by recovery.
+    Abort { action: ActionId },
+    /// An EBLOCK was closed: its metadata is persisted at
+    /// `[data_wblocks, data_wblocks + meta_wblocks)` (Section VIII-C,
+    /// Case 2).
+    CloseEblock {
+        channel: u32,
+        eblock: u32,
+        ts: Usn,
+        data_wblocks: u16,
+        meta_wblocks: u16,
+    },
+    /// Lazily-written old address of an overwritten LPID, for AVAIL
+    /// recovery (Section VIII-C2).
+    OldAddr {
+        action: ActionId,
+        lpid: Lpid,
+        old_addr: u64,
+    },
+    /// A GC relocation that was conditionally aborted at install time; the
+    /// *new* address is garbage (Section VIII-C2: "only aborted LPIDs are
+    /// logged because old addresses have already been logged").
+    GcInstallAborted {
+        action: ActionId,
+        lpid: Lpid,
+        new_addr: u64,
+    },
+    /// No more AVAIL records will follow for this action.
+    Done { action: ActionId },
+    /// A session was opened with this controller-assigned SID.
+    SessionOpen { sid: Sid },
+    /// A session was closed by the user.
+    SessionClose { sid: Sid },
+    /// An EBLOCK was erased (GC reclaim) and returned to the free list.
+    /// Written after the erase; recovery also self-heals the un-logged
+    /// crash window by probing the device frontier.
+    EraseEblock { channel: u32, eblock: u32 },
+    /// An EBLOCK was reserved as a log forward-pointer standby. Without
+    /// this record a recovered summary could keep a stale purpose for the
+    /// block (log placement itself is never logged).
+    LogStandby { channel: u32, eblock: u32 },
+}
+
+fn akind_to_u8(k: ActionKind) -> u8 {
+    match k {
+        ActionKind::User => 0,
+        ActionKind::Gc => 1,
+        ActionKind::Ckpt => 2,
+        ActionKind::Migrate => 3,
+    }
+}
+
+fn akind_from_u8(b: u8) -> Option<ActionKind> {
+    match b {
+        0 => Some(ActionKind::User),
+        1 => Some(ActionKind::Gc),
+        2 => Some(ActionKind::Ckpt),
+        3 => Some(ActionKind::Migrate),
+        _ => None,
+    }
+}
+
+impl LogRecord {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut w = Writer(out);
+        match self {
+            LogRecord::Write {
+                action,
+                akind,
+                lpid,
+                new_addr,
+                old_addr,
+            } => {
+                w.u8(1);
+                w.u64(*action);
+                w.u8(akind_to_u8(*akind));
+                w.u64(*lpid);
+                w.u64(*new_addr);
+                w.u64(*old_addr);
+            }
+            LogRecord::Commit { action, sid, wsn } => {
+                w.u8(2);
+                w.u64(*action);
+                w.u64(*sid);
+                w.u64(*wsn);
+            }
+            LogRecord::Abort { action } => {
+                w.u8(3);
+                w.u64(*action);
+            }
+            LogRecord::CloseEblock {
+                channel,
+                eblock,
+                ts,
+                data_wblocks,
+                meta_wblocks,
+            } => {
+                w.u8(4);
+                w.u32(*channel);
+                w.u32(*eblock);
+                w.u64(*ts);
+                w.u16(*data_wblocks);
+                w.u16(*meta_wblocks);
+            }
+            LogRecord::OldAddr {
+                action,
+                lpid,
+                old_addr,
+            } => {
+                w.u8(5);
+                w.u64(*action);
+                w.u64(*lpid);
+                w.u64(*old_addr);
+            }
+            LogRecord::GcInstallAborted {
+                action,
+                lpid,
+                new_addr,
+            } => {
+                w.u8(6);
+                w.u64(*action);
+                w.u64(*lpid);
+                w.u64(*new_addr);
+            }
+            LogRecord::Done { action } => {
+                w.u8(7);
+                w.u64(*action);
+            }
+            LogRecord::SessionOpen { sid } => {
+                w.u8(8);
+                w.u64(*sid);
+            }
+            LogRecord::SessionClose { sid } => {
+                w.u8(9);
+                w.u64(*sid);
+            }
+            LogRecord::EraseEblock { channel, eblock } => {
+                w.u8(10);
+                w.u32(*channel);
+                w.u32(*eblock);
+            }
+            LogRecord::LogStandby { channel, eblock } => {
+                w.u8(11);
+                w.u32(*channel);
+                w.u32(*eblock);
+            }
+        }
+    }
+
+    pub fn decode(r: &mut Reader<'_>) -> Option<LogRecord> {
+        Some(match r.u8()? {
+            1 => LogRecord::Write {
+                action: r.u64()?,
+                akind: akind_from_u8(r.u8()?)?,
+                lpid: r.u64()?,
+                new_addr: r.u64()?,
+                old_addr: r.u64()?,
+            },
+            2 => LogRecord::Commit {
+                action: r.u64()?,
+                sid: r.u64()?,
+                wsn: r.u64()?,
+            },
+            3 => LogRecord::Abort { action: r.u64()? },
+            4 => LogRecord::CloseEblock {
+                channel: r.u32()?,
+                eblock: r.u32()?,
+                ts: r.u64()?,
+                data_wblocks: r.u16()?,
+                meta_wblocks: r.u16()?,
+            },
+            5 => LogRecord::OldAddr {
+                action: r.u64()?,
+                lpid: r.u64()?,
+                old_addr: r.u64()?,
+            },
+            6 => LogRecord::GcInstallAborted {
+                action: r.u64()?,
+                lpid: r.u64()?,
+                new_addr: r.u64()?,
+            },
+            7 => LogRecord::Done { action: r.u64()? },
+            8 => LogRecord::SessionOpen { sid: r.u64()? },
+            9 => LogRecord::SessionClose { sid: r.u64()? },
+            10 => LogRecord::EraseEblock {
+                channel: r.u32()?,
+                eblock: r.u32()?,
+            },
+            11 => LogRecord::LogStandby {
+                channel: r.u32()?,
+                eblock: r.u32()?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rec: LogRecord) {
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(LogRecord::decode(&mut r), Some(rec));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(LogRecord::Write {
+            action: 1,
+            akind: ActionKind::Gc,
+            lpid: 42,
+            new_addr: 0xABCD,
+            old_addr: 0x1234,
+        });
+        roundtrip(LogRecord::Commit {
+            action: 2,
+            sid: 77,
+            wsn: 3,
+        });
+        roundtrip(LogRecord::Abort { action: 3 });
+        roundtrip(LogRecord::CloseEblock {
+            channel: 1,
+            eblock: 9,
+            ts: 1000,
+            data_wblocks: 14,
+            meta_wblocks: 2,
+        });
+        roundtrip(LogRecord::OldAddr {
+            action: 4,
+            lpid: 5,
+            old_addr: 9,
+        });
+        roundtrip(LogRecord::GcInstallAborted {
+            action: 5,
+            lpid: 6,
+            new_addr: 10,
+        });
+        roundtrip(LogRecord::Done { action: 6 });
+        roundtrip(LogRecord::SessionOpen { sid: 0xFEED });
+        roundtrip(LogRecord::SessionClose { sid: 0xFEED });
+        roundtrip(LogRecord::EraseEblock { channel: 3, eblock: 12 });
+        roundtrip(LogRecord::LogStandby { channel: 1, eblock: 2 });
+    }
+
+    #[test]
+    fn bad_tag_decodes_none() {
+        let mut r = Reader::new(&[200, 0, 0]);
+        assert_eq!(LogRecord::decode(&mut r), None);
+    }
+
+    #[test]
+    fn sequence_of_records_decodes_in_order() {
+        let mut buf = Vec::new();
+        LogRecord::Done { action: 1 }.encode(&mut buf);
+        LogRecord::Abort { action: 2 }.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(LogRecord::decode(&mut r), Some(LogRecord::Done { action: 1 }));
+        assert_eq!(LogRecord::decode(&mut r), Some(LogRecord::Abort { action: 2 }));
+    }
+}

@@ -1,0 +1,169 @@
+//! Focused tests on the write-provisioning and read-path behaviours of
+//! Section IV/V: channel distribution, WBLOCK packing, cross-WBLOCK pages,
+//! fragmentation accounting, and exact-slice reads.
+
+use eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos_flash::{CostProfile, FlashDevice, Geometry};
+
+fn dev() -> FlashDevice {
+    FlashDevice::new(Geometry::tiny(), CostProfile::unit())
+}
+
+fn cfg() -> EleosConfig {
+    EleosConfig::test_small()
+}
+
+/// A large batch must spread across all channels (global provisioning,
+/// Section IV-A1: "distribute user writes across all channels as evenly as
+/// possible").
+#[test]
+fn large_batch_spreads_across_channels() {
+    let mut ssd = Eleos::format(dev(), cfg()).unwrap();
+    let mut batch = WriteBatch::new(PageMode::Variable);
+    // ~1 MB across 4 channels of 16 KB WBLOCKs.
+    for lpid in 0..256u64 {
+        batch.put(lpid, &vec![lpid as u8; 4000]).unwrap();
+    }
+    ssd.write(&batch).unwrap();
+    let mut channels_touched = std::collections::HashSet::new();
+    for lpid in 0..256u64 {
+        let a = ssd.lpid_location(lpid).unwrap().unwrap();
+        channels_touched.insert(a.channel);
+    }
+    assert_eq!(
+        channels_touched.len(),
+        4,
+        "all 4 channels must receive data: {channels_touched:?}"
+    );
+}
+
+/// A single LPAGE larger than a WBLOCK is stored contiguously within one
+/// EBLOCK, spanning WBLOCK boundaries (Fig. 4).
+#[test]
+fn lpage_spans_wblocks_within_one_eblock() {
+    let mut ssd = Eleos::format(dev(), cfg()).unwrap();
+    let big = vec![0xCD; 40_000]; // > 2 WBLOCKs of 16 KB
+    let mut batch = WriteBatch::new(PageMode::Variable);
+    batch.put(1, &big).unwrap();
+    ssd.write(&batch).unwrap();
+    let a = ssd.lpid_location(1).unwrap().unwrap();
+    assert!(a.len >= 40_000 + 16);
+    // Stored within one EBLOCK (the mapping encodes a single extent).
+    assert_eq!(ssd.read(1).unwrap(), big);
+}
+
+/// Pages in one chunk pack back-to-back; the *next* batch starts at a
+/// fresh WBLOCK (provisioning is WBLOCK-granular between batches).
+#[test]
+fn batches_start_at_fresh_wblocks() {
+    let mut ssd = Eleos::format(dev(), cfg()).unwrap();
+    let geo = *ssd.device().geometry();
+    let mut b1 = WriteBatch::new(PageMode::Variable);
+    b1.put(1, &[1u8; 100]).unwrap();
+    b1.put(2, &[2u8; 100]).unwrap();
+    ssd.write(&b1).unwrap();
+    let a1 = ssd.lpid_location(1).unwrap().unwrap();
+    let a2 = ssd.lpid_location(2).unwrap().unwrap();
+    // Same batch, same chunk: contiguous.
+    assert_eq!(a2.offset, a1.offset + a1.len);
+    let mut b2 = WriteBatch::new(PageMode::Variable);
+    b2.put(3, &[3u8; 100]).unwrap();
+    ssd.write(&b2).unwrap();
+    let a3 = ssd.lpid_location(3).unwrap().unwrap();
+    // Next batch: WBLOCK-aligned start (possibly a different channel).
+    assert_eq!(
+        a3.offset % geo.wblock_bytes as u64,
+        0,
+        "next batch must start at a fresh WBLOCK, got offset {}",
+        a3.offset
+    );
+}
+
+/// Reads return exactly the payload — never padding, never adjacent pages
+/// (Section V's security point).
+#[test]
+fn reads_return_exact_slices() {
+    let mut ssd = Eleos::format(dev(), cfg()).unwrap();
+    let mut batch = WriteBatch::new(PageMode::Variable);
+    batch.put(1, &[0xAA; 65]).unwrap(); // forces padding to 128
+    batch.put(2, &[0xBB; 100]).unwrap(); // physically adjacent
+    ssd.write(&batch).unwrap();
+    let r1 = ssd.read(1).unwrap();
+    assert_eq!(r1.len(), 65);
+    assert!(r1.iter().all(|&b| b == 0xAA));
+    let r2 = ssd.read(2).unwrap();
+    assert_eq!(r2.len(), 100);
+    assert!(r2.iter().all(|&b| b == 0xBB));
+}
+
+/// Unaligned reads transfer covering RBLOCKs but the host sees no extra
+/// bytes; read accounting reflects the RBLOCK amplification (Fig. 5).
+#[test]
+fn read_amplification_counted_at_device() {
+    let mut ssd = Eleos::format(dev(), cfg()).unwrap();
+    let mut batch = WriteBatch::new(PageMode::Variable);
+    // 6 KB page: covers 2–3 RBLOCKs of 4 KB.
+    batch.put(1, &vec![7u8; 6000]).unwrap();
+    ssd.write(&batch).unwrap();
+    let before = ssd.device().stats().bytes_read;
+    let got = ssd.read(1).unwrap();
+    assert_eq!(got.len(), 6000);
+    let transferred = ssd.device().stats().bytes_read - before;
+    assert!(transferred >= 8192, "at least 2 RBLOCKs: {transferred}");
+    assert_eq!(transferred % 4096, 0, "device reads whole RBLOCKs");
+}
+
+/// Fixed-page mode consumes exactly page-size flash per LPAGE regardless
+/// of payload; variable mode consumes the aligned size — the core of the
+/// fragmentation claim.
+#[test]
+fn stored_footprint_by_mode() {
+    for (mode, expect_stored) in [
+        (PageMode::Variable, 1920u64), // 1900 + 16 header = 1916 -> align64 = 1920
+        (PageMode::Fixed(4096), 4096),
+    ] {
+        let mut config = cfg();
+        config.page_mode = mode;
+        let mut ssd = Eleos::format(dev(), config).unwrap();
+        let mut batch = WriteBatch::new(mode);
+        batch.put(1, &[9u8; 1900]).unwrap();
+        ssd.write(&batch).unwrap();
+        assert_eq!(ssd.stored_len(1).unwrap(), Some(expect_stored), "{mode:?}");
+    }
+}
+
+/// An LPAGE exceeding every EBLOCK must be rejected, not wedged.
+#[test]
+fn oversized_lpage_rejected_cleanly() {
+    let mut ssd = Eleos::format(dev(), cfg()).unwrap();
+    // Tiny geometry EBLOCK = 256 KB; ask for 300 KB.
+    let mut batch = WriteBatch::new(PageMode::Variable);
+    batch.put(1, &vec![0u8; 300 * 1024]).unwrap();
+    assert!(ssd.write(&batch).is_err());
+    // The controller remains usable.
+    let mut ok = WriteBatch::new(PageMode::Variable);
+    ok.put(2, b"fine").unwrap();
+    ssd.write(&ok).unwrap();
+    assert_eq!(ssd.read(2).unwrap(), b"fine");
+}
+
+/// Overwrites accumulate AVAIL on the old EBLOCKs (the GC currency).
+#[test]
+fn overwrites_accrue_reclaimable_space() {
+    let mut ssd = Eleos::format(dev(), cfg()).unwrap();
+    for round in 0..6u64 {
+        let mut batch = WriteBatch::new(PageMode::Variable);
+        for lpid in 0..32u64 {
+            batch.put(lpid, &vec![round as u8; 2000]).unwrap();
+        }
+        ssd.write(&batch).unwrap();
+    }
+    let avail: u64 = ssd
+        .eblock_report()
+        .iter()
+        .filter(|(_, _, _, purpose, _)| purpose == "Data")
+        .map(|(_, _, _, _, avail)| avail)
+        .sum();
+    // 5 obsolete generations of ~64 KB stored each.
+    assert!(avail > 5 * 32 * 2000, "reclaimable space {avail}");
+}

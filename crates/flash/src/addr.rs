@@ -1,0 +1,166 @@
+//! Physical addresses on the flash array.
+
+use crate::geometry::Geometry;
+
+/// Identifies one erase block: `(channel, eblock-within-channel)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EblockAddr {
+    pub channel: u32,
+    pub eblock: u32,
+}
+
+impl EblockAddr {
+    pub fn new(channel: u32, eblock: u32) -> Self {
+        EblockAddr { channel, eblock }
+    }
+
+    /// Flat index across the whole device (channel-major).
+    #[inline]
+    pub fn flat(&self, geo: &Geometry) -> u64 {
+        self.channel as u64 * geo.eblocks_per_channel as u64 + self.eblock as u64
+    }
+
+    /// Inverse of [`EblockAddr::flat`].
+    #[inline]
+    pub fn from_flat(geo: &Geometry, flat: u64) -> Self {
+        EblockAddr {
+            channel: (flat / geo.eblocks_per_channel as u64) as u32,
+            eblock: (flat % geo.eblocks_per_channel as u64) as u32,
+        }
+    }
+
+    #[inline]
+    pub fn in_bounds(&self, geo: &Geometry) -> bool {
+        self.channel < geo.channels && self.eblock < geo.eblocks_per_channel
+    }
+}
+
+/// Identifies one write page (WBLOCK) within an erase block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WblockAddr {
+    pub eblock: EblockAddr,
+    pub wblock: u32,
+}
+
+impl WblockAddr {
+    pub fn new(channel: u32, eblock: u32, wblock: u32) -> Self {
+        WblockAddr {
+            eblock: EblockAddr::new(channel, eblock),
+            wblock,
+        }
+    }
+
+    #[inline]
+    pub fn channel(&self) -> u32 {
+        self.eblock.channel
+    }
+
+    /// Byte offset of this WBLOCK from the start of its EBLOCK.
+    #[inline]
+    pub fn byte_offset(&self, geo: &Geometry) -> u64 {
+        self.wblock as u64 * geo.wblock_bytes as u64
+    }
+
+    #[inline]
+    pub fn in_bounds(&self, geo: &Geometry) -> bool {
+        self.eblock.in_bounds(geo) && self.wblock < geo.wblocks_per_eblock
+    }
+}
+
+/// A contiguous byte extent within a single EBLOCK, RBLOCK-addressed reads
+/// are derived from it. This is the device-level counterpart of the FTL's
+/// packed physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByteExtent {
+    pub eblock: EblockAddr,
+    /// Byte offset from the start of the EBLOCK.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl ByteExtent {
+    pub fn new(eblock: EblockAddr, offset: u64, len: u64) -> Self {
+        ByteExtent { eblock, offset, len }
+    }
+
+    /// First RBLOCK (within the EBLOCK) covered by the extent.
+    #[inline]
+    pub fn first_rblock(&self, geo: &Geometry) -> u32 {
+        (self.offset / geo.rblock_bytes as u64) as u32
+    }
+
+    /// Number of RBLOCKs the extent touches. An unaligned extent touches the
+    /// partial RBLOCKs at both ends (Section V: "some extra data may be
+    /// transferred").
+    #[inline]
+    pub fn rblock_count(&self, geo: &Geometry) -> u32 {
+        if self.len == 0 {
+            return 0;
+        }
+        let rb = geo.rblock_bytes as u64;
+        let first = self.offset / rb;
+        let last = (self.offset + self.len - 1) / rb;
+        (last - first + 1) as u32
+    }
+
+    /// Offset of the extent's first byte within its first RBLOCK.
+    #[inline]
+    pub fn start_in_rblock(&self, geo: &Geometry) -> u32 {
+        (self.offset % geo.rblock_bytes as u64) as u32
+    }
+
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    #[inline]
+    pub fn in_bounds(&self, geo: &Geometry) -> bool {
+        self.eblock.in_bounds(geo) && self.end() <= geo.eblock_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_roundtrip() {
+        let geo = Geometry::tiny();
+        for ch in 0..geo.channels {
+            for eb in 0..geo.eblocks_per_channel {
+                let a = EblockAddr::new(ch, eb);
+                assert_eq!(EblockAddr::from_flat(&geo, a.flat(&geo)), a);
+            }
+        }
+    }
+
+    #[test]
+    fn extent_rblock_math() {
+        let geo = Geometry::tiny(); // 4 KB RBLOCKs
+        let eb = EblockAddr::new(0, 0);
+        // Fully aligned single RBLOCK.
+        let e = ByteExtent::new(eb, 0, 4096);
+        assert_eq!(e.first_rblock(&geo), 0);
+        assert_eq!(e.rblock_count(&geo), 1);
+        assert_eq!(e.start_in_rblock(&geo), 0);
+        // Unaligned, spanning three RBLOCKs like Fig. 5 of the paper.
+        let e = ByteExtent::new(eb, 4096 + 100, 8192);
+        assert_eq!(e.first_rblock(&geo), 1);
+        assert_eq!(e.rblock_count(&geo), 3);
+        assert_eq!(e.start_in_rblock(&geo), 100);
+        // Empty extent touches nothing.
+        let e = ByteExtent::new(eb, 64, 0);
+        assert_eq!(e.rblock_count(&geo), 0);
+    }
+
+    #[test]
+    fn wblock_byte_offset() {
+        let geo = Geometry::tiny();
+        let w = WblockAddr::new(1, 2, 3);
+        assert_eq!(w.byte_offset(&geo), 3 * 16 * 1024);
+        assert!(w.in_bounds(&geo));
+        assert!(!WblockAddr::new(9, 0, 0).in_bounds(&geo));
+    }
+}

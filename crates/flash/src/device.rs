@@ -1,0 +1,407 @@
+//! The emulated Open-Channel SSD flash device.
+//!
+//! Exposes the raw operations a real OCSSD gives the controller firmware —
+//! program a WBLOCK, read RBLOCKs, erase an EBLOCK — while enforcing NAND
+//! semantics (erase-before-write, in-order programming within an EBLOCK,
+//! program failures that poison the rest of the EBLOCK) and charging
+//! latencies on the [`SimClock`].
+
+use crate::addr::{ByteExtent, EblockAddr, WblockAddr};
+use crate::clock::{Nanos, SimClock};
+use crate::cost::CostProfile;
+use crate::eblock::EblockSim;
+use crate::error::{FlashError, Result};
+use crate::fault::FaultInjector;
+use crate::geometry::Geometry;
+use crate::stats::FlashStats;
+
+/// The emulated flash array plus its clock, cost model and fault injector.
+///
+/// The device survives controller "crashes": an FTL under test drops its
+/// volatile state and rebuilds from the device alone (see the `eleos`
+/// crate's recovery tests).
+#[derive(Debug)]
+pub struct FlashDevice {
+    geo: Geometry,
+    profile: CostProfile,
+    blocks: Vec<Vec<EblockSim>>,
+    clock: SimClock,
+    faults: FaultInjector,
+    stats: FlashStats,
+    /// Maximum erases per EBLOCK before it becomes permanently bad.
+    endurance: u32,
+}
+
+impl FlashDevice {
+    pub fn new(geo: Geometry, profile: CostProfile) -> Self {
+        geo.validate();
+        let blocks = (0..geo.channels)
+            .map(|_| {
+                (0..geo.eblocks_per_channel)
+                    .map(|_| EblockSim::default())
+                    .collect()
+            })
+            .collect();
+        FlashDevice {
+            clock: SimClock::new(geo.channels),
+            geo,
+            profile,
+            blocks,
+            faults: FaultInjector::none(),
+            stats: FlashStats::default(),
+            endurance: u32::MAX,
+        }
+    }
+
+    /// Replace the fault injector (builder style).
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set an erase-endurance limit (builder style).
+    pub fn with_endurance(mut self, max_erases: u32) -> Self {
+        self.endurance = max_erases;
+        self
+    }
+
+    #[inline]
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    #[inline]
+    pub fn profile(&self) -> &CostProfile {
+        &self.profile
+    }
+
+    #[inline]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    #[inline]
+    pub fn clock_mut(&mut self) -> &mut SimClock {
+        &mut self.clock
+    }
+
+    #[inline]
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    pub fn faults_mut(&mut self) -> &mut FaultInjector {
+        &mut self.faults
+    }
+
+    fn eb(&self, a: EblockAddr) -> Result<&EblockSim> {
+        if !a.in_bounds(&self.geo) {
+            return Err(FlashError::OutOfBounds);
+        }
+        Ok(&self.blocks[a.channel as usize][a.eblock as usize])
+    }
+
+    fn eb_mut(&mut self, a: EblockAddr) -> Result<&mut EblockSim> {
+        if !a.in_bounds(&self.geo) {
+            return Err(FlashError::OutOfBounds);
+        }
+        Ok(&mut self.blocks[a.channel as usize][a.eblock as usize])
+    }
+
+    /// Program one WBLOCK. `data` must be exactly one WBLOCK; `tag` is
+    /// optional out-of-band metadata (truncated/zero-padded to the TAG area).
+    ///
+    /// Returns the channel-timeline completion time. The CPU timeline is not
+    /// blocked — callers needing durability wait on the returned time.
+    pub fn program(&mut self, addr: WblockAddr, data: &[u8], tag: &[u8]) -> Result<Nanos> {
+        if !addr.in_bounds(&self.geo) {
+            return Err(FlashError::OutOfBounds);
+        }
+        if data.len() != self.geo.wblock_bytes as usize {
+            return Err(FlashError::BadLength {
+                expected: self.geo.wblock_bytes as usize,
+                got: data.len(),
+            });
+        }
+        let geo = self.geo;
+        // Validate ordering rules before consuming a fault-injector slot.
+        {
+            let eb = &self.blocks[addr.channel() as usize][addr.eblock.eblock as usize];
+            if let Err(check) = eb.check_programmable(&geo, addr.wblock) {
+                return Err(check.into_error(addr));
+            }
+        }
+        let duration = self.profile.program_duration(geo.wblock_bytes);
+        let done = self.clock.submit_channel(addr.channel(), duration);
+        if self.faults.should_fail(addr) {
+            self.stats.program_failures += 1;
+            self.blocks[addr.channel() as usize][addr.eblock.eblock as usize].poison();
+            return Err(FlashError::ProgramFailed(addr));
+        }
+        self.blocks[addr.channel() as usize][addr.eblock.eblock as usize]
+            .apply_program(&geo, addr.wblock, data, tag);
+        self.stats.programs += 1;
+        self.stats.bytes_programmed += geo.wblock_bytes as u64;
+        Ok(done)
+    }
+
+    /// Read an arbitrary byte extent within one EBLOCK. The device fetches
+    /// the covering RBLOCKs (charging their latency and counting their bytes
+    /// — Section V: "some extra data may be transferred to memory as well")
+    /// and returns exactly the requested bytes.
+    ///
+    /// Returns `(bytes, completion_time)`.
+    pub fn read_extent(&mut self, ext: ByteExtent) -> Result<(Vec<u8>, Nanos)> {
+        if !ext.in_bounds(&self.geo) {
+            return Err(FlashError::OutOfBounds);
+        }
+        let geo = self.geo;
+        let first = ext.first_rblock(&geo);
+        let count = ext.rblock_count(&geo);
+        {
+            let eb = self.eb(ext.eblock)?;
+            for r in first..first + count {
+                if !eb.rblock_programmed(&geo, r) {
+                    return Err(FlashError::ReadUnwritten {
+                        eblock: ext.eblock,
+                        rblock: r,
+                    });
+                }
+            }
+        }
+        let duration = self.profile.read_duration(count, geo.rblock_bytes);
+        let done = self.clock.submit_channel(ext.eblock.channel, duration);
+        let mut out = vec![0u8; ext.len as usize];
+        self.eb(ext.eblock)?.read_bytes(ext.offset as usize, &mut out);
+        self.stats.rblock_reads += count as u64;
+        self.stats.bytes_read += count as u64 * geo.rblock_bytes as u64;
+        Ok((out, done))
+    }
+
+    /// Read whole WBLOCKs `[first, first + count)` of an EBLOCK.
+    pub fn read_wblocks(&mut self, eb: EblockAddr, first: u32, count: u32) -> Result<(Vec<u8>, Nanos)> {
+        let ext = ByteExtent::new(
+            eb,
+            first as u64 * self.geo.wblock_bytes as u64,
+            count as u64 * self.geo.wblock_bytes as u64,
+        );
+        self.read_extent(ext)
+    }
+
+    /// Read the TAG (out-of-band) area of one WBLOCK. Charged as one RBLOCK
+    /// read on the channel.
+    pub fn read_tag(&mut self, addr: WblockAddr) -> Result<(Vec<u8>, Nanos)> {
+        if !addr.in_bounds(&self.geo) {
+            return Err(FlashError::OutOfBounds);
+        }
+        let geo = self.geo;
+        {
+            let eb = self.eb(addr.eblock)?;
+            if addr.wblock >= eb.programmed_wblocks() {
+                return Err(FlashError::ReadUnwritten {
+                    eblock: addr.eblock,
+                    rblock: addr.wblock * geo.rblocks_per_wblock(),
+                });
+            }
+        }
+        let duration = self.profile.read_duration(1, geo.rblock_bytes);
+        let done = self.clock.submit_channel(addr.channel(), duration);
+        let tag = self.eb(addr.eblock)?.read_tag(&geo, addr.wblock);
+        self.stats.rblock_reads += 1;
+        self.stats.bytes_read += geo.rblock_bytes as u64;
+        Ok((tag, done))
+    }
+
+    /// Erase an EBLOCK. Fails permanently once the endurance limit is hit.
+    pub fn erase(&mut self, a: EblockAddr) -> Result<Nanos> {
+        let endurance = self.endurance;
+        let geo = self.geo;
+        let eb = self.eb_mut(a)?;
+        if eb.erase_count() >= endurance {
+            return Err(FlashError::WornOut(a));
+        }
+        eb.erase();
+        self.stats.erases += 1;
+        let duration = self.profile.erase_eblock_ns;
+        let _ = geo;
+        Ok(self.clock.submit_channel(a.channel, duration))
+    }
+
+    /// How many WBLOCKs of this EBLOCK have been programmed (the "write
+    /// frontier"). Recovery uses this to "read forward until the first empty
+    /// WBLOCK" (Section VIII-C3).
+    pub fn programmed_wblocks(&self, a: EblockAddr) -> Result<u32> {
+        Ok(self.eb(a)?.programmed_wblocks())
+    }
+
+    /// True if the given WBLOCK has been programmed.
+    pub fn is_wblock_programmed(&self, addr: WblockAddr) -> Result<bool> {
+        Ok(self.eb(addr.eblock)?.programmed_wblocks() > addr.wblock)
+    }
+
+    /// True if the EBLOCK suffered a program failure since its last erase.
+    pub fn is_poisoned(&self, a: EblockAddr) -> Result<bool> {
+        Ok(self.eb(a)?.is_poisoned())
+    }
+
+    /// Lifetime erase count of one EBLOCK.
+    pub fn erase_count(&self, a: EblockAddr) -> Result<u32> {
+        Ok(self.eb(a)?.erase_count())
+    }
+
+    /// Erase counts of every EBLOCK (wear report), channel-major.
+    pub fn wear_map(&self) -> Vec<u32> {
+        self.blocks
+            .iter()
+            .flat_map(|ch| ch.iter().map(|eb| eb.erase_count()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> FlashDevice {
+        FlashDevice::new(Geometry::tiny(), CostProfile::unit())
+    }
+
+    fn wb(geo: &Geometry, fill: u8) -> Vec<u8> {
+        vec![fill; geo.wblock_bytes as usize]
+    }
+
+    #[test]
+    fn program_read_roundtrip() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        let a = WblockAddr::new(0, 0, 0);
+        d.program(a, &wb(&geo, 0x5A), b"tag0").unwrap();
+        let (bytes, _) = d
+            .read_extent(ByteExtent::new(a.eblock, 64, 128))
+            .unwrap();
+        assert_eq!(bytes, vec![0x5A; 128]);
+        assert_eq!(d.stats().programs, 1);
+        assert_eq!(d.stats().bytes_programmed, geo.wblock_bytes as u64);
+    }
+
+    #[test]
+    fn read_counts_covering_rblocks_not_requested_bytes() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        let a = WblockAddr::new(0, 0, 0);
+        d.program(a, &wb(&geo, 1), &[]).unwrap();
+        // 100 bytes crossing an RBLOCK boundary -> 2 RBLOCKs transferred.
+        let before = d.stats().bytes_read;
+        d.read_extent(ByteExtent::new(a.eblock, geo.rblock_bytes as u64 - 50, 100))
+            .unwrap();
+        assert_eq!(d.stats().bytes_read - before, 2 * geo.rblock_bytes as u64);
+    }
+
+    #[test]
+    fn out_of_order_and_rewrite_rejected() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        let e = d.program(WblockAddr::new(0, 0, 1), &wb(&geo, 0), &[]);
+        assert!(matches!(e, Err(FlashError::OutOfOrderProgram { .. })));
+        d.program(WblockAddr::new(0, 0, 0), &wb(&geo, 0), &[]).unwrap();
+        let e = d.program(WblockAddr::new(0, 0, 0), &wb(&geo, 0), &[]);
+        assert!(matches!(e, Err(FlashError::ProgramBeforeErase(_))));
+    }
+
+    #[test]
+    fn read_unwritten_is_error() {
+        let mut d = dev();
+        let e = d.read_extent(ByteExtent::new(EblockAddr::new(0, 0), 0, 64));
+        assert!(matches!(e, Err(FlashError::ReadUnwritten { .. })));
+    }
+
+    #[test]
+    fn erase_enables_rewrite_and_counts_wear() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        let a = WblockAddr::new(1, 3, 0);
+        d.program(a, &wb(&geo, 1), &[]).unwrap();
+        d.erase(a.eblock).unwrap();
+        assert_eq!(d.erase_count(a.eblock).unwrap(), 1);
+        d.program(a, &wb(&geo, 2), &[]).unwrap();
+        let (bytes, _) = d.read_extent(ByteExtent::new(a.eblock, 0, 8)).unwrap();
+        assert_eq!(bytes, vec![2; 8]);
+    }
+
+    #[test]
+    fn injected_failure_poisons_eblock() {
+        let mut d = FlashDevice::new(Geometry::tiny(), CostProfile::unit())
+            .with_faults(FaultInjector::script([1]));
+        let geo = *d.geometry();
+        d.program(WblockAddr::new(0, 0, 0), &wb(&geo, 1), &[]).unwrap();
+        let e = d.program(WblockAddr::new(0, 0, 1), &wb(&geo, 2), &[]);
+        assert!(matches!(e, Err(FlashError::ProgramFailed(_))));
+        assert!(d.is_poisoned(EblockAddr::new(0, 0)).unwrap());
+        // Further programs to the same EBLOCK fail even though the injector
+        // would allow them.
+        let e = d.program(WblockAddr::new(0, 0, 1), &wb(&geo, 2), &[]);
+        assert!(matches!(e, Err(FlashError::EblockPoisoned(_))));
+        // Data written before the failure is still readable (needed for
+        // migration, Section VII).
+        let (bytes, _) = d
+            .read_extent(ByteExtent::new(EblockAddr::new(0, 0), 0, 4))
+            .unwrap();
+        assert_eq!(bytes, vec![1; 4]);
+        // Erase heals it.
+        d.erase(EblockAddr::new(0, 0)).unwrap();
+        d.program(WblockAddr::new(0, 0, 0), &wb(&geo, 3), &[]).unwrap();
+    }
+
+    #[test]
+    fn endurance_limit_wears_out() {
+        let mut d = FlashDevice::new(Geometry::tiny(), CostProfile::unit()).with_endurance(2);
+        let a = EblockAddr::new(0, 0);
+        d.erase(a).unwrap();
+        d.erase(a).unwrap();
+        assert!(matches!(d.erase(a), Err(FlashError::WornOut(_))));
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        let a = WblockAddr::new(2, 0, 0);
+        d.program(a, &wb(&geo, 0), b"hello-tag").unwrap();
+        let (tag, _) = d.read_tag(a).unwrap();
+        assert_eq!(&tag[..9], b"hello-tag");
+        assert!(d.read_tag(WblockAddr::new(2, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn frontier_queries() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        let a = EblockAddr::new(0, 1);
+        assert_eq!(d.programmed_wblocks(a).unwrap(), 0);
+        d.program(WblockAddr::new(0, 1, 0), &wb(&geo, 0), &[]).unwrap();
+        d.program(WblockAddr::new(0, 1, 1), &wb(&geo, 0), &[]).unwrap();
+        assert_eq!(d.programmed_wblocks(a).unwrap(), 2);
+        assert!(d.is_wblock_programmed(WblockAddr::new(0, 1, 1)).unwrap());
+        assert!(!d.is_wblock_programmed(WblockAddr::new(0, 1, 2)).unwrap());
+    }
+
+    #[test]
+    fn clock_advances_with_operations() {
+        let mut d = FlashDevice::new(Geometry::tiny(), CostProfile::weak_controller());
+        let geo = *d.geometry();
+        let done = d.program(WblockAddr::new(0, 0, 0), &wb(&geo, 0), &[]).unwrap();
+        assert!(done >= d.profile().prog_wblock_ns);
+        // Different channels overlap.
+        let done1 = d.program(WblockAddr::new(1, 0, 0), &wb(&geo, 0), &[]).unwrap();
+        assert_eq!(done, done1);
+    }
+
+    #[test]
+    fn wear_map_covers_all_eblocks() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        assert_eq!(d.wear_map().len(), geo.total_eblocks() as usize);
+        d.erase(EblockAddr::new(0, 0)).unwrap();
+        assert_eq!(d.wear_map().iter().sum::<u32>(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Emulated erase block: data storage plus NAND programming-rule enforcement.
+
+use crate::error::{FlashError, Result};
+use crate::geometry::{Geometry, TAG_BYTES_PER_RBLOCK};
+
+/// In-memory state of one erase block.
+///
+/// Data is allocated lazily on first program and dropped on erase, so a
+/// mostly-empty emulated device costs little memory.
+#[derive(Debug, Default)]
+pub(crate) struct EblockSim {
+    /// Page data; `None` when freshly erased and never programmed.
+    data: Option<Box<[u8]>>,
+    /// Out-of-band TAG bytes, 16 per RBLOCK, parallel to `data`.
+    tags: Option<Box<[u8]>>,
+    /// Number of WBLOCKs programmed so far; programs must be sequential.
+    programmed: u32,
+    /// Set when a program fails; all further programs fail until erase
+    /// (Section VII: "when a WBLOCK cannot be written, subsequent WBLOCKs of
+    /// the same EBLOCK cannot be written either").
+    poisoned: bool,
+    /// Lifetime erase count (endurance/wear-leveling accounting).
+    erase_count: u32,
+}
+
+impl EblockSim {
+    pub(crate) fn programmed_wblocks(&self) -> u32 {
+        self.programmed
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    pub(crate) fn erase_count(&self) -> u32 {
+        self.erase_count
+    }
+
+    /// Record a failed program attempt: the partially-programmed EBLOCK can
+    /// no longer accept writes.
+    pub(crate) fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Validate that `wblock` is the next programmable page, without
+    /// modifying anything.
+    pub(crate) fn check_programmable(
+        &self,
+        geo: &Geometry,
+        wblock: u32,
+    ) -> std::result::Result<(), ProgramCheck> {
+        if self.poisoned {
+            return Err(ProgramCheck::Poisoned);
+        }
+        if self.programmed >= geo.wblocks_per_eblock {
+            return Err(ProgramCheck::Full);
+        }
+        if wblock < self.programmed {
+            return Err(ProgramCheck::Rewrite);
+        }
+        if wblock != self.programmed {
+            return Err(ProgramCheck::OutOfOrder {
+                expected: self.programmed,
+            });
+        }
+        Ok(())
+    }
+
+    /// Commit a successful program of `wblock` (already validated).
+    pub(crate) fn apply_program(&mut self, geo: &Geometry, wblock: u32, data: &[u8], tag: &[u8]) {
+        debug_assert_eq!(wblock, self.programmed);
+        debug_assert_eq!(data.len(), geo.wblock_bytes as usize);
+        let eb_bytes = geo.eblock_bytes() as usize;
+        let buf = self
+            .data
+            .get_or_insert_with(|| vec![0u8; eb_bytes].into_boxed_slice());
+        let off = wblock as usize * geo.wblock_bytes as usize;
+        buf[off..off + data.len()].copy_from_slice(data);
+
+        let tag_area = geo.rblocks_per_eblock() as usize * TAG_BYTES_PER_RBLOCK;
+        let tags = self
+            .tags
+            .get_or_insert_with(|| vec![0u8; tag_area].into_boxed_slice());
+        let per_wblock = geo.rblocks_per_wblock() as usize * TAG_BYTES_PER_RBLOCK;
+        let toff = wblock as usize * per_wblock;
+        let n = tag.len().min(per_wblock);
+        tags[toff..toff + n].copy_from_slice(&tag[..n]);
+
+        self.programmed += 1;
+    }
+
+    /// Read `len` bytes starting at `offset` within the EBLOCK. The caller
+    /// has already verified RBLOCK alignment and programmed-ness.
+    pub(crate) fn read_bytes(&self, offset: usize, out: &mut [u8]) {
+        let data = self.data.as_ref().expect("read of unprogrammed eblock");
+        out.copy_from_slice(&data[offset..offset + out.len()]);
+    }
+
+    /// Read the TAG bytes of one WBLOCK's RBLOCKs.
+    pub(crate) fn read_tag(&self, geo: &Geometry, wblock: u32) -> Vec<u8> {
+        let per_wblock = geo.rblocks_per_wblock() as usize * TAG_BYTES_PER_RBLOCK;
+        match &self.tags {
+            Some(tags) => {
+                let off = wblock as usize * per_wblock;
+                tags[off..off + per_wblock].to_vec()
+            }
+            None => vec![0u8; per_wblock],
+        }
+    }
+
+    /// Is the RBLOCK at `rblock` (EBLOCK-relative) inside the programmed
+    /// region?
+    pub(crate) fn rblock_programmed(&self, geo: &Geometry, rblock: u32) -> bool {
+        rblock < self.programmed * geo.rblocks_per_wblock()
+    }
+
+    /// Erase: drop all data, clear poison, bump wear.
+    pub(crate) fn erase(&mut self) {
+        self.data = None;
+        self.tags = None;
+        self.programmed = 0;
+        self.poisoned = false;
+        self.erase_count += 1;
+    }
+}
+
+/// Internal programming-rule verdicts, converted to [`FlashError`] by the
+/// device (which knows the full address).
+pub(crate) enum ProgramCheck {
+    Poisoned,
+    Full,
+    Rewrite,
+    OutOfOrder { expected: u32 },
+}
+
+impl ProgramCheck {
+    pub(crate) fn into_error(self, addr: crate::addr::WblockAddr) -> FlashError {
+        match self {
+            ProgramCheck::Poisoned => FlashError::EblockPoisoned(addr.eblock),
+            ProgramCheck::Full => FlashError::EblockFull(addr.eblock),
+            ProgramCheck::Rewrite => FlashError::ProgramBeforeErase(addr),
+            ProgramCheck::OutOfOrder { expected } => FlashError::OutOfOrderProgram {
+                addr,
+                expected_next: expected,
+            },
+        }
+    }
+}
+
+/// Re-exported for device module use.
+pub(crate) fn _silence_unused(_: &Result<()>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_program_and_read() {
+        let geo = Geometry::tiny();
+        let mut eb = EblockSim::default();
+        let data = vec![0xAB; geo.wblock_bytes as usize];
+        eb.check_programmable(&geo, 0).map_err(|_| ()).unwrap();
+        eb.apply_program(&geo, 0, &data, &[]);
+        assert_eq!(eb.programmed_wblocks(), 1);
+        let mut out = vec![0u8; 16];
+        eb.read_bytes(100, &mut out);
+        assert_eq!(out, vec![0xAB; 16]);
+    }
+
+    #[test]
+    fn out_of_order_program_rejected() {
+        let geo = Geometry::tiny();
+        let eb = EblockSim::default();
+        assert!(matches!(
+            eb.check_programmable(&geo, 2),
+            Err(ProgramCheck::OutOfOrder { expected: 0 })
+        ));
+    }
+
+    #[test]
+    fn rewrite_rejected_until_erase() {
+        let geo = Geometry::tiny();
+        let mut eb = EblockSim::default();
+        let data = vec![1u8; geo.wblock_bytes as usize];
+        eb.apply_program(&geo, 0, &data, &[]);
+        assert!(matches!(
+            eb.check_programmable(&geo, 0),
+            Err(ProgramCheck::Rewrite)
+        ));
+        eb.erase();
+        assert!(eb.check_programmable(&geo, 0).is_ok());
+        assert_eq!(eb.erase_count(), 1);
+    }
+
+    #[test]
+    fn poison_blocks_until_erase() {
+        let geo = Geometry::tiny();
+        let mut eb = EblockSim::default();
+        eb.poison();
+        assert!(matches!(
+            eb.check_programmable(&geo, 0),
+            Err(ProgramCheck::Poisoned)
+        ));
+        eb.erase();
+        assert!(!eb.is_poisoned());
+        assert!(eb.check_programmable(&geo, 0).is_ok());
+    }
+
+    #[test]
+    fn full_eblock_rejects() {
+        let geo = Geometry::tiny();
+        let mut eb = EblockSim::default();
+        let data = vec![0u8; geo.wblock_bytes as usize];
+        for w in 0..geo.wblocks_per_eblock {
+            eb.apply_program(&geo, w, &data, &[]);
+        }
+        assert!(matches!(
+            eb.check_programmable(&geo, geo.wblocks_per_eblock),
+            Err(ProgramCheck::Full)
+        ));
+    }
+
+    #[test]
+    fn tags_roundtrip_and_default_zero() {
+        let geo = Geometry::tiny();
+        let mut eb = EblockSim::default();
+        assert!(eb.read_tag(&geo, 0).iter().all(|&b| b == 0));
+        let data = vec![0u8; geo.wblock_bytes as usize];
+        let tag = vec![7u8; 16];
+        eb.apply_program(&geo, 0, &data, &tag);
+        let back = eb.read_tag(&geo, 0);
+        assert_eq!(&back[..16], &tag[..]);
+        assert!(back[16..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn rblock_programmed_tracks_frontier() {
+        let geo = Geometry::tiny(); // 4 rblocks per wblock
+        let mut eb = EblockSim::default();
+        assert!(!eb.rblock_programmed(&geo, 0));
+        let data = vec![0u8; geo.wblock_bytes as usize];
+        eb.apply_program(&geo, 0, &data, &[]);
+        assert!(eb.rblock_programmed(&geo, 3));
+        assert!(!eb.rblock_programmed(&geo, 4));
+    }
+}

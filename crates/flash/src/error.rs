@@ -1,0 +1,107 @@
+//! Error type for flash device operations.
+
+use crate::addr::{EblockAddr, WblockAddr};
+use std::fmt;
+
+/// Errors surfaced by the emulated flash device.
+///
+/// Programming-model violations (out-of-order programs, program-before-erase)
+/// are errors rather than panics so that an FTL under test can observe the
+/// same failure modes a real Open-Channel SSD would report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// Address outside the configured geometry.
+    OutOfBounds,
+    /// A WBLOCK was programmed out of sequential order within its EBLOCK.
+    /// NAND flash requires in-order page programming within an erase block.
+    OutOfOrderProgram { addr: WblockAddr, expected_next: u32 },
+    /// A WBLOCK that already holds data was programmed again without an
+    /// intervening erase (erase-before-write violation).
+    ProgramBeforeErase(WblockAddr),
+    /// The EBLOCK is full: every WBLOCK has been programmed.
+    EblockFull(EblockAddr),
+    /// Injected or endurance-induced program failure (Section VII). Once a
+    /// program fails, all subsequent programs to the same EBLOCK fail until
+    /// it is erased.
+    ProgramFailed(WblockAddr),
+    /// The EBLOCK previously suffered a program failure and has not been
+    /// erased; no further WBLOCK in it can be written (Section VII).
+    EblockPoisoned(EblockAddr),
+    /// The EBLOCK has exceeded its erase endurance and is permanently bad.
+    WornOut(EblockAddr),
+    /// A read touched an RBLOCK that has never been programmed.
+    ReadUnwritten { eblock: EblockAddr, rblock: u32 },
+    /// Data length does not match the unit size of the operation.
+    BadLength { expected: usize, got: usize },
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::OutOfBounds => write!(f, "address out of geometry bounds"),
+            FlashError::OutOfOrderProgram { addr, expected_next } => write!(
+                f,
+                "out-of-order program of wblock {} in ch{}/eb{} (next programmable is {})",
+                addr.wblock,
+                addr.channel(),
+                addr.eblock.eblock,
+                expected_next
+            ),
+            FlashError::ProgramBeforeErase(a) => write!(
+                f,
+                "program before erase at ch{}/eb{}/wb{}",
+                a.channel(),
+                a.eblock.eblock,
+                a.wblock
+            ),
+            FlashError::EblockFull(a) => {
+                write!(f, "eblock ch{}/eb{} is full", a.channel, a.eblock)
+            }
+            FlashError::ProgramFailed(a) => write!(
+                f,
+                "program failed at ch{}/eb{}/wb{}",
+                a.channel(),
+                a.eblock.eblock,
+                a.wblock
+            ),
+            FlashError::EblockPoisoned(a) => write!(
+                f,
+                "eblock ch{}/eb{} unusable after earlier program failure",
+                a.channel, a.eblock
+            ),
+            FlashError::WornOut(a) => {
+                write!(f, "eblock ch{}/eb{} exceeded erase endurance", a.channel, a.eblock)
+            }
+            FlashError::ReadUnwritten { eblock, rblock } => write!(
+                f,
+                "read of unwritten rblock {} in ch{}/eb{}",
+                rblock, eblock.channel, eblock.eblock
+            ),
+            FlashError::BadLength { expected, got } => {
+                write!(f, "bad data length: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, FlashError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlashError::OutOfOrderProgram {
+            addr: WblockAddr::new(1, 2, 7),
+            expected_next: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("out-of-order"));
+        assert!(s.contains("ch1/eb2"));
+        assert!(s.contains('7') && s.contains('3'));
+    }
+}

@@ -1,0 +1,149 @@
+//! Write-failure injection (Section VII).
+//!
+//! "Writing a WBLOCK may fail. This may be due to limited SSD writes or
+//! simply variations in SSD fabrication." The injector supports both a
+//! deterministic script (fail the Nth program, for targeted tests) and a
+//! probabilistic mode (for soak/property tests).
+
+use crate::addr::WblockAddr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decides whether a given program operation fails.
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// Program operations counted so far (successful or not).
+    programs_seen: u64,
+    /// Fail the program whose ordinal (0-based) is in this list.
+    scripted: Vec<u64>,
+    /// Probability in [0, 1) that any program fails.
+    probability: f64,
+    rng: StdRng,
+    /// Addresses that always fail (simulating a bad region).
+    bad_wblocks: Vec<WblockAddr>,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultInjector {
+    /// No injected faults.
+    pub fn none() -> Self {
+        FaultInjector {
+            programs_seen: 0,
+            scripted: Vec::new(),
+            probability: 0.0,
+            rng: StdRng::seed_from_u64(0),
+            bad_wblocks: Vec::new(),
+        }
+    }
+
+    /// Fail each program whose global ordinal (0-based, counting every
+    /// program attempt on the device) appears in `ordinals`.
+    pub fn script(ordinals: impl IntoIterator<Item = u64>) -> Self {
+        let mut s = Self::none();
+        s.scripted = ordinals.into_iter().collect();
+        s.scripted.sort_unstable();
+        s
+    }
+
+    /// Fail programs independently with probability `p`, deterministically
+    /// seeded.
+    pub fn probabilistic(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "probability must be in [0,1)");
+        let mut s = Self::none();
+        s.probability = p;
+        s.rng = StdRng::seed_from_u64(seed);
+        s
+    }
+
+    /// Mark a specific WBLOCK as permanently failing.
+    pub fn add_bad_wblock(&mut self, addr: WblockAddr) {
+        self.bad_wblocks.push(addr);
+    }
+
+    /// Add another scripted failure ordinal (relative to programs already
+    /// seen if `relative` is true).
+    pub fn fail_nth_from_now(&mut self, n: u64) {
+        self.scripted.push(self.programs_seen + n);
+        self.scripted.sort_unstable();
+    }
+
+    /// Called by the device for every program attempt. Returns `true` if
+    /// this attempt must fail.
+    pub fn should_fail(&mut self, addr: WblockAddr) -> bool {
+        let ordinal = self.programs_seen;
+        self.programs_seen += 1;
+        if self.bad_wblocks.contains(&addr) {
+            return true;
+        }
+        if self.scripted.binary_search(&ordinal).is_ok() {
+            return true;
+        }
+        self.probability > 0.0 && self.rng.gen::<f64>() < self.probability
+    }
+
+    /// Total program attempts observed.
+    pub fn programs_seen(&self) -> u64 {
+        self.programs_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr() -> WblockAddr {
+        WblockAddr::new(0, 0, 0)
+    }
+
+    #[test]
+    fn none_never_fails() {
+        let mut f = FaultInjector::none();
+        for _ in 0..1000 {
+            assert!(!f.should_fail(addr()));
+        }
+    }
+
+    #[test]
+    fn scripted_fails_exact_ordinals() {
+        let mut f = FaultInjector::script([2, 5]);
+        let results: Vec<bool> = (0..8).map(|_| f.should_fail(addr())).collect();
+        assert_eq!(results, [false, false, true, false, false, true, false, false]);
+    }
+
+    #[test]
+    fn fail_nth_from_now_is_relative() {
+        let mut f = FaultInjector::none();
+        assert!(!f.should_fail(addr())); // ordinal 0 consumed
+        f.fail_nth_from_now(1); // ordinal 2 fails
+        assert!(!f.should_fail(addr())); // ordinal 1
+        assert!(f.should_fail(addr())); // ordinal 2
+        assert!(!f.should_fail(addr()));
+    }
+
+    #[test]
+    fn probabilistic_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut f = FaultInjector::probabilistic(0.3, seed);
+            (0..100).map(|_| f.should_fail(addr())).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        let fails = run(7).iter().filter(|&&b| b).count();
+        assert!(fails > 10 && fails < 60, "got {fails} failures");
+    }
+
+    #[test]
+    fn bad_wblock_always_fails() {
+        let mut f = FaultInjector::none();
+        let bad = WblockAddr::new(1, 2, 3);
+        f.add_bad_wblock(bad);
+        assert!(f.should_fail(bad));
+        assert!(!f.should_fail(addr()));
+        assert!(f.should_fail(bad));
+    }
+}

@@ -1,0 +1,142 @@
+//! Physical geometry of the emulated NAND flash array.
+//!
+//! The terminology follows Table I of the paper:
+//!
+//! | Term   | Example size | Description                    |
+//! |--------|--------------|--------------------------------|
+//! | RBLOCK | 4 KB         | smallest readable storage unit |
+//! | WBLOCK | 32 KB        | smallest writable storage unit |
+//! | EBLOCK | 8 MB         | smallest erasable storage unit |
+//! | TAG    | 16 B/RBLOCK  | controller-accessible metadata |
+//!
+//! The array is organised as `channels × EBLOCKs × WBLOCKs × RBLOCKs`.
+//! Channels operate in parallel; everything within a channel is serial.
+
+/// Controller-accessible out-of-band metadata per RBLOCK, in bytes (Table I).
+pub const TAG_BYTES_PER_RBLOCK: usize = 16;
+
+/// Static description of the flash array shape.
+///
+/// All sizes are powers of two in practice, but the emulator only requires
+/// that `wblock_bytes` is a multiple of `rblock_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of independent flash channels.
+    pub channels: u32,
+    /// Number of erase blocks per channel.
+    pub eblocks_per_channel: u32,
+    /// Number of write pages (WBLOCKs) per erase block.
+    pub wblocks_per_eblock: u32,
+    /// Size of one WBLOCK in bytes (smallest writable unit).
+    pub wblock_bytes: u32,
+    /// Size of one RBLOCK in bytes (smallest readable unit).
+    pub rblock_bytes: u32,
+}
+
+impl Geometry {
+    /// Geometry used by most unit tests: small enough to exhaust quickly.
+    ///
+    /// 4 channels × 16 EBLOCKs × 16 WBLOCKs × 16 KB = 16 MB total.
+    pub fn tiny() -> Self {
+        Geometry {
+            channels: 4,
+            eblocks_per_channel: 16,
+            wblocks_per_eblock: 16,
+            wblock_bytes: 16 * 1024,
+            rblock_bytes: 4 * 1024,
+        }
+    }
+
+    /// Geometry mirroring the paper's example sizes (Table I): 32 KB WBLOCKs,
+    /// 4 KB RBLOCKs, 8 MB EBLOCKs, 8 channels. Total capacity is chosen by
+    /// `eblocks_per_channel`.
+    pub fn paper(eblocks_per_channel: u32) -> Self {
+        Geometry {
+            channels: 8,
+            eblocks_per_channel,
+            wblocks_per_eblock: 256, // 256 × 32 KB = 8 MB
+            wblock_bytes: 32 * 1024,
+            rblock_bytes: 4 * 1024,
+        }
+    }
+
+    /// RBLOCKs contained in one WBLOCK.
+    #[inline]
+    pub fn rblocks_per_wblock(&self) -> u32 {
+        self.wblock_bytes / self.rblock_bytes
+    }
+
+    /// RBLOCKs contained in one EBLOCK.
+    #[inline]
+    pub fn rblocks_per_eblock(&self) -> u32 {
+        self.rblocks_per_wblock() * self.wblocks_per_eblock
+    }
+
+    /// Bytes in one EBLOCK.
+    #[inline]
+    pub fn eblock_bytes(&self) -> u64 {
+        self.wblock_bytes as u64 * self.wblocks_per_eblock as u64
+    }
+
+    /// Bytes in one channel.
+    #[inline]
+    pub fn channel_bytes(&self) -> u64 {
+        self.eblock_bytes() * self.eblocks_per_channel as u64
+    }
+
+    /// Total device capacity in bytes.
+    #[inline]
+    pub fn total_bytes(&self) -> u64 {
+        self.channel_bytes() * self.channels as u64
+    }
+
+    /// Total number of EBLOCKs across all channels.
+    #[inline]
+    pub fn total_eblocks(&self) -> u64 {
+        self.channels as u64 * self.eblocks_per_channel as u64
+    }
+
+    /// Panics if the geometry is internally inconsistent.
+    pub fn validate(&self) {
+        assert!(self.channels > 0, "geometry: need at least one channel");
+        assert!(self.eblocks_per_channel > 0, "geometry: need EBLOCKs");
+        assert!(self.wblocks_per_eblock > 0, "geometry: need WBLOCKs");
+        assert!(
+            self.rblock_bytes > 0 && self.wblock_bytes.is_multiple_of(self.rblock_bytes),
+            "geometry: WBLOCK must be a whole number of RBLOCKs"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_geometry_sizes() {
+        let g = Geometry::tiny();
+        g.validate();
+        assert_eq!(g.rblocks_per_wblock(), 4);
+        assert_eq!(g.eblock_bytes(), 256 * 1024);
+        assert_eq!(g.total_bytes(), 16 * 1024 * 1024);
+        assert_eq!(g.total_eblocks(), 64);
+    }
+
+    #[test]
+    fn paper_geometry_matches_table_1() {
+        let g = Geometry::paper(32);
+        g.validate();
+        assert_eq!(g.wblock_bytes, 32 * 1024);
+        assert_eq!(g.rblock_bytes, 4 * 1024);
+        assert_eq!(g.eblock_bytes(), 8 * 1024 * 1024);
+        assert_eq!(g.rblocks_per_wblock(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of RBLOCKs")]
+    fn validate_rejects_misaligned_rblock() {
+        let mut g = Geometry::tiny();
+        g.rblock_bytes = 3000;
+        g.validate();
+    }
+}

@@ -1,0 +1,65 @@
+//! Operation counters for the emulated device.
+//!
+//! These feed the paper's evaluation directly: Fig. 10(b) is "the total
+//! amount of data written to the SSD during benchmarks", i.e.
+//! [`FlashStats::bytes_programmed`].
+
+/// Monotonic counters, updated by every device operation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlashStats {
+    /// Successful WBLOCK programs.
+    pub programs: u64,
+    /// Program attempts that failed (injected or endurance).
+    pub program_failures: u64,
+    /// Bytes written by successful programs (whole WBLOCKs).
+    pub bytes_programmed: u64,
+    /// RBLOCK read operations.
+    pub rblock_reads: u64,
+    /// Bytes transferred by reads (whole RBLOCKs).
+    pub bytes_read: u64,
+    /// EBLOCK erases.
+    pub erases: u64,
+}
+
+impl FlashStats {
+    /// Difference since an earlier snapshot (for per-phase accounting).
+    pub fn since(&self, earlier: &FlashStats) -> FlashStats {
+        FlashStats {
+            programs: self.programs - earlier.programs,
+            program_failures: self.program_failures - earlier.program_failures,
+            bytes_programmed: self.bytes_programmed - earlier.bytes_programmed,
+            rblock_reads: self.rblock_reads - earlier.rblock_reads,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            erases: self.erases - earlier.erases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = FlashStats {
+            programs: 10,
+            program_failures: 1,
+            bytes_programmed: 1000,
+            rblock_reads: 5,
+            bytes_read: 500,
+            erases: 2,
+        };
+        let b = FlashStats {
+            programs: 4,
+            program_failures: 0,
+            bytes_programmed: 400,
+            rblock_reads: 2,
+            bytes_read: 200,
+            erases: 1,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.programs, 6);
+        assert_eq!(d.bytes_programmed, 600);
+        assert_eq!(d.erases, 1);
+    }
+}

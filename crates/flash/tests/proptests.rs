@@ -1,0 +1,107 @@
+//! Property tests for the flash emulator: NAND rules hold under arbitrary
+//! operation sequences, and data round-trips exactly.
+
+use eleos_flash::{
+    ByteExtent, CostProfile, EblockAddr, FlashDevice, FlashError, Geometry, WblockAddr,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn dev() -> FlashDevice {
+    FlashDevice::new(Geometry::tiny(), CostProfile::unit())
+}
+
+#[derive(Debug, Clone)]
+enum FlashOp {
+    /// Program the next WBLOCK of (channel, eblock) with a fill byte.
+    Program(u8, u8, u8),
+    /// Erase (channel, eblock).
+    Erase(u8, u8),
+    /// Read a byte range of (channel, eblock).
+    Read(u8, u8, u32, u16),
+}
+
+fn op() -> impl Strategy<Value = FlashOp> {
+    prop_oneof![
+        5 => (0u8..4, 0u8..16, any::<u8>()).prop_map(|(c, e, f)| FlashOp::Program(c, e, f)),
+        1 => (0u8..4, 0u8..16).prop_map(|(c, e)| FlashOp::Erase(c, e)),
+        3 => (0u8..4, 0u8..16, 0u32..256 * 1024, 1u16..8192)
+            .prop_map(|(c, e, o, l)| FlashOp::Read(c, e, o, l)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The emulator behaves exactly like a model that tracks, per EBLOCK,
+    /// the sequence of programmed fill bytes.
+    #[test]
+    fn nand_semantics_match_model(ops in prop::collection::vec(op(), 1..200)) {
+        let mut d = dev();
+        let geo = *d.geometry();
+        let wb = geo.wblock_bytes as usize;
+        // Model: per eblock, fill byte of each programmed wblock.
+        let mut model: HashMap<(u8, u8), Vec<u8>> = HashMap::new();
+        for o in ops {
+            match o {
+                FlashOp::Program(c, e, fill) => {
+                    let fills = model.entry((c, e)).or_default();
+                    let w = fills.len() as u32;
+                    let res = d.program(
+                        WblockAddr::new(c as u32, e as u32, w),
+                        &vec![fill; wb],
+                        &[],
+                    );
+                    if w < geo.wblocks_per_eblock {
+                        prop_assert!(res.is_ok(), "program failed: {res:?}");
+                        fills.push(fill);
+                    } else {
+                        prop_assert!(matches!(res, Err(FlashError::EblockFull(_) | FlashError::OutOfBounds)));
+                    }
+                }
+                FlashOp::Erase(c, e) => {
+                    d.erase(EblockAddr::new(c as u32, e as u32)).unwrap();
+                    model.insert((c, e), Vec::new());
+                }
+                FlashOp::Read(c, e, off, len) => {
+                    let fills = model.get(&(c, e)).cloned().unwrap_or_default();
+                    let programmed_bytes = fills.len() * wb;
+                    let off = off as u64;
+                    let len = len as u64;
+                    let ext = ByteExtent::new(EblockAddr::new(c as u32, e as u32), off, len);
+                    if off + len > geo.eblock_bytes() {
+                        prop_assert!(d.read_extent(ext).is_err());
+                    } else {
+                        // Covering RBLOCKs must all be programmed.
+                        let last_needed = ((off + len - 1) / geo.rblock_bytes as u64 + 1)
+                            * geo.rblock_bytes as u64;
+                        let res = d.read_extent(ext);
+                        if last_needed <= programmed_bytes as u64 {
+                            let (bytes, _) = res.unwrap();
+                            for (i, b) in bytes.iter().enumerate() {
+                                let expect = fills[(off as usize + i) / wb];
+                                prop_assert_eq!(*b, expect, "byte {} of read", i);
+                            }
+                        } else {
+                            let unwritten = matches!(res, Err(FlashError::ReadUnwritten { .. }));
+                            prop_assert!(unwritten);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Out-of-order programs are always rejected and change nothing.
+    #[test]
+    fn out_of_order_programs_rejected(skip in 1u32..10) {
+        let mut d = dev();
+        let geo = *d.geometry();
+        let data = vec![1u8; geo.wblock_bytes as usize];
+        d.program(WblockAddr::new(0, 0, 0), &data, &[]).unwrap();
+        let res = d.program(WblockAddr::new(0, 0, skip.min(geo.wblocks_per_eblock - 1).max(2)), &data, &[]);
+        let ooo = matches!(res, Err(FlashError::OutOfOrderProgram { .. }));
+        prop_assert!(ooo);
+        prop_assert_eq!(d.programmed_wblocks(EblockAddr::new(0, 0)).unwrap(), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the host log-structured store: shadow-model
+//! read-your-writes under host GC and mapping checkpoints.
+
+use eleos_flash::{CostProfile, FlashDevice, Geometry};
+use eleos_lss::{LogStore, LssConfig};
+use oxblock::{OxBlock, OxConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn store() -> LogStore {
+    let dev = FlashDevice::new(Geometry::tiny(), CostProfile::unit());
+    let ftl = OxBlock::format(dev, OxConfig::new(2048)).unwrap(); // 8 MB log
+    LogStore::new(
+        ftl,
+        LssConfig {
+            segment_pages: 32,
+            buffer_pages: 16,
+            ckpt_interval_bytes: 512 * 1024,
+            ..Default::default()
+        },
+    )
+}
+
+fn payload(id: u64, seed: u8, len: u16) -> Vec<u8> {
+    (0..len as usize)
+        .map(|i| (id as u8) ^ seed ^ (i as u8).wrapping_mul(7))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn shadow_model_with_host_gc(
+        puts in prop::collection::vec((0u64..80, any::<u8>(), 1u16..4000), 1..400),
+        flush_every in 1usize..40,
+    ) {
+        let mut s = store();
+        let mut shadow: HashMap<u64, Vec<u8>> = HashMap::new();
+        for (i, (id, seed, len)) in puts.iter().enumerate() {
+            let data = payload(*id, *seed, *len);
+            s.put(*id, &data).unwrap();
+            shadow.insert(*id, data);
+            if i % flush_every == 0 {
+                s.flush().unwrap();
+            }
+        }
+        s.flush().unwrap();
+        for (id, expect) in &shadow {
+            prop_assert_eq!(&s.get(*id).unwrap(), expect, "page {}", id);
+        }
+    }
+
+    /// Unflushed pages are still readable (served from the write buffer),
+    /// and flushing them changes nothing observable.
+    #[test]
+    fn buffer_reads_match_flushed_reads(
+        puts in prop::collection::vec((0u64..20, any::<u8>(), 1u16..2000), 1..15)
+    ) {
+        let mut s = store();
+        let mut shadow: HashMap<u64, Vec<u8>> = HashMap::new();
+        for (id, seed, len) in &puts {
+            let data = payload(*id, *seed, *len);
+            s.put(*id, &data).unwrap();
+            shadow.insert(*id, data);
+        }
+        let before: HashMap<u64, Vec<u8>> = shadow
+            .keys()
+            .map(|&id| (id, s.get(id).unwrap()))
+            .collect();
+        s.flush().unwrap();
+        for (id, expect) in &shadow {
+            prop_assert_eq!(&before[id], expect);
+            prop_assert_eq!(&s.get(*id).unwrap(), expect);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The page map of the conventional FTL: logical page number (LPN, 4 KB
+//! granularity) → physical 4 KB slot.
+
+/// Packed physical slot: `channel:8 | eblock:24 | slot:16` where `slot` is
+/// the RBLOCK-sized page index within the EBLOCK. `u64::MAX` = unmapped.
+pub const NULL_SLOT: u64 = u64::MAX;
+
+#[inline]
+pub fn pack_slot(channel: u32, eblock: u32, slot: u32) -> u64 {
+    ((channel as u64) << 40) | ((eblock as u64) << 16) | slot as u64
+}
+
+#[inline]
+pub fn unpack_slot(v: u64) -> (u32, u32, u32) {
+    (
+        (v >> 40) as u32,
+        ((v >> 16) & 0xFF_FFFF) as u32,
+        (v & 0xFFFF) as u32,
+    )
+}
+
+/// Flat LPN → slot table (a conventional FTL holds this in controller
+/// DRAM; we do not model its paging).
+#[derive(Debug)]
+pub struct PageMap {
+    slots: Vec<u64>,
+}
+
+impl PageMap {
+    pub fn new(logical_pages: u64) -> Self {
+        PageMap {
+            slots: vec![NULL_SLOT; logical_pages as usize],
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, lpn: u64) -> Option<(u32, u32, u32)> {
+        let v = self.slots[lpn as usize];
+        if v == NULL_SLOT {
+            None
+        } else {
+            Some(unpack_slot(v))
+        }
+    }
+
+    /// Install a new slot; returns the previous packed value.
+    #[inline]
+    pub fn set(&mut self, lpn: u64, channel: u32, eblock: u32, slot: u32) -> u64 {
+        let v = pack_slot(channel, eblock, slot);
+        std::mem::replace(&mut self.slots[lpn as usize], v)
+    }
+
+    /// Does `lpn` currently map to exactly this slot? (GC validity check.)
+    #[inline]
+    pub fn points_to(&self, lpn: u64, channel: u32, eblock: u32, slot: u32) -> bool {
+        self.slots[lpn as usize] == pack_slot(channel, eblock, slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let v = pack_slot(7, 123_456, 999);
+        assert_eq!(unpack_slot(v), (7, 123_456, 999));
+        assert_ne!(v, NULL_SLOT);
+    }
+
+    #[test]
+    fn map_set_get() {
+        let mut m = PageMap::new(100);
+        assert_eq!(m.get(5), None);
+        assert_eq!(m.set(5, 1, 2, 3), NULL_SLOT);
+        assert_eq!(m.get(5), Some((1, 2, 3)));
+        assert!(m.points_to(5, 1, 2, 3));
+        assert!(!m.points_to(5, 1, 2, 4));
+        let old = m.set(5, 2, 2, 2);
+        assert_eq!(unpack_slot(old), (1, 2, 3));
+    }
+}

@@ -1,0 +1,152 @@
+//! A small, dependency-free page compressor used to derive *organic*
+//! compressed-page sizes from actual page contents (the paper's trace came
+//! from AsterixDB's B⁺-tree with page compression enabled).
+//!
+//! The scheme is LZ-style: back-references into a 4 KB window plus literal
+//! runs — unsophisticated, but it compresses structured database pages
+//! (repeating field layouts, shared prefixes, zero padding) at ratios in
+//! the same regime the paper reports (4 KB → ≈1.9 KB).
+
+/// Compress `input`. Format: sequence of ops —
+/// `0x00, len u16, bytes` (literal run) or `0x01, dist u16, len u16`
+/// (back-reference).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    const MIN_MATCH: usize = 6;
+    const WINDOW: usize = 4096;
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // Hash chains over 4-byte groups.
+    let mut head = vec![usize::MAX; 1 << 12];
+    let hash = |b: &[u8]| -> usize {
+        let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        ((v.wrapping_mul(2654435761)) >> 20) as usize & 0xFFF
+    };
+    let mut lit_start = 0usize;
+    let mut i = 0usize;
+    let flush_lits = |out: &mut Vec<u8>, lits: &[u8]| {
+        let mut pos = 0;
+        while pos < lits.len() {
+            let n = (lits.len() - pos).min(u16::MAX as usize);
+            out.push(0x00);
+            out.extend_from_slice(&(n as u16).to_le_bytes());
+            out.extend_from_slice(&lits[pos..pos + n]);
+            pos += n;
+        }
+    };
+    while i + MIN_MATCH <= input.len() {
+        let h = hash(&input[i..]);
+        let cand = head[h];
+        head[h] = i;
+        let mut matched = 0usize;
+        if cand != usize::MAX && i - cand <= WINDOW {
+            let max = (input.len() - i).min(u16::MAX as usize);
+            while matched < max && input[cand + matched] == input[i + matched] {
+                matched += 1;
+            }
+        }
+        if matched >= MIN_MATCH {
+            flush_lits(&mut out, &input[lit_start..i]);
+            out.push(0x01);
+            out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
+            out.extend_from_slice(&(matched as u16).to_le_bytes());
+            i += matched;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_lits(&mut out, &input[lit_start..]);
+    out
+}
+
+/// Decompress; returns `None` on malformed input.
+pub fn decompress(input: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut i = 0usize;
+    while i < input.len() {
+        match input[i] {
+            0x00 => {
+                if i + 3 > input.len() {
+                    return None;
+                }
+                let n = u16::from_le_bytes([input[i + 1], input[i + 2]]) as usize;
+                i += 3;
+                if i + n > input.len() {
+                    return None;
+                }
+                out.extend_from_slice(&input[i..i + n]);
+                i += n;
+            }
+            0x01 => {
+                if i + 5 > input.len() {
+                    return None;
+                }
+                let dist = u16::from_le_bytes([input[i + 1], input[i + 2]]) as usize;
+                let len = u16::from_le_bytes([input[i + 3], input[i + 4]]) as usize;
+                i += 5;
+                if dist == 0 || dist > out.len() {
+                    return None;
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_structured_data() {
+        // Database-page-like content: repeating record layouts.
+        let mut page = Vec::new();
+        for rec in 0..40u32 {
+            page.extend_from_slice(&rec.to_le_bytes());
+            page.extend_from_slice(b"CUSTOMER_NAME_PADDED____");
+            page.extend_from_slice(&[0u8; 32]);
+            page.extend_from_slice(&(rec * 100).to_le_bytes());
+        }
+        let c = compress(&page);
+        assert!(c.len() < page.len() / 2, "{} -> {}", page.len(), c.len());
+        assert_eq!(decompress(&c).unwrap(), page);
+    }
+
+    #[test]
+    fn roundtrip_incompressible_data() {
+        let page: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let c = compress(&page);
+        assert_eq!(decompress(&c).unwrap(), page);
+        // Random-ish data shouldn't blow up much.
+        assert!(c.len() < page.len() + page.len() / 16 + 16);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<u8>::new());
+        assert_eq!(decompress(&compress(&[7])).unwrap(), vec![7]);
+        assert_eq!(decompress(&compress(&[1, 2, 3, 4, 5])).unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        assert!(decompress(&[0x02]).is_none());
+        assert!(decompress(&[0x00, 10, 0]).is_none()); // claims 10 literals
+        assert!(decompress(&[0x01, 5, 0, 3, 0]).is_none()); // backref into nothing
+    }
+
+    #[test]
+    fn zero_padding_compresses_hard() {
+        let mut page = vec![0u8; 4096];
+        page[..100].copy_from_slice(&[7u8; 100]);
+        let c = compress(&page);
+        assert!(c.len() < 200, "zero padding should collapse: {}", c.len());
+    }
+}

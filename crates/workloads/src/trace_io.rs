@@ -1,0 +1,116 @@
+//! Save/load page-write traces in a compact binary format, so an
+//! expensive engine-generated trace can be produced once and replayed many
+//! times (mirroring how the paper collected its AsterixDB trace once and
+//! replayed "the first 100 GB").
+//!
+//! Format: 16-byte header (`magic, version, count`) followed by
+//! `count` records of `lpid u64 | len u32` (little-endian).
+
+use crate::tpcc::PageWrite;
+use std::io::{self, Read, Write};
+
+const MAGIC: u32 = 0x54504343; // "TPCC"
+const VERSION: u32 = 1;
+
+/// Serialize a trace to any writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &[PageWrite]) -> io::Result<()> {
+    w.write_all(&MAGIC.to_le_bytes())?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for rec in trace {
+        w.write_all(&rec.lpid.to_le_bytes())?;
+        w.write_all(&rec.len.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserialize a trace from any reader.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Vec<PageWrite>> {
+    let mut hdr = [0u8; 16];
+    r.read_exact(&mut hdr)?;
+    let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+    let version = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
+    if magic != MAGIC || version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a trace file (bad magic/version)",
+        ));
+    }
+    let count = u64::from_le_bytes(hdr[8..16].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 24));
+    let mut rec = [0u8; 12];
+    for _ in 0..count {
+        r.read_exact(&mut rec)?;
+        out.push(PageWrite {
+            lpid: u64::from_le_bytes(rec[0..8].try_into().unwrap()),
+            len: u32::from_le_bytes(rec[8..12].try_into().unwrap()),
+        });
+    }
+    Ok(out)
+}
+
+/// Convenience: save to a path.
+pub fn save_trace(path: &std::path::Path, trace: &[PageWrite]) -> io::Result<()> {
+    write_trace(std::io::BufWriter::new(std::fs::File::create(path)?), trace)
+}
+
+/// Convenience: load from a path.
+pub fn load_trace(path: &std::path::Path) -> io::Result<Vec<PageWrite>> {
+    read_trace(std::io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<PageWrite> {
+        (0..1000u64)
+            .map(|i| PageWrite {
+                lpid: i * 7 % 97,
+                len: ((i % 60) as u32 + 1) * 64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        assert_eq!(buf.len(), 16 + trace.len() * 12);
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap(), Vec::<PageWrite>::new());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        buf[0] ^= 0xFF;
+        assert!(read_trace(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &sample()).unwrap();
+        assert!(read_trace(&buf[..buf.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("eleos_trace_io_test.trace");
+        let trace = sample();
+        save_trace(&path, &trace).unwrap();
+        assert_eq!(load_trace(&path).unwrap(), trace);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,68 @@
+//! Write-failure handling (Section VII): inject NAND program failures and
+//! watch ELEOS abort the affected system action, migrate the poisoned
+//! erase block's committed pages, and accept the retried buffer — all
+//! without losing a byte of committed data.
+//!
+//! Run with: `cargo run --release --example write_failures`
+
+use eleos_repro::eleos::{Eleos, EleosConfig, EleosError, PageMode, WriteBatch};
+use eleos_repro::flash::{CostProfile, FaultInjector, FlashDevice, Geometry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+fn main() {
+    // 1% of program operations fail.
+    let dev = FlashDevice::new(Geometry::tiny(), CostProfile::unit())
+        .with_faults(FaultInjector::probabilistic(0.01, 7));
+    let cfg = EleosConfig {
+        ckpt_log_bytes: 512 * 1024,
+        ..EleosConfig::test_small()
+    };
+    let mut ssd = Eleos::format(dev, cfg).expect("format");
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut shadow: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut retries = 0u64;
+
+    'outer: for round in 0..400u64 {
+        let mut b = WriteBatch::new(PageMode::Variable);
+        let mut staged = Vec::new();
+        for _ in 0..8 {
+            let lpid = rng.gen_range(0..256u64);
+            let data = vec![(round % 251) as u8; rng.gen_range(64..1500)];
+            b.put(lpid, &data).unwrap();
+            staged.push((lpid, data));
+        }
+        // The interface contract: an aborted buffer is simply retried.
+        for _attempt in 0..8 {
+            match ssd.write(&b) {
+                Ok(_) => {
+                    for (l, d) in staged {
+                        shadow.insert(l, d);
+                    }
+                    continue 'outer;
+                }
+                Err(EleosError::ActionAborted) => {
+                    retries += 1;
+                    continue;
+                }
+                Err(e) => panic!("round {round}: {e}"),
+            }
+        }
+        panic!("round {round}: buffer kept failing");
+    }
+
+    // Nothing committed was lost, despite dozens of failures + migrations.
+    for (lpid, expect) in &shadow {
+        assert_eq!(&ssd.read(*lpid).unwrap(), expect, "lpid {lpid}");
+    }
+    let flash = ssd.device().stats();
+    println!("400 buffers committed with {retries} retries after injected failures");
+    println!(
+        "program failures injected: {}   EBLOCK migrations: {}   pages GC-moved: {}",
+        flash.program_failures,
+        ssd.stats().migrations,
+        ssd.stats().gc_moved_pages,
+    );
+    println!("full audit of {} pages passed — no committed data lost", shadow.len());
+}
