@@ -1,0 +1,211 @@
+//! Host wall-clock perf baseline for the controller data plane.
+//!
+//! Unlike the figure binaries (which report *virtual-time* throughput),
+//! `perfbench` measures how fast the emulator+FTL run on the host: it
+//! drives the TPC-C 1 MB-buffer batched write path and a Zipfian YCSB-style
+//! read path for a fixed operation count and appends one entry per bench to
+//! `BENCH_controller.json` — the perf trajectory all later optimisation PRs
+//! are measured against.
+//!
+//! Usage:
+//!   perfbench [--label NAME] [--scale full|small] [--out FILE]
+//!             [--compare FILE] [--max-regression X.Y]
+//!
+//! `--compare` reads a committed BENCH_controller.json and fails (exit 1)
+//! if any bench's simulated-ops-per-host-second dropped by more than
+//! `--max-regression` (default 2.0×) against the most recent committed
+//! entry of the same bench name — that is the `scripts/perf_smoke.sh` gate.
+
+use eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos_bench::perfjson::{parse_entries, render_entry, BenchEntry};
+use eleos_bench::tpcc_driver::{run_tpcc, Interface};
+use eleos_flash::{CostProfile, FlashDevice, Geometry};
+use eleos_workloads::{TpccTraceConfig, Zipfian};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn bench_geo() -> Geometry {
+    Geometry {
+        channels: 8,
+        eblocks_per_channel: 64,
+        wblocks_per_eblock: 32,
+        wblock_bytes: 32 * 1024,
+        rblock_bytes: 4 * 1024,
+    } // 512 MB
+}
+
+/// TPC-C batched-write path: replay the fitted compressed-page trace
+/// through ELEOS variable-size pages with a 1 MB write buffer.
+fn bench_tpcc_write(scale: &str, label: &str) -> BenchEntry {
+    // The smoke scale must still amortize per-run setup (trace generation,
+    // device init) or the gate compares startup cost against steady state.
+    let (volume, repeat): (u64, u32) = if scale == "small" {
+        (48 * 1024 * 1024, 1)
+    } else {
+        (96 * 1024 * 1024, 8)
+    };
+    let mut ops = 0u64;
+    let mut host = 0.0f64;
+    let mut programmed = 0u64;
+    // Each repetition replays against a fresh device so the measurement
+    // window is long enough to be stable without ever needing GC.
+    for _ in 0..repeat {
+        let trace_cfg = TpccTraceConfig {
+            pages: 40_000,
+            ..Default::default()
+        };
+        let t = Instant::now();
+        let r = run_tpcc(
+            Interface::BatchVp,
+            CostProfile::high_end_cpu(),
+            bench_geo(),
+            1024 * 1024,
+            volume,
+            trace_cfg,
+        );
+        host += t.elapsed().as_secs_f64();
+        ops += r.pages;
+        programmed += r.flash_bytes_programmed;
+    }
+    BenchEntry {
+        label: label.to_string(),
+        bench: "tpcc_write_vp_1mb".to_string(),
+        scale: scale.to_string(),
+        ops,
+        host_seconds: host,
+        sim_ops_per_host_sec: ops as f64 / host,
+        bytes_programmed: programmed,
+        bytes_read: 0,
+    }
+}
+
+/// YCSB-style read path: load variable-size pages, then issue Zipfian
+/// point reads straight against `Eleos::read`.
+fn bench_ycsb_read(scale: &str, label: &str) -> BenchEntry {
+    let (records, ops): (u64, u64) = if scale == "small" {
+        (20_000, 60_000)
+    } else {
+        (50_000, 4_000_000)
+    };
+    let dev = FlashDevice::new(bench_geo(), CostProfile::high_end_cpu());
+    let cfg = EleosConfig {
+        max_user_lpid: records + 1,
+        ckpt_log_bytes: u64::MAX,
+        map_cache_pages: 1 << 14,
+        ..Default::default()
+    };
+    let mut ssd = Eleos::format(dev, cfg).expect("format");
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut batch = WriteBatch::new(PageMode::Variable);
+    for lpid in 0..records {
+        let len = rng.gen_range(64..2048usize);
+        let mut page = vec![0u8; len];
+        page[..8].copy_from_slice(&lpid.to_le_bytes());
+        batch.put(lpid, &page).expect("load put");
+        if batch.wire_len() >= 1024 * 1024 {
+            ssd.write(&batch).expect("load write");
+            batch = WriteBatch::new(PageMode::Variable);
+        }
+    }
+    if !batch.is_empty() {
+        ssd.write(&batch).expect("load write");
+    }
+    ssd.drain();
+
+    let zipf = Zipfian::new(records, 0.99);
+    let bytes_read0 = ssd.device().stats().bytes_read;
+    let t = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..ops {
+        let lpid = zipf.next_scrambled(&mut rng) % records;
+        let page = ssd.read(lpid).expect("read");
+        sink = sink.wrapping_add(page.len() as u64).wrapping_add(page[0] as u64);
+    }
+    let host = t.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    BenchEntry {
+        label: label.to_string(),
+        bench: "ycsb_read_zipfian".to_string(),
+        scale: scale.to_string(),
+        ops,
+        host_seconds: host,
+        sim_ops_per_host_sec: ops as f64 / host,
+        bytes_programmed: ssd.device().stats().bytes_programmed,
+        bytes_read: ssd.device().stats().bytes_read - bytes_read0,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get_flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let label = get_flag("--label").unwrap_or_else(|| "dev".to_string());
+    let scale = get_flag("--scale").unwrap_or_else(|| "full".to_string());
+    let out_path = get_flag("--out").unwrap_or_else(|| "BENCH_controller.json".to_string());
+    let compare = get_flag("--compare");
+    let max_regression: f64 = get_flag("--max-regression")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+
+    eprintln!("perfbench: label={label} scale={scale}");
+    let entries = vec![
+        bench_tpcc_write(&scale, &label),
+        bench_ycsb_read(&scale, &label),
+    ];
+    for e in &entries {
+        eprintln!(
+            "  {:<22} {:>9} ops in {:>8.3}s host = {:>12.1} sim-ops/host-sec \
+             ({} B programmed, {} B read)",
+            e.bench, e.ops, e.host_seconds, e.sim_ops_per_host_sec, e.bytes_programmed, e.bytes_read
+        );
+    }
+
+    // Append to the trajectory file (create with a JSON array wrapper).
+    let mut all = std::fs::read_to_string(&out_path)
+        .map(|t| parse_entries(&t))
+        .unwrap_or_default();
+    all.extend(entries.iter().cloned());
+    let mut json = String::from("[\n");
+    for (i, e) in all.iter().enumerate() {
+        render_entry(e, &mut json);
+        json.push_str(if i + 1 < all.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).expect("write bench json");
+    eprintln!("perfbench: appended {} entries to {out_path}", entries.len());
+
+    // Regression gate for perf_smoke.sh.
+    if let Some(committed_path) = compare {
+        let committed = std::fs::read_to_string(&committed_path)
+            .map(|t| parse_entries(&t))
+            .unwrap_or_default();
+        let mut failed = false;
+        for e in &entries {
+            let Some(base) = committed.iter().rev().find(|c| c.bench == e.bench) else {
+                eprintln!("  {}: no committed baseline, skipping gate", e.bench);
+                continue;
+            };
+            let ratio = base.sim_ops_per_host_sec / e.sim_ops_per_host_sec;
+            if ratio > max_regression {
+                eprintln!(
+                    "  REGRESSION {}: {:.1} sim-ops/host-sec vs committed {:.1} ({ratio:.2}x \
+                     slower, limit {max_regression:.2}x)",
+                    e.bench, e.sim_ops_per_host_sec, base.sim_ops_per_host_sec
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "  ok {}: {ratio:.2}x of committed baseline (limit {max_regression:.2}x)",
+                    e.bench
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

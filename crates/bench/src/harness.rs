@@ -1,0 +1,98 @@
+//! Parallel experiment runner for `repro_all`.
+//!
+//! Every experiment function builds its own `FlashDevice` (and with it its
+//! own `SimClock`) and seeds its own RNGs, so experiments share no mutable
+//! state — running them on worker threads cannot change any simulated
+//! number. The runner hands jobs to a scoped thread pool and collects
+//! results indexed by submission order, so the assembled report is
+//! byte-identical to a serial run regardless of scheduling.
+
+use crate::report::Table;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One experiment's output: `(table, commentary)` sections.
+pub type Sections = Vec<(Table, &'static str)>;
+
+/// One experiment: produces one or more `(table, commentary)` sections.
+pub type Job = Box<dyn FnOnce() -> Sections + Send>;
+
+/// Run `jobs`, returning each job's sections in submission order.
+///
+/// With `parallel` false (or a single job) everything runs on the calling
+/// thread, in order — the reference execution the parallel mode must match.
+pub fn run_jobs(jobs: Vec<Job>, parallel: bool) -> Vec<Sections> {
+    let n = jobs.len();
+    if !parallel || n <= 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let queue: Mutex<VecDeque<(usize, Job)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let results: Vec<Mutex<Option<Sections>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                // Pop under the lock, run outside it.
+                let next = queue.lock().unwrap().pop_front();
+                let Some((idx, job)) = next else { break };
+                let out = job();
+                *results[idx].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker completed every popped job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(tag: &str) -> Table {
+        let mut t = Table::new(tag.to_string(), &["v"]);
+        t.row(vec![tag.to_string()]);
+        t
+    }
+
+    fn demo_jobs() -> Vec<Job> {
+        (0..8)
+            .map(|i| {
+                let job: Job = Box::new(move || {
+                    // Uneven work so parallel completion order differs from
+                    // submission order.
+                    std::thread::sleep(std::time::Duration::from_millis((8 - i) * 3));
+                    vec![(table(&format!("job-{i}")), "note")]
+                });
+                job
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_order_and_content() {
+        let serial: Vec<String> = run_jobs(demo_jobs(), false)
+            .iter()
+            .flat_map(|s| s.iter().map(|(t, _)| t.render()))
+            .collect();
+        let parallel: Vec<String> = run_jobs(demo_jobs(), true)
+            .iter()
+            .flat_map(|s| s.iter().map(|(t, _)| t.render()))
+            .collect();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 8);
+        assert!(serial[0].contains("job-0") && serial[7].contains("job-7"));
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let jobs: Vec<Job> = vec![Box::new(|| vec![(table("only"), "n")])];
+        let out = run_jobs(jobs, true);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0].1, "n");
+    }
+}

@@ -14,6 +14,8 @@
 
 pub mod ablation;
 pub mod experiments;
+pub mod harness;
+pub mod perfjson;
 pub mod report;
 pub mod tpcc_driver;
 pub mod ycsb_driver;

@@ -1,0 +1,140 @@
+//! The `BENCH_controller.json` wall-clock trajectory: entry type, the flat
+//! one-object-per-line (de)serializer shared by `perfbench` and `repro_all`,
+//! and a renderer for the EXPERIMENTS.md appendix.
+
+use crate::report::Table;
+use std::fmt::Write as _;
+
+/// One wall-clock measurement of a named bench.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    pub label: String,
+    pub bench: String,
+    pub scale: String,
+    pub ops: u64,
+    pub host_seconds: f64,
+    pub sim_ops_per_host_sec: f64,
+    pub bytes_programmed: u64,
+    pub bytes_read: u64,
+}
+
+/// Serialize one entry as a flat JSON object (no trailing newline).
+pub fn render_entry(e: &BenchEntry, out: &mut String) {
+    let _ = write!(
+        out,
+        "  {{\"label\": \"{}\", \"bench\": \"{}\", \"scale\": \"{}\", \"ops\": {}, \
+         \"host_seconds\": {:.4}, \"sim_ops_per_host_sec\": {:.1}, \
+         \"bytes_programmed\": {}, \"bytes_read\": {}}}",
+        e.label,
+        e.bench,
+        e.scale,
+        e.ops,
+        e.host_seconds,
+        e.sim_ops_per_host_sec,
+        e.bytes_programmed,
+        e.bytes_read
+    );
+}
+
+/// Parse the flat entry objects back out of a BENCH_controller.json
+/// (exactly the format `render_entry` writes — one object per line).
+pub fn parse_entries(text: &str) -> Vec<BenchEntry> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.ends_with('}') {
+            continue;
+        }
+        let field = |key: &str| -> Option<String> {
+            let pat = format!("\"{key}\": ");
+            let at = line.find(&pat)? + pat.len();
+            let rest = &line[at..];
+            if let Some(stripped) = rest.strip_prefix('"') {
+                Some(stripped[..stripped.find('"')?].to_string())
+            } else {
+                let end = rest
+                    .find([',', '}'])
+                    .unwrap_or(rest.len());
+                Some(rest[..end].trim().to_string())
+            }
+        };
+        let (Some(label), Some(bench), Some(scale)) =
+            (field("label"), field("bench"), field("scale"))
+        else {
+            continue;
+        };
+        let num = |key: &str| field(key).and_then(|v| v.parse::<f64>().ok()).unwrap_or(0.0);
+        out.push(BenchEntry {
+            label,
+            bench,
+            scale,
+            ops: num("ops") as u64,
+            host_seconds: num("host_seconds"),
+            sim_ops_per_host_sec: num("sim_ops_per_host_sec"),
+            bytes_programmed: num("bytes_programmed") as u64,
+            bytes_read: num("bytes_read") as u64,
+        });
+    }
+    out
+}
+
+/// Table of the committed wall-clock trajectory (full-scale entries only —
+/// smoke-scale runs are gate checks, not baselines).
+pub fn trajectory_table(entries: &[BenchEntry]) -> Table {
+    let mut t = Table::new(
+        "Appendix — host wall-clock controller benchmarks (perfbench)",
+        &["label", "bench", "ops", "host secs", "sim-ops/host-sec"],
+    );
+    for e in entries.iter().filter(|e| e.scale == "full") {
+        t.row(vec![
+            e.label.clone(),
+            e.bench.clone(),
+            e.ops.to_string(),
+            format!("{:.3}", e.host_seconds),
+            format!("{:.0}", e.sim_ops_per_host_sec),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_fields() {
+        let e = BenchEntry {
+            label: "l".into(),
+            bench: "b".into(),
+            scale: "full".into(),
+            ops: 42,
+            host_seconds: 1.5,
+            sim_ops_per_host_sec: 28.0,
+            bytes_programmed: 1024,
+            bytes_read: 2048,
+        };
+        let mut s = String::new();
+        render_entry(&e, &mut s);
+        let back = parse_entries(&s);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].label, "l");
+        assert_eq!(back[0].ops, 42);
+        assert_eq!(back[0].bytes_read, 2048);
+    }
+
+    #[test]
+    fn trajectory_table_skips_smoke_entries() {
+        let mk = |scale: &str| BenchEntry {
+            label: "x".into(),
+            bench: "y".into(),
+            scale: scale.into(),
+            ops: 1,
+            host_seconds: 1.0,
+            sim_ops_per_host_sec: 1.0,
+            bytes_programmed: 0,
+            bytes_read: 0,
+        };
+        let t = trajectory_table(&[mk("full"), mk("small"), mk("full")]);
+        assert_eq!(t.rows.len(), 2);
+    }
+}

@@ -46,6 +46,9 @@ pub struct TpccResult {
     pub pages: u64,
     /// Bytes that crossed the storage interface (incl. padding).
     pub wire_bytes: u64,
+    /// Bytes physically programmed to flash during the run (data + meta +
+    /// log amplification).
+    pub flash_bytes_programmed: u64,
     /// Virtual elapsed time.
     pub sim_ns: Nanos,
 }
@@ -165,6 +168,7 @@ fn run_batch(
         buffer_bytes,
         pages,
         wire_bytes: wire,
+        flash_bytes_programmed: ssd.device().stats().bytes_programmed,
         sim_ns: ssd.now() - t0,
     }
 }
@@ -215,6 +219,7 @@ fn run_block(
         buffer_bytes,
         pages,
         wire_bytes: wire,
+        flash_bytes_programmed: ftl.device().stats().bytes_programmed,
         sim_ns: ftl.now() - t0,
     }
 }

@@ -53,8 +53,9 @@ pub type Result<T> = std::result::Result<T, StoreError>;
 
 /// What the Bw-tree needs from a page store.
 pub trait PageStore {
-    /// Read the current bytes of a page.
-    fn read_page(&mut self, pid: u64) -> Result<Vec<u8>>;
+    /// Read the current bytes of a page (a refcounted view of controller
+    /// memory — no copy on the read path).
+    fn read_page(&mut self, pid: u64) -> Result<bytes::Bytes>;
     /// Durably write a batch of pages (one flush of the 1 MB write
     /// buffer). Returns the virtual completion time.
     fn write_batch(&mut self, pages: &[(u64, Vec<u8>)]) -> Result<Nanos>;
@@ -88,7 +89,7 @@ impl EleosStore {
 }
 
 impl PageStore for EleosStore {
-    fn read_page(&mut self, pid: u64) -> Result<Vec<u8>> {
+    fn read_page(&mut self, pid: u64) -> Result<bytes::Bytes> {
         Ok(self.ssd.read(pid)?)
     }
 
@@ -139,7 +140,7 @@ impl BlockStore {
 }
 
 impl PageStore for BlockStore {
-    fn read_page(&mut self, pid: u64) -> Result<Vec<u8>> {
+    fn read_page(&mut self, pid: u64) -> Result<bytes::Bytes> {
         Ok(self.lss.get(pid)?)
     }
 

@@ -216,10 +216,14 @@ impl<S: PageStore> BwTree<S> {
 
     fn evict_for_room(&mut self) -> Result<()> {
         while self.cache.len() >= self.cfg.cache_pages {
+            // Tie-break equal ticks by pid: HashMap iteration order is
+            // randomized per process, and the victim choice feeds back into
+            // the simulated write stream, so `min_by_key(tick)` alone makes
+            // whole experiment runs non-reproducible.
             let victim = self
                 .cache
                 .iter()
-                .min_by_key(|(_, c)| c.tick)
+                .min_by_key(|(&pid, c)| (c.tick, pid))
                 .map(|(&pid, _)| pid)
                 .expect("cache not empty");
             let mut c = self.cache.remove(&victim).unwrap();
@@ -329,12 +333,14 @@ impl<S: PageStore> BwTree<S> {
 
     /// Flush every dirty page (end of load phase / shutdown).
     pub fn flush_all(&mut self) -> Result<()> {
-        let dirty: Vec<u64> = self
+        let mut dirty: Vec<u64> = self
             .cache
             .iter()
             .filter(|(_, c)| c.dirty)
             .map(|(&pid, _)| pid)
             .collect();
+        // Deterministic flush order (HashMap iteration order is not).
+        dirty.sort_unstable();
         for pid in dirty {
             let bytes = {
                 let c = self.cache.get_mut(&pid).unwrap();

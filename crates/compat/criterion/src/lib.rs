@@ -1,0 +1,282 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The sandbox has no reachable crates.io mirror, so the workspace vendors
+//! the subset of criterion it uses as an in-tree path dependency with the
+//! same package name. It is a real (if simple) wall-clock harness: each
+//! bench function is warmed up for `warm_up_time`, then timed in batches
+//! for roughly `measurement_time`, and the mean per-iteration latency plus
+//! derived throughput is printed. There are no statistics beyond the mean
+//! and no HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Harness configuration + entry point (subset of `criterion::Criterion`).
+pub struct Criterion {
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_secs(2),
+            warm_up: Duration::from_millis(300),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id, None, self.warm_up, self.measurement, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        // A smaller sample size shortens the measurement window
+        // proportionally (crude, but keeps slow benches bounded like
+        // upstream criterion's sample_size does).
+        let scale = self.sample_size.unwrap_or(50) as f64 / 50.0;
+        let measurement = self.criterion.measurement.mul_f64(scale.clamp(0.1, 1.0));
+        run_one(&id, self.throughput, self.criterion.warm_up, measurement, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each bench closure; owns the timing loop.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// (total elapsed, iterations) accumulated by the measured phase.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates per-iter cost for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32);
+        let batch = batch_size_for(per_iter);
+
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement {
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            iters += batch;
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            warm_iters += 1;
+        }
+
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        // Setup time is excluded from the measurement, so bound the loop by
+        // wall time to keep expensive setups from running unbounded.
+        while measured < self.measurement && wall.elapsed() < self.measurement * 4 {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.result = Some((measured, iters));
+    }
+}
+
+fn batch_size_for(per_iter: Option<Duration>) -> u64 {
+    match per_iter {
+        Some(d) if d < Duration::from_micros(1) => 1000,
+        Some(d) if d < Duration::from_micros(100) => 100,
+        _ => 1,
+    }
+}
+
+fn run_one<F>(
+    id: &str,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        warm_up,
+        measurement,
+        result: None,
+    };
+    f(&mut b);
+    let Some((elapsed, iters)) = b.result else {
+        println!("{id:<44} (no measurement)");
+        return;
+    };
+    let ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let mut line = format!("{id:<44} {:>12}/iter", fmt_ns(ns));
+    if let Some(t) = throughput {
+        let per_sec = match t {
+            Throughput::Elements(n) => format!("{:.3} Melem/s", n as f64 / ns * 1e3),
+            Throughput::Bytes(n) => format!("{:.1} MiB/s", n as f64 / ns * 1e9 / (1 << 20) as f64),
+        };
+        line.push_str(&format!("  {per_sec:>16}"));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags (e.g. `--bench`,
+            // filters); this minimal harness ignores them but must not run
+            // the full suite under `cargo test`'s default bench compile.
+            let args: Vec<String> = std::env::args().collect();
+            if args.iter().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("selftest");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

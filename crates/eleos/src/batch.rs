@@ -20,7 +20,7 @@
 use crate::config::PageMode;
 use crate::error::{EleosError, Result};
 use crate::types::{Lpid, PageKind, MAP_PAGE_BASE};
-use bytes::{BufMut, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 
 /// Magic tag opening every entry header.
 pub const ENTRY_MAGIC: u16 = 0xE1E0;
@@ -61,11 +61,7 @@ impl WriteBatch {
         let entry_len = ENTRY_HEADER + payload.len();
         let stored = self.stored_len_for(entry_len)?;
         self.buf.reserve(stored);
-        self.buf.put_u16_le(ENTRY_MAGIC);
-        self.buf.put_u8(kind as u8);
-        self.buf.put_u8(0);
-        self.buf.put_u32_le(payload.len() as u32);
-        self.buf.put_u64_le(lpid);
+        self.buf.put_slice(&encode_header(lpid, kind, payload.len()));
         self.buf.put_slice(payload);
         self.buf.put_bytes(0, stored - entry_len);
         self.entries += 1;
@@ -189,9 +185,22 @@ pub fn parse_batch(bytes: &[u8], mode: PageMode) -> Result<Vec<EntryView>> {
     Ok(out)
 }
 
+/// Build the 16-byte entry header in one shot (the encode hot loop appends
+/// it as a single `put_slice` instead of five small writes).
+fn encode_header(lpid: Lpid, kind: PageKind, payload_len: usize) -> [u8; ENTRY_HEADER] {
+    let mut hdr = [0u8; ENTRY_HEADER];
+    hdr[0..2].copy_from_slice(&ENTRY_MAGIC.to_le_bytes());
+    hdr[2] = kind as u8;
+    hdr[4..8].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    hdr[8..16].copy_from_slice(&lpid.to_le_bytes());
+    hdr
+}
+
 /// Build the stored bytes of a single entry (header + payload + padding)
-/// outside a batch — used by the controller for its own table pages.
-pub(crate) fn encode_entry(lpid: Lpid, kind: PageKind, payload: &[u8], mode: PageMode) -> Vec<u8> {
+/// outside a batch — used by the controller for its own table pages. The
+/// buffer is allocated at its exact stored size up front, then frozen into
+/// a refcounted `Bytes` without copying.
+pub(crate) fn encode_entry(lpid: Lpid, kind: PageKind, payload: &[u8], mode: PageMode) -> Bytes {
     let entry_len = ENTRY_HEADER + payload.len();
     let stored = match mode {
         PageMode::Variable => crate::types::align_lpage(entry_len),
@@ -204,14 +213,10 @@ pub(crate) fn encode_entry(lpid: Lpid, kind: PageKind, payload: &[u8], mode: Pag
         }
     };
     let mut out = Vec::with_capacity(stored);
-    out.extend_from_slice(&ENTRY_MAGIC.to_le_bytes());
-    out.push(kind as u8);
-    out.push(0);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&lpid.to_le_bytes());
+    out.extend_from_slice(&encode_header(lpid, kind, payload.len()));
     out.extend_from_slice(payload);
     out.resize(stored, 0);
-    out
+    Bytes::from(out)
 }
 
 /// Decode the header of a stored LPAGE read back from flash.

@@ -222,7 +222,7 @@ impl Eleos {
         let mut plan = Plan::default();
         self.close_cursor(ob, dest, &mut plan)?;
         for (at, data) in &plan.ios {
-            match self.dev.program(*at, data, &[]) {
+            match self.dev.program(*at, data.clone(), &[]) {
                 Ok(t) => self.dev.clock_mut().wait_until(t),
                 Err(FlashError::ProgramFailed(_)) => {
                     return self.migrate_eblock(addr, 0);

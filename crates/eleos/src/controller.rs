@@ -15,6 +15,7 @@ use crate::stats::EleosStats;
 use crate::summary::{EblockPurpose, EblockState, SummaryTable};
 use crate::types::{ActionId, ActionKind, Lpid, Lsn, PageKind, Sid, Usn, Wsn};
 use crate::wal::{LogRecord, LogWriter, SealOutcome};
+use bytes::Bytes;
 use eleos_flash::{EblockAddr, FlashDevice, FlashError, Nanos, WblockAddr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,8 +36,10 @@ pub struct BatchAck {
 pub(crate) struct ActionPage {
     pub lpid: Lpid,
     pub kind: PageKind,
-    /// Stored entry bytes (header + payload + padding).
-    pub bytes: Vec<u8>,
+    /// Stored entry bytes (header + payload + padding). A refcounted view —
+    /// for user writes a slice of the batch buffer, for GC/migration the
+    /// flash read result — so building an action never copies page payloads.
+    pub bytes: Bytes,
     /// Packed address this page is being relocated from (GC/migrate);
     /// `NULL_PADDR` for user and checkpoint writes.
     pub old_addr: u64,
@@ -72,7 +75,7 @@ pub(crate) struct CloseEvent {
     pub data_wblocks: u16,
     pub meta_wblocks: u16,
     /// Encoded metadata pages, kept for abort-repair (Section VII).
-    pub meta_pages: Vec<Vec<u8>>,
+    pub meta_pages: Vec<Bytes>,
     /// The metadata entries themselves, kept so a write failure in this
     /// EBLOCK can still migrate it (the flash copy may never land).
     pub entries: Vec<(PageKind, Lpid)>,
@@ -83,8 +86,10 @@ pub(crate) struct CloseEvent {
 pub(crate) struct Plan {
     /// Physical address per page (parallel to the action's page list).
     pub addrs: Vec<PhysAddr>,
-    /// WBLOCK programs to execute, in required program order.
-    pub ios: Vec<(WblockAddr, Vec<u8>)>,
+    /// WBLOCK programs to execute, in required program order. Each buffer
+    /// is a refcounted view (typically a slice of the batch buffer) that
+    /// the device adopts without copying.
+    pub ios: Vec<(WblockAddr, Bytes)>,
     /// EBLOCKs closed by this action.
     pub closes: Vec<CloseEvent>,
     /// Data regions provisioned: (eblock, start byte, end byte).
@@ -305,13 +310,16 @@ impl Eleos {
         if batch.is_empty() {
             return Err(EleosError::EmptyBatch);
         }
-        let bytes = batch.as_bytes();
+        // One copy: the transport DMA of the host buffer into controller
+        // memory. Everything downstream — per-page views, WBLOCK programs,
+        // flash storage — slices this refcounted buffer without copying.
+        let bytes = Bytes::copy_from_slice(batch.as_bytes());
         // Host submission + transport (one I/O, many packets).
         let profile = *self.dev.profile();
         self.dev
             .clock_mut()
             .cpu(profile.host_submit_ns + profile.transport_cpu(bytes.len() as u64));
-        let entries = parse_batch(bytes, self.cfg.page_mode)?;
+        let entries = parse_batch(&bytes, self.cfg.page_mode)?;
         if entries.iter().any(|e| e.kind != PageKind::User) {
             return Err(EleosError::Corrupt("user batch contains table-page entries"));
         }
@@ -320,7 +328,7 @@ impl Eleos {
             .map(|e| ActionPage {
                 lpid: e.lpid,
                 kind: PageKind::User,
-                bytes: bytes[e.stored_range()].to_vec(),
+                bytes: bytes.slice(e.stored_range()),
                 old_addr: NULL_PADDR,
             })
             .collect();
@@ -355,8 +363,10 @@ impl Eleos {
 
     /// Read the current content of an LPAGE by LPID (`read_LPID` of
     /// Section IX-A2). Returns exactly the payload bytes — adjacent data in
-    /// the covering RBLOCKs is never revealed.
-    pub fn read(&mut self, lpid: Lpid) -> Result<Vec<u8>> {
+    /// the covering RBLOCKs is never revealed. The returned [`Bytes`] is a
+    /// zero-copy view of the device's stored buffer whenever the LPAGE sits
+    /// inside one WBLOCK.
+    pub fn read(&mut self, lpid: Lpid) -> Result<Bytes> {
         let profile = *self.dev.profile();
         self.dev
             .clock_mut()
@@ -374,7 +384,7 @@ impl Eleos {
         self.dev.clock_mut().cpu(profile.transport_cpu(plen as u64));
         self.stats.reads += 1;
         self.stats.read_bytes += plen as u64;
-        Ok(bytes[ENTRY_HEADER..ENTRY_HEADER + plen].to_vec())
+        Ok(bytes.slice(ENTRY_HEADER..ENTRY_HEADER + plen))
     }
 
     /// Current stored length (on-flash bytes) of an LPID, if mapped.
@@ -654,7 +664,9 @@ impl Eleos {
         // ---- execution: transfer data to the storage media ----
         let mut max_done = 0;
         for (at, data) in &plan.ios {
-            match self.dev.program(*at, data, &[]) {
+            // Refcount clone: the device adopts the same buffer the batch
+            // transport filled; no byte copy on the program path.
+            match self.dev.program(*at, data.clone(), &[]) {
                 Ok(t) => max_done = max_done.max(t),
                 Err(FlashError::ProgramFailed(addr)) => {
                     return self.handle_write_failure(id, &plan, addr, 0);
@@ -921,17 +933,52 @@ impl Eleos {
                 let lsn = self.wal.next_lsn();
                 self.summary.update(ob.addr, lsn, |d| d.avail += frag);
             }
-            let region_len = (ob.frontier - start) as usize;
-            let mut region = vec![0u8; region_len];
-            for j in first_in_region..i {
-                let off = (plan.addrs[j].offset - start) as usize;
-                region[off..off + pages[j].bytes.len()].copy_from_slice(&pages[j].bytes);
+            // The region bytes are exactly the concatenation of the page
+            // views (pages pack back-to-back from `start`). Coalesce
+            // adjacent views first: user pages are consecutive slices of
+            // one batch buffer, so a whole batch chunk usually collapses to
+            // a single segment and full WBLOCKs become zero-copy slices of
+            // it. Only the zero-padded tail WBLOCK (and any read-assembled
+            // GC pages) need assembly.
+            let region_len = (cur - start) as usize;
+            let mut segs: Vec<Bytes> = Vec::new();
+            for page in &pages[first_in_region..i] {
+                let b = page.bytes.clone();
+                match segs.last_mut().and_then(|last| last.try_join(&b)) {
+                    Some(joined) => *segs.last_mut().unwrap() = joined,
+                    None => segs.push(b),
+                }
             }
             let wb = geo.wblock_bytes as usize;
             let first_wblock = (start / wb as u64) as u32;
-            for (k, chunk) in region.chunks(wb).enumerate() {
-                let mut buf = chunk.to_vec();
-                buf.resize(wb, 0);
+            let n_wblocks = region_len.div_ceil(wb);
+            let (mut seg_idx, mut seg_off) = (0usize, 0usize);
+            for k in 0..n_wblocks {
+                let want = wb.min(region_len - k * wb);
+                let buf: Bytes = if want == wb && segs[seg_idx].len() - seg_off >= wb {
+                    let b = segs[seg_idx].slice(seg_off..seg_off + wb);
+                    seg_off += wb;
+                    b
+                } else {
+                    let mut v = Vec::with_capacity(wb);
+                    let mut need = want;
+                    while need > 0 {
+                        let take = (segs[seg_idx].len() - seg_off).min(need);
+                        v.extend_from_slice(&segs[seg_idx][seg_off..seg_off + take]);
+                        seg_off += take;
+                        need -= take;
+                        if seg_off == segs[seg_idx].len() {
+                            seg_idx += 1;
+                            seg_off = 0;
+                        }
+                    }
+                    v.resize(wb, 0);
+                    Bytes::from(v)
+                };
+                if seg_idx < segs.len() && seg_off == segs[seg_idx].len() {
+                    seg_idx += 1;
+                    seg_off = 0;
+                }
                 plan.ios.push((
                     WblockAddr::new(channel, ob.addr.eblock, first_wblock + k as u32),
                     buf,
@@ -997,7 +1044,10 @@ impl Eleos {
             Dest::User => self.usn,
             Dest::GcBin { .. } => ob.bin_ts.unwrap_or(self.usn),
         };
-        let meta_pages = encode_eblock_meta(&ob.meta, ts, data_wblocks, &geo);
+        let meta_pages: Vec<Bytes> = encode_eblock_meta(&ob.meta, ts, data_wblocks, &geo)
+            .into_iter()
+            .map(Bytes::from)
+            .collect();
         let meta_wblocks = meta_pages.len() as u32;
         debug_assert!(data_wblocks + meta_wblocks <= geo.wblocks_per_eblock);
         for (k, page) in meta_pages.iter().enumerate() {
@@ -1079,7 +1129,7 @@ impl Eleos {
         // this very plan its metadata never reached flash — use the close
         // event's in-memory copy.
         match plan.closes.iter().find(|c| c.addr == failed_eb) {
-            Some(c) => self.migrate_with_meta(failed_eb, c.entries.clone(), depth)?,
+            Some(c) => self.migrate_with_meta(failed_eb, &c.entries, depth)?,
             None => self.migrate_eblock(failed_eb, depth)?,
         }
         Err(EleosError::ActionAborted)
@@ -1110,15 +1160,16 @@ impl Eleos {
         let done = self.dev.programmed_wblocks(c.addr)?;
         let meta_start = c.data_wblocks as u32;
         if done < meta_start {
-            let zeros = vec![0u8; geo.wblock_bytes as usize];
+            let zeros = Bytes::from(vec![0u8; geo.wblock_bytes as usize]);
             for w in done..meta_start {
-                match self
-                    .dev
-                    .program(WblockAddr::new(c.addr.channel, c.addr.eblock, w), &zeros, &[])
-                {
+                match self.dev.program(
+                    WblockAddr::new(c.addr.channel, c.addr.eblock, w),
+                    zeros.clone(),
+                    &[],
+                ) {
                     Ok(_) => {}
                     Err(FlashError::ProgramFailed(_)) => {
-                        return self.migrate_with_meta(c.addr, c.entries.clone(), 1);
+                        return self.migrate_with_meta(c.addr, &c.entries, 1);
                     }
                     Err(e) => return Err(e.into()),
                 }
@@ -1130,15 +1181,16 @@ impl Eleos {
             if w < done {
                 continue;
             }
-            match self
-                .dev
-                .program(WblockAddr::new(c.addr.channel, c.addr.eblock, w), page, &[])
-            {
+            match self.dev.program(
+                WblockAddr::new(c.addr.channel, c.addr.eblock, w),
+                page.clone(),
+                &[],
+            ) {
                 Ok(_) => {}
                 Err(FlashError::ProgramFailed(_)) => {
                     // This EBLOCK is now poisoned too; migrate it as well,
                     // with the close event's metadata (never durable).
-                    return self.migrate_with_meta(c.addr, c.entries.clone(), 1);
+                    return self.migrate_with_meta(c.addr, &c.entries, 1);
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -1156,16 +1208,17 @@ impl Eleos {
         if meta.is_empty() {
             meta = self.read_flash_meta(eb).unwrap_or_default();
         }
-        self.migrate_with_meta(eb, meta, depth)
+        self.migrate_with_meta(eb, &meta, depth)
     }
 
     /// Migration core: move all mapping-valid LPAGEs described by `meta`
-    /// out of `eb`, then erase it. `meta` is retained across nested-failure
-    /// retries so committed pages are never dropped.
+    /// out of `eb`, then erase it. `meta` is borrowed — retries reuse the
+    /// caller's list so committed pages are never dropped and nested
+    /// failures never clone the (potentially thousands-long) entry list.
     pub(crate) fn migrate_with_meta(
         &mut self,
         eb: EblockAddr,
-        meta: Vec<(PageKind, Lpid)>,
+        meta: &[(PageKind, Lpid)],
         depth: u8,
     ) -> Result<()> {
         if depth > 2 {
@@ -1173,7 +1226,7 @@ impl Eleos {
             return Err(EleosError::ShutDown);
         }
         self.stats.migrations += 1;
-        let valid = self.scan_valid_pages(eb, &meta)?;
+        let valid = self.scan_valid_pages(eb, meta)?;
         if !valid.is_empty() {
             let victim_ts = self.summary.get(eb).ts;
             let dest = Dest::GcBin {

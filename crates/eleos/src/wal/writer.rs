@@ -251,8 +251,11 @@ impl LogWriter {
             }
             // The forward pointers depend on where this page actually lands.
             let fwd = self.compute_fwd(cand, &geo);
+            // The page must be re-encoded per candidate (the forward
+            // pointers depend on where it lands), but the device adopts the
+            // buffer zero-copy instead of duplicating a whole WBLOCK.
             let page = self.encode_page(cand, &fwd, geo.wblock_bytes as usize);
-            match dev.program(cand, &page, &[]) {
+            match dev.program(cand, page, &[]) {
                 Ok(done_at) => {
                     if cand.eblock != self.cur_eblock {
                         // We rolled into a standby EBLOCK.

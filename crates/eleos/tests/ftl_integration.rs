@@ -532,7 +532,7 @@ fn pipelined_ordered_writes_preserve_order_and_save_time() {
     // Same workload, synchronous vs pipelined ordered writes: identical
     // contents, and the pipelined run finishes earlier in virtual time
     // because the host never blocks on flash completion.
-    let run = |pipelined: bool| -> (u64, Vec<u8>) {
+    let run = |pipelined: bool| -> (u64, bytes::Bytes) {
         let dev = FlashDevice::new(Geometry::tiny(), CostProfile::weak_controller());
         let mut ssd = Eleos::format(dev, cfg()).unwrap();
         let sid = ssd.open_session().unwrap();

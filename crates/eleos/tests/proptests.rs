@@ -281,12 +281,77 @@ proptest! {
             let bytes = page_bytes(lpid, seed ^ 0xFF, len);
             if let Ok(got) = ssd.read(lpid) {
                 prop_assert!(
-                    shadow.get(&lpid) == Some(&got) || got != bytes,
+                    shadow.get(&lpid).is_some_and(|v| *v == got) || got != bytes,
                     "aborted write for {} became visible", lpid
                 );
             }
         }
         // The device still accepts writes.
         ssd.write(&fb).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The zero-copy data plane must change no semantics: reads are
+    /// refcounted views of flash-resident buffers, so (a) read-after-write
+    /// always matches the shadow model across batches, GC cycles, and a
+    /// crash/recover, and (b) a view handed out *before* GC migrated (and
+    /// erased) its source EBLOCK still carries the bytes captured at read
+    /// time — flash contents are immutable between program and erase, and
+    /// erase only drops refcounts.
+    #[test]
+    fn zero_copy_views_stable_across_gc_and_crash(
+        rounds in prop::collection::vec(
+            prop::collection::vec((0u64..48, any::<u8>(), 64u16..1200), 2..10),
+            4..16,
+        ),
+        crash_after in 0usize..16,
+    ) {
+        // An always-on GC watermark forces real victim scans and
+        // migrations at this tiny scale.
+        let gc_cfg = EleosConfig {
+            gc_free_watermark: 0.95,
+            gc_free_target: 0.95,
+            ..cfg()
+        };
+        let mut ssd = Eleos::format(dev(), gc_cfg.clone()).unwrap();
+        let mut shadow: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut held: Vec<(u64, Vec<u8>, bytes::Bytes)> = Vec::new();
+        for (i, pages) in rounds.iter().enumerate() {
+            if i == crash_after {
+                let flash = ssd.crash();
+                ssd = Eleos::recover(flash, gc_cfg.clone()).unwrap();
+            }
+            let mut b = WriteBatch::new(PageMode::Variable);
+            for &(lpid, seed, len) in pages {
+                b.put(lpid, &page_bytes(lpid, seed, len)).unwrap();
+            }
+            ssd.write(&b).unwrap();
+            for &(lpid, seed, len) in pages {
+                shadow.insert(lpid, page_bytes(lpid, seed, len));
+            }
+            // GC cycle: relocates live pages and erases victims while
+            // `held` still points into the old EBLOCKs.
+            ssd.maintenance().unwrap();
+            let mut lpids: Vec<u64> = shadow.keys().copied().collect();
+            lpids.sort_unstable();
+            for lpid in lpids.into_iter().take(3) {
+                let view = ssd.read(lpid).unwrap();
+                prop_assert_eq!(&view, &shadow[&lpid]);
+                held.push((lpid, shadow[&lpid].clone(), view));
+            }
+        }
+        ssd.drain();
+        // Every held view still equals its capture-time snapshot, no
+        // matter how many erases hit its source EBLOCK since.
+        for (lpid, snap, view) in &held {
+            prop_assert_eq!(view, snap, "held view of lpid {} mutated", lpid);
+        }
+        // And current reads still match the shadow model exactly.
+        for (lpid, expect) in &shadow {
+            prop_assert_eq!(&ssd.read(*lpid).unwrap(), expect, "lpid {}", lpid);
+        }
     }
 }

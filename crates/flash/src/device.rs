@@ -14,6 +14,7 @@ use crate::error::{FlashError, Result};
 use crate::fault::FaultInjector;
 use crate::geometry::Geometry;
 use crate::stats::FlashStats;
+use bytes::Bytes;
 
 /// The emulated flash array plus its clock, cost model and fault injector.
 ///
@@ -30,6 +31,10 @@ pub struct FlashDevice {
     stats: FlashStats,
     /// Maximum erases per EBLOCK before it becomes permanently bad.
     endurance: u32,
+    /// Per-EBLOCK erase counts, channel-major — kept in step with the
+    /// `EblockSim`s so `wear_map()` can hand out a borrowed view instead of
+    /// collecting a fresh `Vec` on every call.
+    wear: Vec<u32>,
 }
 
 impl FlashDevice {
@@ -44,6 +49,7 @@ impl FlashDevice {
             .collect();
         FlashDevice {
             clock: SimClock::new(geo.channels),
+            wear: vec![0u32; geo.total_eblocks() as usize],
             geo,
             profile,
             blocks,
@@ -111,9 +117,20 @@ impl FlashDevice {
     /// Program one WBLOCK. `data` must be exactly one WBLOCK; `tag` is
     /// optional out-of-band metadata (truncated/zero-padded to the TAG area).
     ///
+    /// `data` is adopted, not copied: pass a [`Bytes`] (e.g. a slice of the
+    /// controller's batch buffer) and the device stores that refcounted view
+    /// directly. `&[u8]`/`&Vec<u8>` still work through `Into<Bytes>` at the
+    /// cost of one copy.
+    ///
     /// Returns the channel-timeline completion time. The CPU timeline is not
     /// blocked — callers needing durability wait on the returned time.
-    pub fn program(&mut self, addr: WblockAddr, data: &[u8], tag: &[u8]) -> Result<Nanos> {
+    pub fn program(
+        &mut self,
+        addr: WblockAddr,
+        data: impl Into<Bytes>,
+        tag: &[u8],
+    ) -> Result<Nanos> {
+        let data: Bytes = data.into();
         if !addr.in_bounds(&self.geo) {
             return Err(FlashError::OutOfBounds);
         }
@@ -150,8 +167,12 @@ impl FlashDevice {
     /// — Section V: "some extra data may be transferred to memory as well")
     /// and returns exactly the requested bytes.
     ///
+    /// When the extent lies inside one WBLOCK the returned [`Bytes`] is a
+    /// zero-copy view of the stored buffer; spanning extents are assembled
+    /// into one fresh buffer.
+    ///
     /// Returns `(bytes, completion_time)`.
-    pub fn read_extent(&mut self, ext: ByteExtent) -> Result<(Vec<u8>, Nanos)> {
+    pub fn read_extent(&mut self, ext: ByteExtent) -> Result<(Bytes, Nanos)> {
         if !ext.in_bounds(&self.geo) {
             return Err(FlashError::OutOfBounds);
         }
@@ -171,15 +192,17 @@ impl FlashDevice {
         }
         let duration = self.profile.read_duration(count, geo.rblock_bytes);
         let done = self.clock.submit_channel(ext.eblock.channel, duration);
-        let mut out = vec![0u8; ext.len as usize];
-        self.eb(ext.eblock)?.read_bytes(ext.offset as usize, &mut out);
+        let out = self
+            .eb(ext.eblock)?
+            .read_bytes(&geo, ext.offset as usize, ext.len as usize);
         self.stats.rblock_reads += count as u64;
         self.stats.bytes_read += count as u64 * geo.rblock_bytes as u64;
         Ok((out, done))
     }
 
-    /// Read whole WBLOCKs `[first, first + count)` of an EBLOCK.
-    pub fn read_wblocks(&mut self, eb: EblockAddr, first: u32, count: u32) -> Result<(Vec<u8>, Nanos)> {
+    /// Read whole WBLOCKs `[first, first + count)` of an EBLOCK. A
+    /// single-WBLOCK read is a zero-copy clone of the stored buffer.
+    pub fn read_wblocks(&mut self, eb: EblockAddr, first: u32, count: u32) -> Result<(Bytes, Nanos)> {
         let ext = ByteExtent::new(
             eb,
             first as u64 * self.geo.wblock_bytes as u64,
@@ -190,7 +213,7 @@ impl FlashDevice {
 
     /// Read the TAG (out-of-band) area of one WBLOCK. Charged as one RBLOCK
     /// read on the channel.
-    pub fn read_tag(&mut self, addr: WblockAddr) -> Result<(Vec<u8>, Nanos)> {
+    pub fn read_tag(&mut self, addr: WblockAddr) -> Result<(Bytes, Nanos)> {
         if !addr.in_bounds(&self.geo) {
             return Err(FlashError::OutOfBounds);
         }
@@ -215,15 +238,15 @@ impl FlashDevice {
     /// Erase an EBLOCK. Fails permanently once the endurance limit is hit.
     pub fn erase(&mut self, a: EblockAddr) -> Result<Nanos> {
         let endurance = self.endurance;
-        let geo = self.geo;
         let eb = self.eb_mut(a)?;
         if eb.erase_count() >= endurance {
             return Err(FlashError::WornOut(a));
         }
         eb.erase();
+        let wear_idx = a.channel as usize * self.geo.eblocks_per_channel as usize + a.eblock as usize;
+        self.wear[wear_idx] += 1;
         self.stats.erases += 1;
         let duration = self.profile.erase_eblock_ns;
-        let _ = geo;
         Ok(self.clock.submit_channel(a.channel, duration))
     }
 
@@ -249,12 +272,10 @@ impl FlashDevice {
         Ok(self.eb(a)?.erase_count())
     }
 
-    /// Erase counts of every EBLOCK (wear report), channel-major.
-    pub fn wear_map(&self) -> Vec<u32> {
-        self.blocks
-            .iter()
-            .flat_map(|ch| ch.iter().map(|eb| eb.erase_count()))
-            .collect()
+    /// Erase counts of every EBLOCK (wear report), channel-major. Borrowed
+    /// view of the maintained per-EBLOCK counters — no allocation.
+    pub fn wear_map(&self) -> &[u32] {
+        &self.wear
     }
 }
 
@@ -275,7 +296,7 @@ mod tests {
         let mut d = dev();
         let geo = *d.geometry();
         let a = WblockAddr::new(0, 0, 0);
-        d.program(a, &wb(&geo, 0x5A), b"tag0").unwrap();
+        d.program(a, wb(&geo, 0x5A), b"tag0").unwrap();
         let (bytes, _) = d
             .read_extent(ByteExtent::new(a.eblock, 64, 128))
             .unwrap();
@@ -289,7 +310,7 @@ mod tests {
         let mut d = dev();
         let geo = *d.geometry();
         let a = WblockAddr::new(0, 0, 0);
-        d.program(a, &wb(&geo, 1), &[]).unwrap();
+        d.program(a, wb(&geo, 1), &[]).unwrap();
         // 100 bytes crossing an RBLOCK boundary -> 2 RBLOCKs transferred.
         let before = d.stats().bytes_read;
         d.read_extent(ByteExtent::new(a.eblock, geo.rblock_bytes as u64 - 50, 100))
@@ -301,10 +322,10 @@ mod tests {
     fn out_of_order_and_rewrite_rejected() {
         let mut d = dev();
         let geo = *d.geometry();
-        let e = d.program(WblockAddr::new(0, 0, 1), &wb(&geo, 0), &[]);
+        let e = d.program(WblockAddr::new(0, 0, 1), wb(&geo, 0), &[]);
         assert!(matches!(e, Err(FlashError::OutOfOrderProgram { .. })));
-        d.program(WblockAddr::new(0, 0, 0), &wb(&geo, 0), &[]).unwrap();
-        let e = d.program(WblockAddr::new(0, 0, 0), &wb(&geo, 0), &[]);
+        d.program(WblockAddr::new(0, 0, 0), wb(&geo, 0), &[]).unwrap();
+        let e = d.program(WblockAddr::new(0, 0, 0), wb(&geo, 0), &[]);
         assert!(matches!(e, Err(FlashError::ProgramBeforeErase(_))));
     }
 
@@ -320,10 +341,10 @@ mod tests {
         let mut d = dev();
         let geo = *d.geometry();
         let a = WblockAddr::new(1, 3, 0);
-        d.program(a, &wb(&geo, 1), &[]).unwrap();
+        d.program(a, wb(&geo, 1), &[]).unwrap();
         d.erase(a.eblock).unwrap();
         assert_eq!(d.erase_count(a.eblock).unwrap(), 1);
-        d.program(a, &wb(&geo, 2), &[]).unwrap();
+        d.program(a, wb(&geo, 2), &[]).unwrap();
         let (bytes, _) = d.read_extent(ByteExtent::new(a.eblock, 0, 8)).unwrap();
         assert_eq!(bytes, vec![2; 8]);
     }
@@ -333,13 +354,13 @@ mod tests {
         let mut d = FlashDevice::new(Geometry::tiny(), CostProfile::unit())
             .with_faults(FaultInjector::script([1]));
         let geo = *d.geometry();
-        d.program(WblockAddr::new(0, 0, 0), &wb(&geo, 1), &[]).unwrap();
-        let e = d.program(WblockAddr::new(0, 0, 1), &wb(&geo, 2), &[]);
+        d.program(WblockAddr::new(0, 0, 0), wb(&geo, 1), &[]).unwrap();
+        let e = d.program(WblockAddr::new(0, 0, 1), wb(&geo, 2), &[]);
         assert!(matches!(e, Err(FlashError::ProgramFailed(_))));
         assert!(d.is_poisoned(EblockAddr::new(0, 0)).unwrap());
         // Further programs to the same EBLOCK fail even though the injector
         // would allow them.
-        let e = d.program(WblockAddr::new(0, 0, 1), &wb(&geo, 2), &[]);
+        let e = d.program(WblockAddr::new(0, 0, 1), wb(&geo, 2), &[]);
         assert!(matches!(e, Err(FlashError::EblockPoisoned(_))));
         // Data written before the failure is still readable (needed for
         // migration, Section VII).
@@ -349,7 +370,7 @@ mod tests {
         assert_eq!(bytes, vec![1; 4]);
         // Erase heals it.
         d.erase(EblockAddr::new(0, 0)).unwrap();
-        d.program(WblockAddr::new(0, 0, 0), &wb(&geo, 3), &[]).unwrap();
+        d.program(WblockAddr::new(0, 0, 0), wb(&geo, 3), &[]).unwrap();
     }
 
     #[test]
@@ -366,7 +387,7 @@ mod tests {
         let mut d = dev();
         let geo = *d.geometry();
         let a = WblockAddr::new(2, 0, 0);
-        d.program(a, &wb(&geo, 0), b"hello-tag").unwrap();
+        d.program(a, wb(&geo, 0), b"hello-tag").unwrap();
         let (tag, _) = d.read_tag(a).unwrap();
         assert_eq!(&tag[..9], b"hello-tag");
         assert!(d.read_tag(WblockAddr::new(2, 0, 1)).is_err());
@@ -378,8 +399,8 @@ mod tests {
         let geo = *d.geometry();
         let a = EblockAddr::new(0, 1);
         assert_eq!(d.programmed_wblocks(a).unwrap(), 0);
-        d.program(WblockAddr::new(0, 1, 0), &wb(&geo, 0), &[]).unwrap();
-        d.program(WblockAddr::new(0, 1, 1), &wb(&geo, 0), &[]).unwrap();
+        d.program(WblockAddr::new(0, 1, 0), wb(&geo, 0), &[]).unwrap();
+        d.program(WblockAddr::new(0, 1, 1), wb(&geo, 0), &[]).unwrap();
         assert_eq!(d.programmed_wblocks(a).unwrap(), 2);
         assert!(d.is_wblock_programmed(WblockAddr::new(0, 1, 1)).unwrap());
         assert!(!d.is_wblock_programmed(WblockAddr::new(0, 1, 2)).unwrap());
@@ -389,10 +410,10 @@ mod tests {
     fn clock_advances_with_operations() {
         let mut d = FlashDevice::new(Geometry::tiny(), CostProfile::weak_controller());
         let geo = *d.geometry();
-        let done = d.program(WblockAddr::new(0, 0, 0), &wb(&geo, 0), &[]).unwrap();
+        let done = d.program(WblockAddr::new(0, 0, 0), wb(&geo, 0), &[]).unwrap();
         assert!(done >= d.profile().prog_wblock_ns);
         // Different channels overlap.
-        let done1 = d.program(WblockAddr::new(1, 0, 0), &wb(&geo, 0), &[]).unwrap();
+        let done1 = d.program(WblockAddr::new(1, 0, 0), wb(&geo, 0), &[]).unwrap();
         assert_eq!(done, done1);
     }
 
@@ -403,5 +424,24 @@ mod tests {
         assert_eq!(d.wear_map().len(), geo.total_eblocks() as usize);
         d.erase(EblockAddr::new(0, 0)).unwrap();
         assert_eq!(d.wear_map().iter().sum::<u32>(), 1);
+        let last = EblockAddr::new(geo.channels - 1, geo.eblocks_per_channel - 1);
+        d.erase(last).unwrap();
+        assert_eq!(*d.wear_map().last().unwrap(), 1);
+        assert_eq!(d.wear_map()[0], d.erase_count(EblockAddr::new(0, 0)).unwrap());
+    }
+
+    #[test]
+    fn single_wblock_read_shares_programmed_buffer() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        let buf = Bytes::from(wb(&geo, 9));
+        d.program(WblockAddr::new(0, 0, 0), buf.clone(), &[]).unwrap();
+        let (view, _) = d
+            .read_extent(ByteExtent::new(EblockAddr::new(0, 0), 16, 64))
+            .unwrap();
+        // Zero-copy: the returned view joins with a prefix slice of the
+        // original buffer, which only works for the same backing Arc.
+        assert!(buf.slice(0..16).try_join(&view).is_some());
+        assert_eq!(view, vec![9u8; 64]);
     }
 }

@@ -49,7 +49,7 @@ proptest! {
                     let w = fills.len() as u32;
                     let res = d.program(
                         WblockAddr::new(c as u32, e as u32, w),
-                        &vec![fill; wb],
+                        vec![fill; wb],
                         &[],
                     );
                     if w < geo.wblocks_per_eblock {

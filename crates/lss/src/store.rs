@@ -217,7 +217,7 @@ impl LogStore {
 
     /// Append encoded slots at the tail, updating the mapping. Writes are
     /// issued per contiguous run within a segment (one host I/O each).
-    fn append_slots(&mut self, slots: &[(u64, Vec<u8>)]) -> Result<Nanos> {
+    fn append_slots<B: AsRef<[u8]>>(&mut self, slots: &[(u64, B)]) -> Result<Nanos> {
         let mut i = 0usize;
         let mut done = 0;
         while i < slots.len() {
@@ -233,7 +233,7 @@ impl LogStore {
             let lba = seg as u64 * self.cfg.segment_pages as u64 + next as u64;
             let mut data = Vec::with_capacity(n * LOGICAL_PAGE);
             for (_, slot_bytes) in &slots[i..i + n] {
-                data.extend_from_slice(slot_bytes);
+                data.extend_from_slice(slot_bytes.as_ref());
             }
             let t = self.ftl.write(lba, &data)?;
             done = done.max(t);
@@ -262,12 +262,12 @@ impl LogStore {
     }
 
     /// Read the current version of a page.
-    pub fn get(&mut self, page_id: u64) -> Result<Vec<u8>> {
+    pub fn get(&mut self, page_id: u64) -> Result<bytes::Bytes> {
         // The write buffer may hold the newest (possibly only) version.
         if let Some((_, slot)) = self.buf.iter().rev().find(|(id, _)| *id == page_id) {
             let (_, payload) = Self::decode_slot(slot)?;
             self.stats.gets += 1;
-            return Ok(payload.to_vec());
+            return Ok(bytes::Bytes::copy_from_slice(payload));
         }
         let lba = *self.mapping.get(&page_id).ok_or(LssError::NotFound(page_id))?;
         let (bytes, _) = self.ftl.read(lba, 1)?;
@@ -275,8 +275,11 @@ impl LogStore {
         if id != page_id {
             return Err(LssError::Corrupt);
         }
+        let len = payload.len();
         self.stats.gets += 1;
-        Ok(payload.to_vec())
+        // The payload sits at a fixed offset inside the slot the FTL handed
+        // back — return a refcounted view instead of copying it out.
+        Ok(bytes.slice(HEADER..HEADER + len))
     }
 
     /// Periodic host mapping checkpoint: serialize every mapping entry into
@@ -338,7 +341,9 @@ impl LogStore {
             let (bytes, t) = self.ftl.read(base, used)?;
             self.ftl.device_mut().clock_mut().wait_until(t);
             self.stats.gc_bytes_read += bytes.len() as u64;
-            let mut survivors: Vec<(u64, Vec<u8>)> = Vec::new();
+            // Survivors are refcounted views into the segment read — the
+            // relocation never duplicates slot bytes on the host side.
+            let mut survivors: Vec<(u64, bytes::Bytes)> = Vec::new();
             for k in 0..used as usize {
                 let slot = &bytes[k * LOGICAL_PAGE..(k + 1) * LOGICAL_PAGE];
                 let Ok((id, _)) = Self::decode_slot(slot) else {
@@ -348,7 +353,7 @@ impl LogStore {
                     continue; // superseded checkpoint data
                 }
                 if self.mapping.get(&id) == Some(&(base + k as u64)) {
-                    survivors.push((id, slot.to_vec()));
+                    survivors.push((id, bytes.slice(k * LOGICAL_PAGE..(k + 1) * LOGICAL_PAGE)));
                 }
             }
             self.stats.gc_pages_moved += survivors.len() as u64;

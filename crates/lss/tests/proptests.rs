@@ -64,7 +64,7 @@ proptest! {
             s.put(*id, &data).unwrap();
             shadow.insert(*id, data);
         }
-        let before: HashMap<u64, Vec<u8>> = shadow
+        let before: HashMap<u64, bytes::Bytes> = shadow
             .keys()
             .map(|&id| (id, s.get(id).unwrap()))
             .collect();

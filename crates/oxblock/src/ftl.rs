@@ -255,7 +255,7 @@ impl OxBlock {
     }
 
     /// Read `npages` logical pages starting at `lba`.
-    pub fn read(&mut self, lba: u64, npages: u32) -> Result<(Vec<u8>, Nanos)> {
+    pub fn read(&mut self, lba: u64, npages: u32) -> Result<(bytes::Bytes, Nanos)> {
         if lba + npages as u64 > self.cfg.logical_pages {
             return Err(OxError::OutOfRange);
         }
@@ -263,7 +263,11 @@ impl OxBlock {
         self.dev
             .clock_mut()
             .cpu(profile.host_submit_ns + profile.read_ctx_ns);
-        let mut out = Vec::with_capacity(npages as usize * LOGICAL_PAGE);
+        // Collect refcounted views per logical page; physically adjacent
+        // pages coalesce into one view, so a read that stays inside one
+        // WBLOCK never copies.
+        let mut segs: Vec<bytes::Bytes> = Vec::new();
+        let mut total = 0usize;
         let mut done = 0;
         for i in 0..npages as u64 {
             let lpn = lba + i;
@@ -274,14 +278,27 @@ impl OxBlock {
                 LOGICAL_PAGE as u64,
             );
             let (bytes, t) = self.dev.read_extent(ext)?;
-            out.extend_from_slice(&bytes);
+            total += bytes.len();
+            match segs.last_mut().and_then(|last| last.try_join(&bytes)) {
+                Some(joined) => *segs.last_mut().unwrap() = joined,
+                None => segs.push(bytes),
+            }
             done = done.max(t);
         }
         self.dev.clock_mut().wait_until(done);
         self.dev
             .clock_mut()
-            .cpu(profile.transport_cpu(out.len() as u64));
+            .cpu(profile.transport_cpu(total as u64));
         self.stats.pages_read += npages as u64;
+        let out = if segs.len() == 1 {
+            segs.pop().unwrap()
+        } else {
+            let mut v = Vec::with_capacity(total);
+            for s in &segs {
+                v.extend_from_slice(s);
+            }
+            bytes::Bytes::from(v)
+        };
         Ok((out, done))
     }
 
@@ -382,8 +399,9 @@ impl OxBlock {
         let per_wb = self.pages_per_wblock();
         let addr = EblockAddr::new(ch, eb);
         // Read the TAG area of every WBLOCK to learn the stored LPNs, then
-        // relocate the pages the map still points at.
-        let mut survivors: Vec<(u64, Vec<u8>)> = Vec::new();
+        // relocate the pages the map still points at. Each survivor is a
+        // zero-copy view into the victim WBLOCK's stored buffer.
+        let mut survivors: Vec<(u64, bytes::Bytes)> = Vec::new();
         for w in 0..geo.wblocks_per_eblock {
             let (tag, _) = self.dev.read_tag(WblockAddr::new(ch, eb, w))?;
             for g in 0..per_wb {
@@ -413,7 +431,7 @@ impl OxBlock {
             let mut tag = Vec::with_capacity(per_wb as usize * 8);
             for g in 0..group {
                 let (lpn, ref bytes) = survivors[i + g];
-                buf[g * LOGICAL_PAGE..(g + 1) * LOGICAL_PAGE].copy_from_slice(bytes);
+                buf[g * LOGICAL_PAGE..(g + 1) * LOGICAL_PAGE].copy_from_slice(&bytes[..]);
                 tag.extend_from_slice(&lpn.to_le_bytes());
             }
             for _ in group..per_wb as usize {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Wall-clock perf smoke gate: run perfbench at smoke scale and fail on
+# panic or on >2x sim-ops/host-sec regression against the committed
+# BENCH_controller.json. Intended for CI and pre-commit sanity.
+#
+# Usage: scripts/perf_smoke.sh [max-regression]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+MAX_REGRESSION="${1:-2.0}"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+cargo build --release -p eleos-bench --bin perfbench
+
+# Warm-up pass: the committed baselines were recorded at the CPU's warm
+# plateau, so gate measurements must be too (a cold first run reads ~2x
+# slower from frequency ramp alone, not from any code change).
+./target/release/perfbench \
+    --label warmup --scale small --out "$SCRATCH/warmup.json" >/dev/null 2>&1
+
+# Smoke entries go to a scratch file so the committed trajectory only ever
+# carries deliberate full-scale baselines; --compare still gates against
+# the committed file. perfbench exits 1 on regression, and any panic in
+# the write/read paths fails the script via set -e.
+./target/release/perfbench \
+    --label perf-smoke \
+    --scale small \
+    --out "$SCRATCH/perf_smoke.json" \
+    --compare BENCH_controller.json \
+    --max-regression "$MAX_REGRESSION"
+
+echo "perf_smoke: OK (within ${MAX_REGRESSION}x of committed baseline)"
