@@ -1,0 +1,5 @@
+//! Regenerates the channel-overlap table: serial vs deferred-completion
+//! schedules for GC-heavy overwrites and batched reads (DESIGN.md §2).
+fn main() {
+    eleos_bench::experiments::overlap_scheduler().print();
+}

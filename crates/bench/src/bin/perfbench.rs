@@ -2,8 +2,11 @@
 //!
 //! Unlike the figure binaries (which report *virtual-time* throughput),
 //! `perfbench` measures how fast the emulator+FTL run on the host: it
-//! drives the TPC-C 1 MB-buffer batched write path and a Zipfian YCSB-style
-//! read path for a fixed operation count and appends one entry per bench to
+//! drives the TPC-C 1 MB-buffer batched write path, a Zipfian YCSB-style
+//! read path, a GC-heavy uniform-overwrite path at ~70 % utilization, and a
+//! `read_batch` path (the deferred-completion scheduler's two target
+//! scenarios — those also print their simulated-time speedup vs the serial
+//! schedule) for a fixed operation count and appends one entry per bench to
 //! `BENCH_controller.json` — the perf trajectory all later optimisation PRs
 //! are measured against.
 //!
@@ -136,6 +139,145 @@ fn bench_ycsb_read(scale: &str, label: &str) -> BenchEntry {
     }
 }
 
+/// Uniform-random variable-size page, first 8 bytes = lpid.
+fn uniform_page(lpid: u64, rng: &mut StdRng) -> Vec<u8> {
+    let len = rng.gen_range(640..2048usize);
+    let mut page = vec![0u8; len];
+    page[..8].copy_from_slice(&lpid.to_le_bytes());
+    page
+}
+
+/// Fill to ~`records` live pages in 1 MB batches.
+fn load_uniform(ssd: &mut Eleos, records: u64, rng: &mut StdRng) {
+    let mut batch = WriteBatch::new(PageMode::Variable);
+    for lpid in 0..records {
+        batch.put(lpid, &uniform_page(lpid, rng)).expect("load put");
+        if batch.wire_len() >= 1024 * 1024 {
+            ssd.write(&batch).expect("load write");
+            batch = WriteBatch::new(PageMode::Variable);
+        }
+    }
+    if !batch.is_empty() {
+        ssd.write(&batch).expect("load write");
+    }
+    ssd.drain();
+}
+
+/// GC-heavy path: ~70 % utilization, then uniform overwrites — the
+/// deferred-completion scheduler's round-robin collector keeps every
+/// channel's GC in flight at once. Runs both schedules; the appended
+/// entry is the deferred (default) one, the serial run feeds the printed
+/// simulated-time speedup.
+fn bench_gc_heavy(scale: &str, label: &str) -> BenchEntry {
+    let geo = bench_geo();
+    let records = (geo.total_bytes() as f64 * 0.70 / 1400.0) as u64;
+    let overwrites = if scale == "small" { records / 2 } else { records * 2 };
+    let run = |defer_io: bool| {
+        let dev = FlashDevice::new(geo, CostProfile::high_end_cpu());
+        let cfg = EleosConfig {
+            max_user_lpid: records + 1,
+            ckpt_log_bytes: 16 * 1024 * 1024,
+            map_cache_pages: 1 << 14,
+            defer_io,
+            ..Default::default()
+        };
+        let mut ssd = Eleos::format(dev, cfg).expect("format");
+        let mut rng = StdRng::seed_from_u64(0x60C0);
+        load_uniform(&mut ssd, records, &mut rng);
+        let sim0 = ssd.now();
+        let programmed0 = ssd.device().stats().bytes_programmed;
+        let t = Instant::now();
+        let mut batch = WriteBatch::new(PageMode::Variable);
+        for _ in 0..overwrites {
+            let lpid = rng.gen_range(0..records);
+            batch.put(lpid, &uniform_page(lpid, &mut rng)).expect("put");
+            if batch.wire_len() >= 1024 * 1024 {
+                ssd.write(&batch).expect("overwrite");
+                batch = WriteBatch::new(PageMode::Variable);
+            }
+        }
+        if !batch.is_empty() {
+            ssd.write(&batch).expect("overwrite");
+        }
+        ssd.drain();
+        (t.elapsed().as_secs_f64(), ssd.now() - sim0, ssd.device().stats().bytes_programmed - programmed0)
+    };
+    let (_, sim_serial, _) = run(false);
+    let (host, sim_deferred, programmed) = run(true);
+    eprintln!(
+        "  gc_heavy_uniform: simulated-time speedup {:.2}x (deferred vs serial schedule)",
+        sim_serial as f64 / sim_deferred as f64
+    );
+    BenchEntry {
+        label: label.to_string(),
+        bench: "gc_heavy_uniform".to_string(),
+        scale: scale.to_string(),
+        ops: overwrites,
+        host_seconds: host,
+        sim_ops_per_host_sec: overwrites as f64 / host,
+        bytes_programmed: programmed,
+        bytes_read: 0,
+    }
+}
+
+/// Batched read path: uniform point reads in groups of 16 through
+/// `Eleos::read_batch`, on the weak-controller profile whose 60 µs flash
+/// reads are what deferred completion hides.
+fn bench_read_batch(scale: &str, label: &str) -> BenchEntry {
+    let (records, ops): (u64, u64) = if scale == "small" {
+        (20_000, 60_000)
+    } else {
+        (50_000, 4_000_000)
+    };
+    let run = |defer_io: bool| {
+        let dev = FlashDevice::new(bench_geo(), CostProfile::weak_controller());
+        let cfg = EleosConfig {
+            max_user_lpid: records + 1,
+            ckpt_log_bytes: u64::MAX,
+            map_cache_pages: 1 << 14,
+            defer_io,
+            ..Default::default()
+        };
+        let mut ssd = Eleos::format(dev, cfg).expect("format");
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        load_uniform(&mut ssd, records, &mut rng);
+        let sim0 = ssd.now();
+        let read0 = ssd.device().stats().bytes_read;
+        let t = Instant::now();
+        let mut done = 0u64;
+        let mut lpids = Vec::with_capacity(16);
+        let mut sink = 0u64;
+        while done < ops {
+            lpids.clear();
+            for _ in 0..16usize.min((ops - done) as usize) {
+                lpids.push(rng.gen_range(0..records));
+            }
+            done += lpids.len() as u64;
+            for page in ssd.read_batch(&lpids).expect("read_batch") {
+                sink = sink.wrapping_add(page.len() as u64).wrapping_add(page[0] as u64);
+            }
+        }
+        std::hint::black_box(sink);
+        (t.elapsed().as_secs_f64(), ssd.now() - sim0, ssd.device().stats().bytes_read - read0)
+    };
+    let (_, sim_serial, _) = run(false);
+    let (host, sim_deferred, bytes_read) = run(true);
+    eprintln!(
+        "  ycsb_read_batch: simulated-time speedup {:.2}x (deferred vs serial schedule)",
+        sim_serial as f64 / sim_deferred as f64
+    );
+    BenchEntry {
+        label: label.to_string(),
+        bench: "ycsb_read_batch".to_string(),
+        scale: scale.to_string(),
+        ops,
+        host_seconds: host,
+        sim_ops_per_host_sec: ops as f64 / host,
+        bytes_programmed: 0,
+        bytes_read,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let get_flag = |name: &str| -> Option<String> {
@@ -155,6 +297,8 @@ fn main() {
     let entries = vec![
         bench_tpcc_write(&scale, &label),
         bench_ycsb_read(&scale, &label),
+        bench_gc_heavy(&scale, &label),
+        bench_read_batch(&scale, &label),
     ];
     for e in &entries {
         eprintln!(

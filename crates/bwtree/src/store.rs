@@ -56,6 +56,14 @@ pub trait PageStore {
     /// Read the current bytes of a page (a refcounted view of controller
     /// memory — no copy on the read path).
     fn read_page(&mut self, pid: u64) -> Result<bytes::Bytes>;
+    /// Read a batch of pages. The default is a serial loop; backends whose
+    /// device can overlap flash channels (ELEOS's deferred-completion
+    /// scheduler) override this to submit all reads up front. The block
+    /// store keeps the default — a block interface has no way to express
+    /// the batch, which is exactly the paper's point.
+    fn read_pages(&mut self, pids: &[u64]) -> Result<Vec<bytes::Bytes>> {
+        pids.iter().map(|&p| self.read_page(p)).collect()
+    }
     /// Durably write a batch of pages (one flush of the 1 MB write
     /// buffer). Returns the virtual completion time.
     fn write_batch(&mut self, pages: &[(u64, Vec<u8>)]) -> Result<Nanos>;
@@ -91,6 +99,10 @@ impl EleosStore {
 impl PageStore for EleosStore {
     fn read_page(&mut self, pid: u64) -> Result<bytes::Bytes> {
         Ok(self.ssd.read(pid)?)
+    }
+
+    fn read_pages(&mut self, pids: &[u64]) -> Result<Vec<bytes::Bytes>> {
+        Ok(self.ssd.read_batch(pids)?)
     }
 
     fn write_batch(&mut self, pages: &[(u64, Vec<u8>)]) -> Result<Nanos> {

@@ -221,15 +221,25 @@ impl Eleos {
         let addr = ob.addr;
         let mut plan = Plan::default();
         self.close_cursor(ob, dest, &mut plan)?;
+        // Deferred completion: all programs target this one EBLOCK (one
+        // channel), so submitting them back to back and waiting once is
+        // schedule-identical to waiting per program — except on the
+        // program-failure path, where the serial wait order is preserved
+        // with `defer_io` off.
+        let defer = self.cfg.defer_io;
+        let mut horizon = 0;
         for (at, data) in &plan.ios {
             match self.dev.program(*at, data.clone(), &[]) {
+                Ok(t) if defer => horizon = horizon.max(t),
                 Ok(t) => self.dev.clock_mut().wait_until(t),
                 Err(FlashError::ProgramFailed(_)) => {
+                    self.dev.clock_mut().wait_until(horizon);
                     return self.migrate_eblock(addr, 0);
                 }
                 Err(e) => return Err(e.into()),
             }
         }
+        self.dev.clock_mut().wait_until(horizon);
         for c in &plan.closes {
             self.log_append(&LogRecord::CloseEblock {
                 channel: c.addr.channel,

@@ -62,6 +62,14 @@ pub struct EleosConfig {
     /// does not discuss wear leveling); off reproduces the paper's
     /// behaviour, on narrows the wear spread (see the ablation bench).
     pub wear_aware_alloc: bool,
+    /// Deferred-completion I/O scheduling: split channel submission from
+    /// CPU-visible completion so reads/programs on distinct channels
+    /// overlap (GC victim scans, batched reads, recovery probes,
+    /// round-robin GC across channels). Off reproduces the serial
+    /// submit-then-wait schedule exactly; on a single-channel device the
+    /// two schedules are byte- and tick-identical (the equivalence oracle —
+    /// see DESIGN.md §2).
+    pub defer_io: bool,
 }
 
 impl Default for EleosConfig {
@@ -79,6 +87,7 @@ impl Default for EleosConfig {
             max_user_lpid: 1 << 20,
             log_standby_eblocks: 2,
             wear_aware_alloc: false,
+            defer_io: true,
         }
     }
 }

@@ -16,7 +16,7 @@ use crate::summary::{EblockPurpose, EblockState, SummaryTable};
 use crate::types::{ActionId, ActionKind, Lpid, Lsn, PageKind, Sid, Usn, Wsn};
 use crate::wal::{LogRecord, LogWriter, SealOutcome};
 use bytes::Bytes;
-use eleos_flash::{EblockAddr, FlashDevice, FlashError, Nanos, WblockAddr};
+use eleos_flash::{ByteExtent, EblockAddr, FlashDevice, FlashError, IoTicket, Nanos, WblockAddr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -387,6 +387,51 @@ impl Eleos {
         Ok(bytes.slice(ENTRY_HEADER..ENTRY_HEADER + plen))
     }
 
+    /// Read a batch of LPAGEs, overlapping flash reads that land on
+    /// distinct channels (deferred completion): all extents are submitted
+    /// up front and the CPU waits once for the collective horizon instead
+    /// of serializing on each read. Returns payloads in input order; any
+    /// unmapped LPID fails the whole call. With `defer_io` off (or on a
+    /// single-channel device) this degenerates to the serial schedule of
+    /// [`Eleos::read`] repeated per LPID.
+    pub fn read_batch(&mut self, lpids: &[Lpid]) -> Result<Vec<Bytes>> {
+        if !self.cfg.defer_io {
+            return lpids.iter().map(|&l| self.read(l)).collect();
+        }
+        let profile = *self.dev.profile();
+        // Phase 1: mapping lookups, interleaved with their CPU charges
+        // (mapping faults read flash but never block the CPU).
+        let mut addrs = Vec::with_capacity(lpids.len());
+        for &lpid in lpids {
+            self.dev
+                .clock_mut()
+                .cpu(profile.host_submit_ns + profile.read_ctx_ns);
+            let addr = self
+                .mapping
+                .get(lpid, &mut self.dev)?
+                .ok_or(EleosError::NotFound(lpid))?;
+            addrs.push(addr);
+        }
+        // Phase 2: submit every data read, channel-major, then wait once.
+        let exts: Vec<ByteExtent> = addrs.iter().map(|a| a.extent()).collect();
+        let reads = self.dev.read_extents_async(&exts)?;
+        let tickets: Vec<IoTicket> = reads.iter().map(|r| r.1).collect();
+        self.dev.clock_mut().wait_all(&tickets);
+        // Phase 3: decode and hand back views.
+        let mut out = Vec::with_capacity(lpids.len());
+        for (&lpid, (bytes, _)) in lpids.iter().zip(reads) {
+            let (stored_lpid, _kind, plen) = decode_stored_header(&bytes)?;
+            if stored_lpid != lpid {
+                return Err(EleosError::Corrupt("stored lpage identity mismatch"));
+            }
+            self.dev.clock_mut().cpu(profile.transport_cpu(plen as u64));
+            self.stats.reads += 1;
+            self.stats.read_bytes += plen as u64;
+            out.push(bytes.slice(ENTRY_HEADER..ENTRY_HEADER + plen));
+        }
+        Ok(out)
+    }
+
     /// Current stored length (on-flash bytes) of an LPID, if mapped.
     pub fn stored_len(&mut self, lpid: Lpid) -> Result<Option<u64>> {
         Ok(self.mapping.get(lpid, &mut self.dev)?.map(|a| a.len))
@@ -514,6 +559,7 @@ impl Eleos {
             self.summary.update(eb, lsn_tag, |d| {
                 d.state = EblockState::Used;
             });
+            self.index_log_reclaim(eb);
         }
         for &eb in &o.poisoned {
             // A poisoned log EBLOCK still holds earlier valid pages; it is
@@ -522,8 +568,20 @@ impl Eleos {
                 d.state = EblockState::Used;
                 d.max_lsn = d.max_lsn.max(o.last_lsn);
             });
+            self.index_log_reclaim(eb);
         }
         self.top_up_log_standbys()
+    }
+
+    /// Register a now-`Used` log EBLOCK in its channel's truncation-reclaim
+    /// index (keyed by `max_lsn` so the GC probe pops lowest-LSN first).
+    pub(crate) fn index_log_reclaim(&mut self, eb: EblockAddr) {
+        let d = self.summary.get(eb);
+        if d.state == EblockState::Used && d.purpose == EblockPurpose::Log {
+            self.chans[eb.channel as usize]
+                .log_reclaim
+                .insert((d.max_lsn, eb.eblock));
+        }
     }
 
     pub(crate) fn top_up_log_standbys(&mut self) -> Result<()> {
@@ -595,6 +653,24 @@ impl Eleos {
             .max_by_key(|&c| self.chans[c].free.len())
             .unwrap() as u32;
         self.alloc_eblock(ch)
+    }
+
+    /// Destination channel for relocating a victim's valid pages: the
+    /// victim's own channel while it can still provision a GC bin, else
+    /// the channel with the most free EBLOCKs. Placement has no
+    /// correctness affinity (the mapping records the new address wherever
+    /// it lands), and pinning relocation to a channel whose free list is
+    /// empty deadlocks GC exactly when it is most needed: the bin
+    /// allocation fails with `DeviceFull` even though erasing the victim
+    /// would free space. User writes already route around full channels
+    /// and log standbys allocate anywhere; this gives GC the same escape.
+    pub(crate) fn gc_dest_channel(&self, victim_channel: u32) -> u32 {
+        if !self.chans[victim_channel as usize].free.is_empty() {
+            return victim_channel;
+        }
+        (0..self.chans.len())
+            .max_by_key(|&c| self.chans[c].free.len())
+            .unwrap() as u32
     }
 
     // ------------------------------------------------------------------
@@ -1230,7 +1306,7 @@ impl Eleos {
         if !valid.is_empty() {
             let victim_ts = self.summary.get(eb).ts;
             let dest = Dest::GcBin {
-                channel: eb.channel,
+                channel: self.gc_dest_channel(eb.channel),
                 victim_ts: if victim_ts == 0 { self.usn } else { victim_ts },
             };
             match self.run_action(ActionKind::Migrate, None, &valid, dest) {
@@ -1300,7 +1376,26 @@ impl Eleos {
         eb: EblockAddr,
         meta: &[(PageKind, Lpid)],
     ) -> Result<Vec<ActionPage>> {
+        let (valid, tickets) = self.scan_valid_pages_submit(eb, meta)?;
+        self.dev.clock_mut().wait_all(&tickets);
+        Ok(valid)
+    }
+
+    /// Validity scan with deferred completion: each valid entry's data read
+    /// is submitted as soon as the entry is identified (interleaved with
+    /// the lookups, so mapping faults keep their serial order), and the
+    /// outstanding tickets are returned instead of waited on. Callers
+    /// collecting several EBLOCKs batch the tickets so reads on distinct
+    /// channels overlap. With `defer_io` off every read waits in place and
+    /// the returned ticket list is empty.
+    pub(crate) fn scan_valid_pages_submit(
+        &mut self,
+        eb: EblockAddr,
+        meta: &[(PageKind, Lpid)],
+    ) -> Result<(Vec<ActionPage>, Vec<IoTicket>)> {
+        let defer = self.cfg.defer_io;
         let mut valid_rev: Vec<ActionPage> = Vec::new();
+        let mut tickets: Vec<IoTicket> = Vec::new();
         let mut seen: std::collections::HashSet<Lpid> = std::collections::HashSet::new();
         for &(kind, lpid) in meta.iter().rev() {
             if !seen.insert(lpid) {
@@ -1314,7 +1409,14 @@ impl Eleos {
                 continue;
             }
             let (bytes, t) = self.dev.read_extent(addr.extent())?;
-            self.dev.clock_mut().wait_until(t);
+            if defer {
+                tickets.push(IoTicket {
+                    channel: eb.channel,
+                    done_at: t,
+                });
+            } else {
+                self.dev.clock_mut().wait_until(t);
+            }
             valid_rev.push(ActionPage {
                 lpid,
                 kind,
@@ -1323,20 +1425,39 @@ impl Eleos {
             });
         }
         valid_rev.reverse(); // restore oldest-to-newest write order
-        Ok(valid_rev)
+        Ok((valid_rev, tickets))
     }
 
     /// Erase an EBLOCK, reset its descriptor and return it to the free
     /// list.
     pub(crate) fn erase_and_free(&mut self, eb: EblockAddr) -> Result<()> {
+        let t = self.dev.erase(eb)?;
+        self.dev.clock_mut().wait_until(t);
+        self.retire_erased(eb)
+    }
+
+    /// Deferred-completion variant of [`Eleos::erase_and_free`]: the erase
+    /// is submitted but not waited on, so erases on distinct channels in
+    /// one GC round overlap. The caller retires the returned ticket.
+    pub(crate) fn erase_and_free_submit(&mut self, eb: EblockAddr) -> Result<IoTicket> {
+        let t = self.dev.erase(eb)?;
+        self.retire_erased(eb)?;
+        Ok(IoTicket {
+            channel: eb.channel,
+            done_at: t,
+        })
+    }
+
+    /// Post-erase bookkeeping shared by the blocking and deferred erase
+    /// paths: log the erase, reset the descriptor, drop the EBLOCK from the
+    /// log-reclaim index and return it to the free list.
+    fn retire_erased(&mut self, eb: EblockAddr) -> Result<()> {
         if let Ok(f) = std::env::var("ELEOS_TRACE_EB") {
             let parts: Vec<u32> = f.split('/').map(|x| x.parse().unwrap()).collect();
             if eb.channel == parts[0] && eb.eblock == parts[1] {
                 eprintln!("[trace] erase_and_free ch{}/eb{} next_lsn {}", eb.channel, eb.eblock, self.wal.next_lsn());
             }
         }
-        let t = self.dev.erase(eb)?;
-        self.dev.clock_mut().wait_until(t);
         let lsn = self.log_append(&LogRecord::EraseEblock {
             channel: eb.channel,
             eblock: eb.eblock,
@@ -1351,8 +1472,24 @@ impl Eleos {
             d.ts = 0;
             d.max_lsn = 0;
         });
+        self.chans[eb.channel as usize]
+            .log_reclaim
+            .retain(|&(_, e)| e != eb.eblock);
         self.chans[eb.channel as usize].free.push_back(eb.eblock);
         self.stats.gc_erases += 1;
         Ok(())
+    }
+
+    /// Overlap ratio of the flash channels over the whole run so far:
+    /// `Σ per-channel busy ns / (channels · now)`. Exposes the deferred
+    /// completion win as a measurement rather than an inference.
+    pub fn overlap_ratio(&self) -> f64 {
+        self.dev.stats().overlap_ratio(self.dev.clock().now())
+    }
+
+    /// Busy nanoseconds accumulated per flash channel (utilization
+    /// counters; see [`eleos_flash::FlashStats::channel_busy_ns`]).
+    pub fn channel_busy_ns(&self) -> &[u64] {
+        &self.dev.stats().channel_busy_ns
     }
 }

@@ -9,48 +9,113 @@
 //! write path with conditional installs.
 
 use crate::config::GcSelection;
-use crate::controller::{Dest, Eleos};
+use crate::controller::{ActionPage, Dest, Eleos};
 use crate::error::{EleosError, Result};
 use crate::provision::decode_eblock_meta;
 use crate::summary::{EblockPurpose, EblockState};
-use crate::types::ActionKind;
-use eleos_flash::EblockAddr;
+use crate::types::{ActionKind, Lpid, PageKind, Usn};
+use eleos_flash::{ByteExtent, EblockAddr, IoTicket};
+
+/// One victim readied for relocation: its address, birth timestamp, and
+/// the (kind, lpid) entries decoded from its persisted metadata.
+type VictimPrep = (EblockAddr, Usn, Vec<(PageKind, Lpid)>);
 
 impl Eleos {
     /// Trigger GC on any channel below the free-space watermark
     /// (Section IV-A1: "lower than 10%, the channel will be marked for
     /// GC").
+    ///
+    /// With `defer_io` on, needy channels are serviced round-robin — one
+    /// reclaim step per channel per round, with the round's metadata reads,
+    /// valid-page reads and erases batched so distinct channels overlap.
+    /// With `defer_io` off (or a single needy channel) this reduces to the
+    /// legacy schedule: drain one channel to its target before the next.
     pub fn maybe_gc(&mut self) -> Result<()> {
         if self.shutdown {
             return Ok(());
         }
         let geo = *self.dev.geometry();
         let total = geo.eblocks_per_channel as f64;
-        for ch in 0..geo.channels {
-            let target = (total * self.cfg.gc_free_target).ceil() as usize;
-            let watermark = (total * self.cfg.gc_free_watermark).ceil() as usize;
-            if self.chans[ch as usize].free.len() >= watermark {
-                continue;
-            }
-            let mut guard = geo.eblocks_per_channel * 2;
-            let mut stalled = 0;
-            while self.chans[ch as usize].free.len() < target && guard > 0 {
-                guard -= 1;
-                let before = self.chans[ch as usize].free.len();
-                if !self.gc_channel_once(ch)? {
-                    break;
+        let target = (total * self.cfg.gc_free_target).ceil() as usize;
+        let watermark = (total * self.cfg.gc_free_watermark).ceil() as usize;
+        if !self.cfg.defer_io {
+            for ch in 0..geo.channels {
+                if self.chans[ch as usize].free.len() >= watermark {
+                    continue;
                 }
-                if self.chans[ch as usize].free.len() <= before {
-                    stalled += 1;
-                    if stalled >= 3 {
-                        // No net progress (victims too full); stop rather
-                        // than churn.
+                let mut guard = geo.eblocks_per_channel * 2;
+                let mut stalled = 0;
+                while self.chans[ch as usize].free.len() < target && guard > 0 {
+                    guard -= 1;
+                    let before = self.chans[ch as usize].free.len();
+                    if !self.gc_channel_once(ch)? {
                         break;
                     }
-                } else {
-                    stalled = 0;
+                    if self.chans[ch as usize].free.len() <= before {
+                        stalled += 1;
+                        if stalled >= 3 {
+                            // No net progress (victims too full); stop
+                            // rather than churn.
+                            break;
+                        }
+                    } else {
+                        stalled = 0;
+                    }
                 }
             }
+            return Ok(());
+        }
+        // Round-robin across needy channels. Per-channel guard and stall
+        // counters mirror the legacy loop's termination conditions exactly;
+        // with one needy channel every round is a single legacy GC step.
+        let mut guard = vec![geo.eblocks_per_channel * 2; geo.channels as usize];
+        let mut stalled = vec![0u32; geo.channels as usize];
+        let mut active: Vec<u32> = (0..geo.channels)
+            .filter(|&c| self.chans[c as usize].free.len() < watermark)
+            .collect();
+        while !active.is_empty() {
+            let before: Vec<usize> = active
+                .iter()
+                .map(|&c| self.chans[c as usize].free.len())
+                .collect();
+            let mut erases: Vec<EblockAddr> = Vec::new();
+            let mut victims: Vec<EblockAddr> = Vec::new();
+            let mut exhausted = vec![false; active.len()];
+            for (i, &ch) in active.iter().enumerate() {
+                guard[ch as usize] -= 1;
+                if let Some(eb) = self.pop_truncated_log_eblock(ch) {
+                    erases.push(eb);
+                } else if let Some(v) = self.select_victim(ch) {
+                    victims.push(v);
+                } else {
+                    exhausted[i] = true; // nothing reclaimable on ch
+                }
+            }
+            self.erase_batch(&erases)?;
+            if !victims.is_empty() {
+                self.collect_victims(&victims)?;
+            }
+            let mut next = Vec::new();
+            for (i, &ch) in active.iter().enumerate() {
+                if exhausted[i] {
+                    continue;
+                }
+                let c = ch as usize;
+                let now_free = self.chans[c].free.len();
+                if now_free <= before[i] {
+                    stalled[c] += 1;
+                    if stalled[c] >= 3 {
+                        continue;
+                    }
+                } else {
+                    stalled[c] = 0;
+                }
+                if now_free >= target || guard[c] == 0 {
+                    continue;
+                }
+                next.push(ch);
+            }
+            active = next;
         }
         Ok(())
     }
@@ -61,24 +126,156 @@ impl Eleos {
     pub(crate) fn gc_channel_once(&mut self, channel: u32) -> Result<bool> {
         // Log EBLOCKs whose records are all below the truncation LSN are
         // free to erase — "smallest scores because no data movement is
-        // needed" (Section VI-A).
-        let geo = *self.dev.geometry();
-        for eb in 0..geo.eblocks_per_channel {
-            let addr = EblockAddr::new(channel, eb);
-            let d = self.summary.get(addr);
-            if d.state == EblockState::Used
-                && d.purpose == EblockPurpose::Log
-                && d.max_lsn < self.trunc_lsn
-            {
-                self.erase_and_free(addr)?;
-                return Ok(true);
-            }
+        // needed" (Section VI-A). Popped from the per-channel max_lsn index
+        // instead of rescanning every EBLOCK.
+        if let Some(addr) = self.pop_truncated_log_eblock(channel) {
+            self.erase_and_free(addr)?;
+            return Ok(true);
         }
         let Some(victim) = self.select_victim(channel) else {
             return Ok(false);
         };
         self.collect_eblock(victim)?;
         Ok(true)
+    }
+
+    /// Pop the lowest-`max_lsn` truncated (`max_lsn < trunc_lsn`) Used+Log
+    /// EBLOCK on `channel` from the log-reclaim index, or `None`. Entries
+    /// are validated against the summary on pop: stale ones (erased or
+    /// repurposed since insertion) are dropped, re-keyed ones corrected.
+    pub(crate) fn pop_truncated_log_eblock(&mut self, channel: u32) -> Option<EblockAddr> {
+        loop {
+            let &(key_lsn, eb) = self.chans[channel as usize].log_reclaim.iter().next()?;
+            let addr = EblockAddr::new(channel, eb);
+            let d = *self.summary.get(addr);
+            if d.state != EblockState::Used || d.purpose != EblockPurpose::Log {
+                self.chans[channel as usize].log_reclaim.remove(&(key_lsn, eb));
+                continue;
+            }
+            if d.max_lsn != key_lsn {
+                self.chans[channel as usize].log_reclaim.remove(&(key_lsn, eb));
+                self.chans[channel as usize].log_reclaim.insert((d.max_lsn, eb));
+                continue;
+            }
+            if d.max_lsn < self.trunc_lsn {
+                self.chans[channel as usize].log_reclaim.remove(&(key_lsn, eb));
+                return Some(addr);
+            }
+            // The smallest max_lsn is not truncatable yet, so none are.
+            return None;
+        }
+    }
+
+    /// Erase a set of EBLOCKs (at most one per channel), overlapping the
+    /// erases on distinct channels. A single EBLOCK takes the blocking
+    /// [`Eleos::erase_and_free`] path so the degenerate case is
+    /// schedule-identical to the legacy code.
+    pub(crate) fn erase_batch(&mut self, ebs: &[EblockAddr]) -> Result<()> {
+        match ebs {
+            [] => Ok(()),
+            [eb] => self.erase_and_free(*eb),
+            _ => {
+                let mut tickets: Vec<IoTicket> = Vec::with_capacity(ebs.len());
+                for &eb in ebs {
+                    tickets.push(self.erase_and_free_submit(eb)?);
+                }
+                self.dev.clock_mut().wait_all(&tickets);
+                Ok(())
+            }
+        }
+    }
+
+    /// Collect one victim per channel in a single overlapped round:
+    /// metadata reads are submitted channel-major and retired together,
+    /// each victim's valid-page reads are submitted as they are identified
+    /// and retired with one collective wait, relocation actions defer their
+    /// durability wait to a shared horizon, and the final erases overlap.
+    /// A single victim degenerates to [`Eleos::collect_eblock`]'s blocking
+    /// schedule exactly.
+    pub(crate) fn collect_victims(&mut self, victims: &[EblockAddr]) -> Result<()> {
+        if let [victim] = victims {
+            return self.collect_eblock(*victim);
+        }
+        let geo = *self.dev.geometry();
+        let wb = geo.wblock_bytes as u64;
+        // Phase 1: frontier checks, then all metadata reads batched.
+        let mut metas: Vec<(EblockAddr, Usn, u32, u32)> = Vec::new();
+        for &victim in victims {
+            self.stats.gc_collections += 1;
+            let d = *self.summary.get(victim);
+            let frontier = self.dev.programmed_wblocks(victim)?;
+            if frontier == 0 {
+                // Descriptor is stale (erase lost in a crash window):
+                // self-heal immediately, as the serial path does.
+                self.erase_and_free(victim)?;
+                continue;
+            }
+            let meta_start = d.data_wblocks as u32;
+            let meta_count = d.meta_wblocks as u32;
+            if meta_count == 0 || meta_start + meta_count > frontier {
+                return Err(EleosError::Corrupt("victim eblock metadata unreadable"));
+            }
+            metas.push((victim, d.ts, meta_start, meta_count));
+        }
+        let exts: Vec<ByteExtent> = metas
+            .iter()
+            .map(|&(v, _, start, count)| ByteExtent::new(v, start as u64 * wb, count as u64 * wb))
+            .collect();
+        let reads = self.dev.read_extents_async(&exts)?;
+        let tickets: Vec<IoTicket> = reads.iter().map(|r| r.1).collect();
+        self.dev.clock_mut().wait_all(&tickets);
+        let mut preps: Vec<VictimPrep> = Vec::with_capacity(metas.len());
+        for (&(victim, ts, _, _), (bytes, _)) in metas.iter().zip(reads) {
+            let views: Vec<&[u8]> = bytes.chunks(geo.wblock_bytes as usize).collect();
+            let Some(m) = decode_eblock_meta(&views, &geo) else {
+                return Err(EleosError::Corrupt("victim eblock metadata unreadable"));
+            };
+            preps.push((victim, ts, m.entries));
+        }
+        // Phase 2: validity scans; data reads submitted per victim, one
+        // collective wait so victim channels overlap.
+        let mut scans: Vec<Vec<ActionPage>> = Vec::with_capacity(preps.len());
+        let mut pending: Vec<IoTicket> = Vec::new();
+        for (victim, _, entries) in &preps {
+            let (valid, tickets) = self.scan_valid_pages_submit(*victim, entries)?;
+            pending.extend(tickets);
+            scans.push(valid);
+        }
+        self.dev.clock_mut().wait_all(&pending);
+        // Phase 3: relocation actions with a deferred, shared durability
+        // horizon.
+        let mut horizon = 0;
+        let mut erase_ok = vec![true; preps.len()];
+        for (i, (victim, ts, _)) in preps.iter().enumerate() {
+            let valid = std::mem::take(&mut scans[i]);
+            if valid.is_empty() {
+                continue;
+            }
+            self.stats.gc_moved_pages += valid.len() as u64;
+            self.stats.gc_moved_bytes += valid.iter().map(|p| p.bytes.len() as u64).sum::<u64>();
+            let dest = Dest::GcBin {
+                channel: self.gc_dest_channel(victim.channel),
+                victim_ts: *ts,
+            };
+            match self.run_action_inner(ActionKind::Gc, None, &valid, dest, false) {
+                Ok(r) => horizon = horizon.max(r.done_at),
+                Err(EleosError::ActionAborted) => {
+                    // The GC write itself hit a program failure; the victim
+                    // keeps its data and will be retried by a later pass.
+                    erase_ok[i] = false;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.dev.clock_mut().wait_until(horizon);
+        // Phase 4: erase the successfully collected victims together.
+        let survivors: Vec<EblockAddr> = preps
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| erase_ok[i])
+            .map(|(_, &(victim, _, _))| victim)
+            .collect();
+        self.erase_batch(&survivors)
     }
 
     /// Pick the victim per the configured selection policy.
@@ -140,7 +337,7 @@ impl Eleos {
             self.stats.gc_moved_pages += valid.len() as u64;
             self.stats.gc_moved_bytes += valid.iter().map(|p| p.bytes.len() as u64).sum::<u64>();
             let dest = Dest::GcBin {
-                channel: victim.channel,
+                channel: self.gc_dest_channel(victim.channel),
                 victim_ts: d.ts,
             };
             match self.run_action(ActionKind::Gc, None, &valid, dest) {

@@ -15,7 +15,7 @@
 use crate::codec::{checksum, Reader, Writer};
 use crate::types::{Lpid, Lsn, PageKind, Usn};
 use eleos_flash::{EblockAddr, Geometry};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 const META_MAGIC: u64 = 0x454C_454F_534D_4554; // "ELEOSMET"
 const META_HEADER: usize = 48;
@@ -194,6 +194,11 @@ pub struct ChannelState {
     pub user_open: Option<OpenEblock>,
     /// Age-binned open EBLOCKs receiving GC writes (Section VI-B).
     pub gc_open: Vec<Option<OpenEblock>>,
+    /// `Used+Log` EBLOCKs on this channel ordered by `max_lsn`, so the GC
+    /// truncation probe pops the lowest-LSN candidate instead of rescanning
+    /// every EBLOCK. Entries are validated lazily against the summary on
+    /// pop; stale ones are dropped or re-keyed.
+    pub log_reclaim: BTreeSet<(Lsn, u32)>,
 }
 
 impl ChannelState {
@@ -203,6 +208,7 @@ impl ChannelState {
             free: VecDeque::new(),
             user_open: None,
             gc_open: vec![None; gc_bins],
+            log_reclaim: BTreeSet::new(),
         }
     }
 

@@ -181,6 +181,14 @@ impl Eleos {
         this.fixup_log_eblocks(&scan)?;
         this.fixup_open_eblocks(open_meta, frontier, &scan)?;
         this.rebuild_free_lists(&scan)?;
+        // Seed the per-channel log-reclaim index now that every descriptor
+        // has settled: each Used+Log EBLOCK is a future truncation
+        // candidate (runtime transitions are indexed by `after_seal`).
+        for ch in 0..geo.channels {
+            for eb_i in 0..geo.eblocks_per_channel {
+                this.index_log_reclaim(EblockAddr::new(ch, eb_i));
+            }
+        }
         this.top_up_log_standbys()?;
         Ok(this)
     }
@@ -462,6 +470,48 @@ impl Eleos {
             .map(|p| p.addr.eblock)
             .chain(scan.resume_candidates.iter().map(|c| c.eblock))
             .collect();
+        // Deferred completion: prefetch every metadata probe in one
+        // channel-major batch before the fixup loop, so probes on distinct
+        // channels overlap instead of each blocking the CPU. The loop
+        // consumes the prefetched bytes; EBLOCKs that *become* probe
+        // candidates mid-loop (e.g. allocated by a migrate) fall back to
+        // the blocking read. Skipped on one channel — no overlap is
+        // possible and the serial schedule stays byte-identical.
+        let mut prefetched: HashMap<EblockAddr, bytes::Bytes> = HashMap::new();
+        if self.cfg.defer_io && geo.channels > 1 {
+            let wb = geo.wblock_bytes as u64;
+            let mut probe_ebs: Vec<EblockAddr> = Vec::new();
+            let mut exts: Vec<eleos_flash::ByteExtent> = Vec::new();
+            for ch in 0..geo.channels {
+                for eb_i in 0..geo.eblocks_per_channel {
+                    let eb = EblockAddr::new(ch, eb_i);
+                    let d = *self.summary.get(eb);
+                    if d.state != EblockState::Open
+                        || d.purpose != EblockPurpose::Data
+                        || log_ebs.contains(&eb)
+                    {
+                        continue;
+                    }
+                    let f_dev = self.dev.programmed_wblocks(eb)? as u64 * wb;
+                    let f_rep = frontier.get(&eb).copied().unwrap_or(0);
+                    let f_rep_aligned = f_rep.div_ceil(wb) * wb;
+                    if f_dev > f_rep_aligned {
+                        probe_ebs.push(eb);
+                        exts.push(eleos_flash::ByteExtent::new(
+                            eb,
+                            f_rep_aligned,
+                            f_dev - f_rep_aligned,
+                        ));
+                    }
+                }
+            }
+            let reads = self.dev.read_extents_async(&exts)?;
+            let tickets: Vec<eleos_flash::IoTicket> = reads.iter().map(|r| r.1).collect();
+            self.dev.clock_mut().wait_all(&tickets);
+            for (eb, (bytes, _)) in probe_ebs.into_iter().zip(reads) {
+                prefetched.insert(eb, bytes);
+            }
+        }
         for ch in 0..geo.channels {
             for eb_i in 0..geo.eblocks_per_channel {
                 let eb = EblockAddr::new(ch, eb_i);
@@ -497,8 +547,14 @@ impl Eleos {
                     // un-logged close, or garbage from un-logged writes.
                     let meta_start = (f_rep_aligned / wb) as u32;
                     let count = (f_dev / wb) as u32 - meta_start;
-                    let (bytes, t) = self.dev.read_wblocks(eb, meta_start, count)?;
-                    self.dev.clock_mut().wait_until(t);
+                    let bytes = match prefetched.remove(&eb) {
+                        Some(b) if b.len() == (count as u64 * wb) as usize => b,
+                        _ => {
+                            let (b, t) = self.dev.read_wblocks(eb, meta_start, count)?;
+                            self.dev.clock_mut().wait_until(t);
+                            b
+                        }
+                    };
                     let views: Vec<&[u8]> = bytes.chunks(geo.wblock_bytes as usize).collect();
                     if let Some(m) = decode_eblock_meta(&views, &geo) {
                         if m.data_wblocks == meta_start {

@@ -7,7 +7,7 @@
 //! latencies on the [`SimClock`].
 
 use crate::addr::{ByteExtent, EblockAddr, WblockAddr};
-use crate::clock::{Nanos, SimClock};
+use crate::clock::{IoTicket, Nanos, SimClock};
 use crate::cost::CostProfile;
 use crate::eblock::EblockSim;
 use crate::error::{FlashError, Result};
@@ -54,9 +54,21 @@ impl FlashDevice {
             profile,
             blocks,
             faults: FaultInjector::none(),
-            stats: FlashStats::default(),
+            stats: FlashStats {
+                channel_busy_ns: vec![0; geo.channels as usize],
+                ..FlashStats::default()
+            },
             endurance: u32::MAX,
         }
+    }
+
+    /// Submit `duration` on `channel` and account its busy time. All channel
+    /// occupancy flows through here so the per-channel utilization counters
+    /// stay in step with the clock.
+    #[inline]
+    fn submit(&mut self, channel: u32, duration: Nanos) -> Nanos {
+        self.stats.channel_busy_ns[channel as usize] += duration;
+        self.clock.submit_channel(channel, duration)
     }
 
     /// Replace the fault injector (builder style).
@@ -149,7 +161,7 @@ impl FlashDevice {
             }
         }
         let duration = self.profile.program_duration(geo.wblock_bytes);
-        let done = self.clock.submit_channel(addr.channel(), duration);
+        let done = self.submit(addr.channel(), duration);
         if self.faults.should_fail(addr) {
             self.stats.program_failures += 1;
             self.blocks[addr.channel() as usize][addr.eblock.eblock as usize].poison();
@@ -191,13 +203,64 @@ impl FlashDevice {
             }
         }
         let duration = self.profile.read_duration(count, geo.rblock_bytes);
-        let done = self.clock.submit_channel(ext.eblock.channel, duration);
+        let done = self.submit(ext.eblock.channel, duration);
         let out = self
             .eb(ext.eblock)?
             .read_bytes(&geo, ext.offset as usize, ext.len as usize);
         self.stats.rblock_reads += count as u64;
         self.stats.bytes_read += count as u64 * geo.rblock_bytes as u64;
         Ok((out, done))
+    }
+
+    /// Submit a batch of extent reads without blocking the CPU: the deferred
+    /// completion path of the I/O scheduler. Submissions are issued
+    /// channel-major so extents on distinct channels overlap; results are
+    /// returned in the *input* order, each paired with an [`IoTicket`] the
+    /// caller retires later via [`SimClock::wait_all`].
+    ///
+    /// All extents are validated before anything is submitted, so a failed
+    /// call leaves the clock and the counters untouched.
+    pub fn read_extents_async(&mut self, exts: &[ByteExtent]) -> Result<Vec<(Bytes, IoTicket)>> {
+        let geo = self.geo;
+        for ext in exts {
+            if !ext.in_bounds(&geo) {
+                return Err(FlashError::OutOfBounds);
+            }
+            let first = ext.first_rblock(&geo);
+            let count = ext.rblock_count(&geo);
+            let eb = self.eb(ext.eblock)?;
+            for r in first..first + count {
+                if !eb.rblock_programmed(&geo, r) {
+                    return Err(FlashError::ReadUnwritten {
+                        eblock: ext.eblock,
+                        rblock: r,
+                    });
+                }
+            }
+        }
+        // Channel-major submission order (stable within a channel).
+        let mut order: Vec<usize> = (0..exts.len()).collect();
+        order.sort_by_key(|&i| exts[i].eblock.channel);
+        let mut out: Vec<Option<(Bytes, IoTicket)>> = vec![None; exts.len()];
+        for i in order {
+            let ext = exts[i];
+            let count = ext.rblock_count(&geo);
+            let duration = self.profile.read_duration(count, geo.rblock_bytes);
+            let done = self.submit(ext.eblock.channel, duration);
+            let bytes = self
+                .eb(ext.eblock)?
+                .read_bytes(&geo, ext.offset as usize, ext.len as usize);
+            self.stats.rblock_reads += count as u64;
+            self.stats.bytes_read += count as u64 * geo.rblock_bytes as u64;
+            out[i] = Some((
+                bytes,
+                IoTicket {
+                    channel: ext.eblock.channel,
+                    done_at: done,
+                },
+            ));
+        }
+        Ok(out.into_iter().map(|o| o.unwrap()).collect())
     }
 
     /// Read whole WBLOCKs `[first, first + count)` of an EBLOCK. A
@@ -228,7 +291,7 @@ impl FlashDevice {
             }
         }
         let duration = self.profile.read_duration(1, geo.rblock_bytes);
-        let done = self.clock.submit_channel(addr.channel(), duration);
+        let done = self.submit(addr.channel(), duration);
         let tag = self.eb(addr.eblock)?.read_tag(&geo, addr.wblock);
         self.stats.rblock_reads += 1;
         self.stats.bytes_read += geo.rblock_bytes as u64;
@@ -247,7 +310,7 @@ impl FlashDevice {
         self.wear[wear_idx] += 1;
         self.stats.erases += 1;
         let duration = self.profile.erase_eblock_ns;
-        Ok(self.clock.submit_channel(a.channel, duration))
+        Ok(self.submit(a.channel, duration))
     }
 
     /// How many WBLOCKs of this EBLOCK have been programmed (the "write
@@ -428,6 +491,80 @@ mod tests {
         d.erase(last).unwrap();
         assert_eq!(*d.wear_map().last().unwrap(), 1);
         assert_eq!(d.wear_map()[0], d.erase_count(EblockAddr::new(0, 0)).unwrap());
+    }
+
+    #[test]
+    fn read_extents_async_overlaps_channels_and_preserves_input_order() {
+        let mut d = FlashDevice::new(Geometry::tiny(), CostProfile::weak_controller());
+        let geo = *d.geometry();
+        d.program(WblockAddr::new(0, 0, 0), wb(&geo, 1), &[]).unwrap();
+        d.program(WblockAddr::new(1, 0, 0), wb(&geo, 2), &[]).unwrap();
+        d.clock_mut().drain();
+        let t0 = d.clock().now();
+        // Input order deliberately channel-descending; results must come
+        // back in input order while the submissions overlap.
+        let exts = [
+            ByteExtent::new(EblockAddr::new(1, 0), 0, 32),
+            ByteExtent::new(EblockAddr::new(0, 0), 0, 32),
+        ];
+        let res = d.read_extents_async(&exts).unwrap();
+        assert_eq!(res[0].0, vec![2u8; 32]);
+        assert_eq!(res[1].0, vec![1u8; 32]);
+        assert_eq!(res[0].1.channel, 1);
+        assert_eq!(res[1].1.channel, 0);
+        // Distinct channels: both complete at the same tick, and the CPU
+        // did not move during submission.
+        assert_eq!(res[0].1.done_at, res[1].1.done_at);
+        assert_eq!(d.clock().now(), t0);
+        let tickets: Vec<_> = res.iter().map(|r| r.1).collect();
+        d.clock_mut().wait_all(&tickets);
+        assert_eq!(d.clock().now(), res[0].1.done_at);
+    }
+
+    #[test]
+    fn read_extents_async_validation_failure_leaves_clock_untouched() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        d.program(WblockAddr::new(0, 0, 0), wb(&geo, 1), &[]).unwrap();
+        let before_stats = d.stats().clone();
+        let before_free = d.clock().channel_free_at(0);
+        let exts = [
+            ByteExtent::new(EblockAddr::new(0, 0), 0, 32),
+            // Unwritten EBLOCK: the whole batch must be rejected up front.
+            ByteExtent::new(EblockAddr::new(1, 1), 0, 32),
+        ];
+        assert!(matches!(
+            d.read_extents_async(&exts),
+            Err(FlashError::ReadUnwritten { .. })
+        ));
+        assert_eq!(d.stats(), &before_stats);
+        assert_eq!(d.clock().channel_free_at(0), before_free);
+    }
+
+    #[test]
+    fn channel_busy_ns_tracks_all_operation_kinds() {
+        let mut d = FlashDevice::new(Geometry::tiny(), CostProfile::weak_controller())
+            .with_faults(FaultInjector::script([1]));
+        let geo = *d.geometry();
+        let prog = d.profile().program_duration(geo.wblock_bytes);
+        let read1 = d.profile().read_duration(1, geo.rblock_bytes);
+        let erase = d.profile().erase_eblock_ns;
+        d.program(WblockAddr::new(0, 0, 0), wb(&geo, 1), &[]).unwrap();
+        // Failed program still occupies the channel.
+        let e = d.program(WblockAddr::new(0, 0, 1), wb(&geo, 1), &[]);
+        assert!(matches!(e, Err(FlashError::ProgramFailed(_))));
+        d.read_extent(ByteExtent::new(EblockAddr::new(0, 0), 0, 8))
+            .unwrap();
+        d.read_tag(WblockAddr::new(0, 0, 0)).unwrap();
+        d.erase(EblockAddr::new(0, 0)).unwrap();
+        let busy = &d.stats().channel_busy_ns;
+        assert_eq!(busy.len(), geo.channels as usize);
+        assert_eq!(busy[0], 2 * prog + 2 * read1 + erase);
+        assert!(busy[1..].iter().all(|&b| b == 0));
+        // Busy time equals the channel's final horizon here (one channel,
+        // no CPU-induced gaps).
+        d.clock_mut().drain();
+        assert_eq!(d.stats().total_busy_ns(), d.clock().now());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod geometry;
 pub mod stats;
 
 pub use addr::{ByteExtent, EblockAddr, WblockAddr};
-pub use clock::{Nanos, SimClock};
+pub use clock::{IoTicket, Nanos, SimClock};
 pub use cost::{packets_for, CostProfile, PACKET_PAYLOAD_BYTES};
 pub use device::FlashDevice;
 pub use error::{FlashError, Result};

@@ -19,6 +19,11 @@ pub struct FlashStats {
     pub bytes_read: u64,
     /// EBLOCK erases.
     pub erases: u64,
+    /// Busy nanoseconds accumulated per channel (programs, reads and
+    /// erases, including failed programs — the channel was occupied either
+    /// way). One slot per channel; the device sizes the vector at
+    /// construction.
+    pub channel_busy_ns: Vec<u64>,
 }
 
 impl FlashStats {
@@ -31,7 +36,30 @@ impl FlashStats {
             rblock_reads: self.rblock_reads - earlier.rblock_reads,
             bytes_read: self.bytes_read - earlier.bytes_read,
             erases: self.erases - earlier.erases,
+            channel_busy_ns: self
+                .channel_busy_ns
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| b - earlier.channel_busy_ns.get(i).copied().unwrap_or(0))
+                .collect(),
         }
+    }
+
+    /// Total busy nanoseconds summed over all channels.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.channel_busy_ns.iter().sum()
+    }
+
+    /// Channel overlap ratio over an elapsed virtual interval:
+    /// `Σ channel busy / (channels · elapsed)`, in `[0, 1]`. A value near
+    /// `1/channels` means I/O was fully serialized; higher means channels
+    /// genuinely ran in parallel. Returns 0 when there is nothing to report.
+    pub fn overlap_ratio(&self, elapsed_ns: u64) -> f64 {
+        let channels = self.channel_busy_ns.len() as u64;
+        if channels == 0 || elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.total_busy_ns() as f64 / (channels * elapsed_ns) as f64
     }
 }
 
@@ -48,6 +76,7 @@ mod tests {
             rblock_reads: 5,
             bytes_read: 500,
             erases: 2,
+            channel_busy_ns: vec![300, 700],
         };
         let b = FlashStats {
             programs: 4,
@@ -56,10 +85,35 @@ mod tests {
             rblock_reads: 2,
             bytes_read: 200,
             erases: 1,
+            channel_busy_ns: vec![100, 200],
         };
         let d = a.since(&b);
         assert_eq!(d.programs, 6);
         assert_eq!(d.bytes_programmed, 600);
         assert_eq!(d.erases, 1);
+        assert_eq!(d.channel_busy_ns, vec![200, 500]);
+    }
+
+    #[test]
+    fn since_pads_missing_channels_with_zero() {
+        // `FlashStats::default()` snapshots have an empty busy vector.
+        let a = FlashStats {
+            channel_busy_ns: vec![40, 50],
+            ..FlashStats::default()
+        };
+        let d = a.since(&FlashStats::default());
+        assert_eq!(d.channel_busy_ns, vec![40, 50]);
+    }
+
+    #[test]
+    fn overlap_ratio_bounds() {
+        let s = FlashStats {
+            channel_busy_ns: vec![500, 500, 0, 0],
+            ..FlashStats::default()
+        };
+        // 1000 busy ns over 4 channels × 1000 ns elapsed.
+        assert!((s.overlap_ratio(1_000) - 0.25).abs() < 1e-12);
+        assert_eq!(s.overlap_ratio(0), 0.0);
+        assert_eq!(FlashStats::default().overlap_ratio(1_000), 0.0);
     }
 }

@@ -282,6 +282,14 @@ impl LogStore {
         Ok(bytes.slice(HEADER..HEADER + len))
     }
 
+    /// Read a batch of pages. The block interface gives the host no way to
+    /// express the batch to the device, so this is inherently a serial loop
+    /// over [`LogStore::get`] — the contrast to `Eleos::read_batch` is the
+    /// point of the comparison.
+    pub fn get_batch(&mut self, page_ids: &[u64]) -> Result<Vec<bytes::Bytes>> {
+        page_ids.iter().map(|&p| self.get(p)).collect()
+    }
+
     /// Periodic host mapping checkpoint: serialize every mapping entry into
     /// log slots (16 bytes per entry). These slots are garbage the moment a
     /// newer checkpoint lands — their cost is the point.

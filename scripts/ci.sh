@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate, in dependency order: release build, the full workspace
+# test suite (the bare root package alone runs only 3 tests — --workspace
+# is what exercises every crate), lint-clean at -D warnings, then the
+# wall-clock perf smoke gate against the committed BENCH_controller.json.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== perf smoke =="
+scripts/perf_smoke.sh
+
+echo "ci: OK"
