@@ -1,0 +1,114 @@
+//! Chaos soak driver: randomized crash/fault torture with a differential
+//! oracle (see `eleos_bench::chaos`).
+//!
+//! Default mode runs 10 seeds, each interleaving writes, deletes, batched
+//! reads, checkpoints and GC with crash/recover cycles under probabilistic
+//! program failures plus a persistent bad-WBLOCK region, auditing every
+//! acknowledged page against an in-memory shadow after each recovery.
+//! Any divergence prints the seed and the exact repro command, and the
+//! process exits 1.
+//!
+//!     cargo run --release -p eleos-bench --bin chaos
+//!     cargo run --release -p eleos-bench --bin chaos -- --seed 7 --cycles 3
+//!     cargo run --release -p eleos-bench --bin chaos -- --seeds 25 --fail-p 0.005
+
+use eleos_bench::chaos::{run_chaos, ChaosConfig};
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).and_then(|v| {
+        v.parse().ok().or_else(|| {
+            eprintln!("chaos: could not parse value {v:?} for {flag}");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: chaos [--seed N | --seeds N] [--cycles N] [--steps N] \
+             [--fail-p P] [--bad-eblock CH/EB | --no-bad-region]"
+        );
+        return;
+    }
+
+    let mut base = ChaosConfig::default();
+    if let Some(c) = parse(&args, "--cycles") {
+        base.cycles = c;
+    }
+    if let Some(s) = parse(&args, "--steps") {
+        base.steps_per_cycle = s;
+    }
+    if let Some(p) = parse(&args, "--fail-p") {
+        base.fail_p = p;
+    }
+    if args.iter().any(|a| a == "--no-bad-region") {
+        base.bad_eblock = None;
+    } else if let Some(spec) = flag_value(&args, "--bad-eblock") {
+        let (c, e) = spec
+            .split_once('/')
+            .and_then(|(c, e)| Some((c.parse().ok()?, e.parse().ok()?)))
+            .unwrap_or_else(|| {
+                eprintln!("chaos: --bad-eblock wants CH/EB, got {spec:?}");
+                std::process::exit(2);
+            });
+        base.bad_eblock = Some((c, e));
+    }
+
+    // A single --seed replays exactly one run (the repro path); otherwise
+    // sweep `--seeds` (default 10) consecutive seeds.
+    let seeds: Vec<u64> = match parse::<u64>(&args, "--seed") {
+        Some(s) => vec![s],
+        None => {
+            let n = parse::<u64>(&args, "--seeds").unwrap_or(10);
+            (0..n).collect()
+        }
+    };
+
+    println!(
+        "chaos soak: {} seed(s), {} cycles x ~{} steps, fail-p {}, bad region {:?}",
+        seeds.len(),
+        base.cycles,
+        base.steps_per_cycle,
+        base.fail_p,
+        base.bad_eblock
+    );
+
+    let mut divergences = 0u32;
+    for &seed in &seeds {
+        let cfg = ChaosConfig { seed, ..base.clone() };
+        match run_chaos(&cfg) {
+            Ok(r) => println!(
+                "  seed {seed:>3}: OK  {} batches, {} crashes ({} forced), {} aborts retried, \
+                 {} pgm failures, {} internal retries, {} retired EBLOCKs, {} pages audited, \
+                 {} live",
+                r.batches,
+                r.crashes,
+                r.shutdowns,
+                r.aborts_retried,
+                r.program_failures,
+                r.action_retries,
+                r.retired_eblocks,
+                r.audited_pages,
+                r.live_pages
+            ),
+            Err(f) => {
+                divergences += 1;
+                eprintln!("{f}");
+            }
+        }
+    }
+
+    if divergences > 0 {
+        eprintln!("chaos soak FAILED: {divergences} divergent seed(s)");
+        std::process::exit(1);
+    }
+    println!("chaos soak passed: {} seed(s), zero divergences", seeds.len());
+}

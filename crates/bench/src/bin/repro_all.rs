@@ -161,6 +161,10 @@ fn jobs() -> Vec<Job> {
             )]
         }),
         Box::new(|| {
+            let (t, notes) = eleos_bench::chaos::fault_handling_table(6);
+            vec![(t, notes)]
+        }),
+        Box::new(|| {
             vec![(
                 eleos_bench::ablation::ablation_log_standbys(),
                 "*Beyond the paper:* resilience of the three-location log \

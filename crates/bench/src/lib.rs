@@ -13,6 +13,7 @@
 //! the crossovers sit.
 
 pub mod ablation;
+pub mod chaos;
 pub mod experiments;
 pub mod harness;
 pub mod perfjson;

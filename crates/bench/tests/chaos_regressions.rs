@@ -1,0 +1,74 @@
+//! Pinned chaos-soak seeds that each found a real controller bug. A
+//! [`ChaosConfig`] fully determines the operation sequence and fault
+//! script, so replaying the exact failing seed is the regression test.
+//! Cycle counts are trimmed to just past the cycle where the original
+//! divergence fired (earlier cycles replay identically).
+
+use eleos_bench::chaos::{run_chaos, ChaosConfig};
+
+fn check(cfg: ChaosConfig) {
+    if let Err(f) = run_chaos(&cfg) {
+        panic!("{f}");
+    }
+}
+
+/// A crash landed between a program failure and the healing erase; the
+/// recovery free-list rebuild handed out the still-poisoned zero-frontier
+/// EBLOCK, whose very first program then failed with `EblockPoisoned`.
+/// Fixed by erasing defensively when the device reports the block
+/// poisoned even at frontier zero (`recovery::rebuild_free_lists`).
+#[test]
+fn seed_0_recovery_hands_out_poisoned_free_block() {
+    check(ChaosConfig { seed: 0, ..Default::default() });
+}
+
+/// A checkpoint flush action aborted on a program failure, and the retry
+/// re-programmed the *first* attempt's pre-encoded bytes — losing the
+/// mapping updates the abort's own migration had just made. The stale
+/// flush then satisfied the install, recovery loaded the stale map page,
+/// and committed writes vanished. Fixed by re-encoding every attempt
+/// from the live tables (`ckpt_ops::run_ckpt_action`).
+#[test]
+fn seed_6_checkpoint_retry_must_reencode() {
+    check(ChaosConfig { seed: 6, ..Default::default() });
+}
+
+/// Checkpointing force-closes stale open EBLOCKs; when the close's
+/// metadata program failed, the failure path called `migrate_eblock`,
+/// which found neither the (already detached) cursor metadata nor any
+/// flash metadata — and erased the EBLOCK with its live pages inside.
+/// Fixed by migrating with the close plan's in-memory entry list
+/// (`ckpt_ops::force_close_now`).
+#[test]
+fn seed_9_force_close_failure_loses_close_metadata() {
+    check(ChaosConfig { seed: 9, cycles: 9, ..Default::default() });
+}
+
+/// A poisoned WAL standby stayed in the writer's standby pool after the
+/// controller handed it to truncation-reclaim. Reclaim erased and freed
+/// it; a later seal offered it as a forward-pointer candidate again and
+/// programmed a block sitting in the free list — which the allocator
+/// then handed to a user cursor still poisoned. Fixed by dropping
+/// poisoned EBLOCKs from the standby pool (`wal::writer::seal`).
+#[test]
+fn seed_14_poisoned_wal_standby_reused_after_reclaim() {
+    check(ChaosConfig { seed: 14, cycles: 2, ..Default::default() });
+}
+
+/// Same stale-standby defect, higher fault rate: here the stale seal
+/// *succeeded* into the freed block, so recovery replayed log records
+/// out of an EBLOCK that user data had since overwritten — surfacing as
+/// silent post-recovery content corruption rather than `EblockPoisoned`.
+#[test]
+fn seed_9_high_fail_p_stale_standby_corruption() {
+    check(ChaosConfig { seed: 9, fail_p: 0.006, ..Default::default() });
+}
+
+/// The soak's own acceptance bar: default configuration, first ten
+/// seeds, zero divergences.
+#[test]
+fn first_ten_seeds_zero_divergences() {
+    for seed in 0..10 {
+        check(ChaosConfig { seed, ..Default::default() });
+    }
+}

@@ -35,21 +35,22 @@ impl Eleos {
 
         // 3. Flush the entire small table (it indexes the mapping pages
         //    just flushed; the tiny table goes into the checkpoint record).
-        let mode = self.cfg.page_mode;
-        let small_pages: Vec<ActionPage> = (0..self.mapping.n_small_pages())
-            .map(|i| ActionPage {
-                lpid: SMALL_PAGE_BASE + i as u64,
-                kind: PageKind::SmallPage,
-                bytes: encode_entry(
-                    SMALL_PAGE_BASE + i as u64,
-                    PageKind::SmallPage,
-                    &self.mapping.encode_small_page(i),
-                    mode,
-                ),
-                old_addr: NULL_PADDR,
-            })
-            .collect();
-        self.run_action(ActionKind::Ckpt, None, &small_pages, Dest::User)?;
+        self.run_ckpt_action(|this| {
+            let mode = this.cfg.page_mode;
+            Ok((0..this.mapping.n_small_pages())
+                .map(|i| ActionPage {
+                    lpid: SMALL_PAGE_BASE + i as u64,
+                    kind: PageKind::SmallPage,
+                    bytes: encode_entry(
+                        SMALL_PAGE_BASE + i as u64,
+                        PageKind::SmallPage,
+                        &this.mapping.encode_small_page(i),
+                        mode,
+                    ),
+                    old_addr: NULL_PADDR,
+                })
+                .collect())
+        })?;
 
         // 4. Flush dirty (or never-flushed) summary pages. The flush LSN
         //    recorded inside each page is the last already-assigned LSN:
@@ -58,28 +59,7 @@ impl Eleos {
         //    own Write records, whose first LSN is `next_lsn()`) replays on
         //    top under the strict `lsn > flush_lsn` guard — the checkpoint
         //    stays fuzzy but idempotent.
-        let to_flush: Vec<usize> = (0..self.summary.n_pages())
-            .filter(|&p| self.summary.page_meta(p).dirty || self.summary.page_addr(p) == NULL_PADDR)
-            .collect();
-        let flush_lsn = self.wal.next_lsn() - 1;
-        let summary_pages: Vec<ActionPage> = to_flush
-            .iter()
-            .map(|&p| {
-                let payload = self.summary.encode_page(p, flush_lsn);
-                ActionPage {
-                    lpid: SUMMARY_PAGE_BASE + p as u64,
-                    kind: PageKind::SummaryPage,
-                    bytes: encode_entry(
-                        SUMMARY_PAGE_BASE + p as u64,
-                        PageKind::SummaryPage,
-                        &payload,
-                        mode,
-                    ),
-                    old_addr: NULL_PADDR,
-                }
-            })
-            .collect();
-        self.run_action(ActionKind::Ckpt, None, &summary_pages, Dest::User)?;
+        self.flush_summary_pages()?;
 
         // 5. Truncation LSN = min of the three factors (Section VIII-B).
         let mut trunc = self.wal.next_lsn();
@@ -122,7 +102,8 @@ impl Eleos {
         };
         match self.ckpt_area.write(&mut self.dev, &rec) {
             Ok(t) => self.dev.clock_mut().wait_until(t),
-            Err(EleosError::Flash(eleos_flash::FlashError::ProgramFailed(_))) => {
+            Err(EleosError::Flash(eleos_flash::FlashError::ProgramFailed(addr))) => {
+                self.note_program_failure(addr.eblock);
                 // The reserved EBLOCK refused the record even after a
                 // retry. The previous checkpoint is intact and every state
                 // change this checkpoint flushed is already durable and
@@ -144,24 +125,129 @@ impl Eleos {
         Ok(())
     }
 
+    /// Run a checkpoint-internal flush action with bounded retry. A
+    /// program-failure abort has already migrated valid pages off the
+    /// poisoned EBLOCK, so the retry provisions a fresh destination;
+    /// without the retry the abort would surface to whichever user write
+    /// happened to trigger the automatic checkpoint, and the caller would
+    /// re-submit (and double-write) an already-committed buffer.
+    ///
+    /// `build` re-encodes the pages on EVERY attempt. That is not an
+    /// optimization knob: the abort's own failure handling migrates the
+    /// poisoned EBLOCK, and the migration rewrites mapping entries and
+    /// summary descriptors. Re-programming the first attempt's bytes would
+    /// commit a flush that silently drops those updates — the install
+    /// marks the pages clean, nothing re-flushes them, and the stale copy
+    /// is what the next recovery loads.
+    fn run_ckpt_action<F>(&mut self, mut build: F) -> Result<()>
+    where
+        F: FnMut(&mut Self) -> Result<Vec<ActionPage>>,
+    {
+        let attempts = self.cfg.ckpt_retry_attempts.max(1);
+        for attempt in 1..=attempts {
+            let pages = build(self)?;
+            match self.run_action(ActionKind::Ckpt, None, &pages, Dest::User) {
+                Ok(_) => return Ok(()),
+                Err(EleosError::ActionAborted) if attempt < attempts => {
+                    self.stats.action_retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(EleosError::ActionAborted)
+    }
+
+    /// Flush the dirty / never-flushed summary pages with bounded retry.
+    /// `encode_page` marks each page clean as a side effect, so every
+    /// failed attempt restores the dirty bits and rec LSNs before the
+    /// retry (or the final error): a clean-but-not-durable page would let
+    /// truncation advance past records it still depends on, and would
+    /// hide it from the next attempt's dirty scan.
+    fn flush_summary_pages(&mut self) -> Result<()> {
+        let mode = self.cfg.page_mode;
+        let attempts = self.cfg.ckpt_retry_attempts.max(1);
+        for attempt in 1..=attempts {
+            let to_flush: Vec<usize> = (0..self.summary.n_pages())
+                .filter(|&p| {
+                    self.summary.page_meta(p).dirty || self.summary.page_addr(p) == NULL_PADDR
+                })
+                .collect();
+            if to_flush.is_empty() {
+                return Ok(());
+            }
+            let pre_rec_lsns: Vec<(usize, Lsn)> = to_flush
+                .iter()
+                .map(|&p| (p, self.summary.page_meta(p).rec_lsn))
+                .collect();
+            let flush_lsn = self.wal.next_lsn() - 1;
+            let summary_pages: Vec<ActionPage> = to_flush
+                .iter()
+                .map(|&p| {
+                    let payload = self.summary.encode_page(p, flush_lsn);
+                    ActionPage {
+                        lpid: SUMMARY_PAGE_BASE + p as u64,
+                        kind: PageKind::SummaryPage,
+                        bytes: encode_entry(
+                            SUMMARY_PAGE_BASE + p as u64,
+                            PageKind::SummaryPage,
+                            &payload,
+                            mode,
+                        ),
+                        old_addr: NULL_PADDR,
+                    }
+                })
+                .collect();
+            match self.run_action(ActionKind::Ckpt, None, &summary_pages, Dest::User) {
+                Ok(_) => return Ok(()),
+                Err(e) => {
+                    for &(p, rec) in &pre_rec_lsns {
+                        // rec == 0 means the page was clean (flushed only
+                        // because its flash address was NULL) — it depends
+                        // on no records, so there is nothing to re-pin.
+                        if rec != 0 {
+                            self.summary.mark_dirty(p, rec);
+                        }
+                    }
+                    match e {
+                        EleosError::ActionAborted if attempt < attempts => {
+                            self.stats.action_retries += 1;
+                        }
+                        other => return Err(other),
+                    }
+                }
+            }
+        }
+        Err(EleosError::ActionAborted)
+    }
+
     /// Flush specific mapping pages through a checkpoint system action
-    /// (also used for cache-pressure eviction flushes).
+    /// (also used for cache-pressure eviction flushes). The pages are
+    /// re-encoded from the live cache on every retry attempt so a
+    /// mid-flush migration's mapping updates are never overwritten by the
+    /// previous attempt's stale bytes.
     pub(crate) fn flush_map_pages(&mut self, pages: &[u32]) -> Result<()> {
         if pages.is_empty() {
             return Ok(());
         }
-        let mode = self.cfg.page_mode;
-        let mut aps = Vec::with_capacity(pages.len());
-        for &p in pages {
-            let payload = self.mapping.encode_page(p, &mut self.dev)?;
-            aps.push(ActionPage {
-                lpid: MAP_PAGE_BASE + p as u64,
-                kind: PageKind::MapPage,
-                bytes: encode_entry(MAP_PAGE_BASE + p as u64, PageKind::MapPage, &payload, mode),
-                old_addr: NULL_PADDR,
-            });
-        }
-        self.run_action(ActionKind::Ckpt, None, &aps, Dest::User)?;
+        self.run_ckpt_action(|this| {
+            let mode = this.cfg.page_mode;
+            let mut aps = Vec::with_capacity(pages.len());
+            for &p in pages {
+                let payload = this.mapping.encode_page(p, &mut this.dev)?;
+                aps.push(ActionPage {
+                    lpid: MAP_PAGE_BASE + p as u64,
+                    kind: PageKind::MapPage,
+                    bytes: encode_entry(
+                        MAP_PAGE_BASE + p as u64,
+                        PageKind::MapPage,
+                        &payload,
+                        mode,
+                    ),
+                    old_addr: NULL_PADDR,
+                });
+            }
+            Ok(aps)
+        })?;
         Ok(())
     }
 
@@ -215,6 +301,7 @@ impl Eleos {
                 d.state = EblockState::Free;
                 d.purpose = EblockPurpose::Data;
             });
+            self.trace_eb(addr, "free (unwritten close fast path)");
             self.chans[addr.channel as usize].free.push_back(addr.eblock);
             return Ok(());
         }
@@ -234,7 +321,16 @@ impl Eleos {
                 Ok(t) => self.dev.clock_mut().wait_until(t),
                 Err(FlashError::ProgramFailed(_)) => {
                     self.dev.clock_mut().wait_until(horizon);
-                    return self.migrate_eblock(addr, 0);
+                    self.note_program_failure(addr);
+                    // The cursor was already detached into the close plan, so
+                    // the only copy of this EBLOCK's entry list is the close
+                    // event's — `migrate_eblock` would find neither cursor nor
+                    // flash metadata and erase the block with its live pages
+                    // still inside.
+                    return match plan.closes.iter().find(|c| c.addr == addr) {
+                        Some(c) => self.migrate_with_meta(addr, &c.entries, 0),
+                        None => self.migrate_eblock(addr, 0),
+                    };
                 }
                 Err(e) => return Err(e.into()),
             }

@@ -62,6 +62,26 @@ pub struct EleosConfig {
     /// does not discuss wear leveling); off reproduces the paper's
     /// behaviour, on narrows the wear spread (see the ablation bench).
     pub wear_aware_alloc: bool,
+    /// Retire an EBLOCK permanently once it has accumulated this many
+    /// failed WBLOCK programs over its lifetime (failure counts survive
+    /// the erase that heals a poisoned block). Retired blocks never
+    /// re-enter a free list, so a persistently bad region stops being
+    /// re-provisioned after a bounded number of heal cycles. `0` disables
+    /// retirement (every failure is treated as transient, the pre-PR-3
+    /// behaviour).
+    pub retire_program_failures: u16,
+    /// Maximum nested retry depth for failure-path migrations (a program
+    /// failure while relocating pages away from an earlier failure). Each
+    /// retry relocates to a freshly provisioned destination; exhausting
+    /// the bound shuts the controller down (recovery still replays
+    /// everything durable).
+    pub migrate_retry_limit: u32,
+    /// Bounded retry attempts for checkpoint-internal flush actions that
+    /// abort on a program failure. The abort path has already migrated
+    /// valid pages off the poisoned EBLOCK, so a retry provisions
+    /// elsewhere; without the retry the abort would surface to whichever
+    /// user write happened to trigger the automatic checkpoint.
+    pub ckpt_retry_attempts: u32,
     /// Deferred-completion I/O scheduling: split channel submission from
     /// CPU-visible completion so reads/programs on distinct channels
     /// overlap (GC victim scans, batched reads, recovery probes,
@@ -87,6 +107,9 @@ impl Default for EleosConfig {
             max_user_lpid: 1 << 20,
             log_standby_eblocks: 2,
             wear_aware_alloc: false,
+            retire_program_failures: 4,
+            migrate_retry_limit: 3,
+            ckpt_retry_attempts: 3,
             defer_io: true,
         }
     }

@@ -340,16 +340,29 @@ impl Eleos {
             .max(pages.iter().map(|p| p.bytes.len() as u64).sum::<u64>()
                 - (pages.len() * ENTRY_HEADER) as u64);
         self.stats.stored_bytes += pages.iter().map(|p| p.bytes.len() as u64).sum::<u64>();
+        // The user's batch is committed and installed from here on. Internal
+        // housekeeping failures (a program-failure abort inside a mapping
+        // flush or automatic checkpoint, even after its bounded retries)
+        // must not surface as a write error: the caller would re-submit an
+        // already-durable buffer and double-write it. Both are retried on a
+        // later write; genuine errors (ShutDown, flash faults) still
+        // propagate.
         if self.mapping.overfull() {
             // Cache pressure: evict-flush the oldest dirty mapping pages
             // ("flushed, e.g., by page eviction or checkpointing" —
             // Section VIII-C2).
             let dirty = self.mapping.dirty_pages();
             let k = dirty.len().min(8);
-            self.flush_map_pages(&dirty[..k])?;
+            match self.flush_map_pages(&dirty[..k]) {
+                Ok(()) | Err(EleosError::ActionAborted) => {}
+                Err(e) => return Err(e),
+            }
         }
         if self.wal.bytes_appended - self.last_ckpt_bytes >= self.cfg.ckpt_log_bytes {
-            self.checkpoint()?;
+            match self.checkpoint() {
+                Ok(()) | Err(EleosError::ActionAborted) => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok(BatchAck {
             lpages: pages.len(),
@@ -563,7 +576,11 @@ impl Eleos {
         }
         for &eb in &o.poisoned {
             // A poisoned log EBLOCK still holds earlier valid pages; it is
-            // reclaimed by truncation like any full log EBLOCK.
+            // reclaimed by truncation like any full log EBLOCK. The page
+            // itself landed at a fallback forward-pointer candidate — the
+            // paper's three provisioned locations absorbing the failure.
+            self.note_program_failure(eb);
+            self.stats.wal_fallbacks += 1;
             self.summary.update(eb, lsn_tag, |d| {
                 d.state = EblockState::Used;
                 d.max_lsn = d.max_lsn.max(o.last_lsn);
@@ -620,6 +637,21 @@ impl Eleos {
     // EBLOCK allocation
     // ------------------------------------------------------------------
 
+    /// Debug aid: print `what` when `ELEOS_TRACE_EB=ch/eb` matches `eb`.
+    pub(crate) fn trace_eb(&self, eb: EblockAddr, what: &str) {
+        if let Ok(f) = std::env::var("ELEOS_TRACE_EB") {
+            let parts: Vec<u32> = f.split('/').map(|x| x.parse().unwrap()).collect();
+            if eb.channel == parts[0] && eb.eblock == parts[1] {
+                eprintln!(
+                    "[trace] {what} ch{}/eb{} next_lsn {}",
+                    eb.channel,
+                    eb.eblock,
+                    self.wal.next_lsn()
+                );
+            }
+        }
+    }
+
     pub(crate) fn alloc_eblock(&mut self, channel: u32) -> Result<EblockAddr> {
         let free = &mut self.chans[channel as usize].free;
         if free.is_empty() {
@@ -639,6 +671,7 @@ impl Eleos {
             free.pop_front().unwrap()
         };
         let addr = EblockAddr::new(channel, eb);
+        self.trace_eb(addr, "alloc");
         self.summary.update(addr, self.wal.next_lsn(), |d| {
             d.state = EblockState::Open;
             d.purpose = EblockPurpose::Data;
@@ -1167,6 +1200,7 @@ impl Eleos {
         depth: u8,
     ) -> Result<ActionResult> {
         self.stats.aborts += 1;
+        self.note_program_failure(failed.eblock);
         let abort_lsn = self.log_append(&LogRecord::Abort { action: id })?;
         self.active_first_lsn.remove(&id);
         let geo = *self.dev.geometry();
@@ -1245,6 +1279,7 @@ impl Eleos {
                 ) {
                     Ok(_) => {}
                     Err(FlashError::ProgramFailed(_)) => {
+                        self.note_program_failure(c.addr);
                         return self.migrate_with_meta(c.addr, &c.entries, 1);
                     }
                     Err(e) => return Err(e.into()),
@@ -1266,6 +1301,7 @@ impl Eleos {
                 Err(FlashError::ProgramFailed(_)) => {
                     // This EBLOCK is now poisoned too; migrate it as well,
                     // with the close event's metadata (never durable).
+                    self.note_program_failure(c.addr);
                     return self.migrate_with_meta(c.addr, &c.entries, 1);
                 }
                 Err(e) => return Err(e.into()),
@@ -1297,9 +1333,12 @@ impl Eleos {
         meta: &[(PageKind, Lpid)],
         depth: u8,
     ) -> Result<()> {
-        if depth > 2 {
+        if u32::from(depth) > self.cfg.migrate_retry_limit {
             self.shutdown = true;
             return Err(EleosError::ShutDown);
+        }
+        if depth > 0 {
+            self.stats.action_retries += 1;
         }
         self.stats.migrations += 1;
         let valid = self.scan_valid_pages(eb, meta)?;
@@ -1450,14 +1489,11 @@ impl Eleos {
 
     /// Post-erase bookkeeping shared by the blocking and deferred erase
     /// paths: log the erase, reset the descriptor, drop the EBLOCK from the
-    /// log-reclaim index and return it to the free list.
+    /// log-reclaim index and return it to the free list — unless the block
+    /// has crossed the lifetime program-failure threshold, in which case it
+    /// is permanently retired instead of being re-provisioned.
     fn retire_erased(&mut self, eb: EblockAddr) -> Result<()> {
-        if let Ok(f) = std::env::var("ELEOS_TRACE_EB") {
-            let parts: Vec<u32> = f.split('/').map(|x| x.parse().unwrap()).collect();
-            if eb.channel == parts[0] && eb.eblock == parts[1] {
-                eprintln!("[trace] erase_and_free ch{}/eb{} next_lsn {}", eb.channel, eb.eblock, self.wal.next_lsn());
-            }
-        }
+        self.trace_eb(eb, "erase_and_free");
         let lsn = self.log_append(&LogRecord::EraseEblock {
             channel: eb.channel,
             eblock: eb.eblock,
@@ -1471,13 +1507,47 @@ impl Eleos {
             d.avail = 0;
             d.ts = 0;
             d.max_lsn = 0;
+            // d.program_failures deliberately survives the erase: it is the
+            // retirement policy's cross-heal-cycle evidence.
         });
         self.chans[eb.channel as usize]
             .log_reclaim
             .retain(|&(_, e)| e != eb.eblock);
-        self.chans[eb.channel as usize].free.push_back(eb.eblock);
         self.stats.gc_erases += 1;
+        let failures = self.summary.get(eb).program_failures;
+        if self.cfg.retire_program_failures > 0 && failures >= self.cfg.retire_program_failures {
+            // The block keeps failing across heal cycles: bad media, not a
+            // transient. Log the retirement after the erase so replay lands
+            // on the retired state last, and never return it to the free
+            // list — DeviceFull now honestly reflects the lost capacity.
+            let rlsn = self.log_append(&LogRecord::RetireEblock {
+                channel: eb.channel,
+                eblock: eb.eblock,
+            })?;
+            self.summary.update(eb, rlsn, |d| d.state = EblockState::Retired);
+            self.stats.retired_eblocks += 1;
+            return Ok(());
+        }
+        self.trace_eb(eb, "free (post-erase)");
+        self.chans[eb.channel as usize].free.push_back(eb.eblock);
         Ok(())
+    }
+
+    /// Record a program failure against the EBLOCK that absorbed it: bump
+    /// the controller-level counter and the block's lifetime failure count
+    /// in the summary (the evidence [`Eleos::retire_erased`] consults).
+    /// The reserved checkpoint area is exempt — it is a fixed address the
+    /// recovery protocol depends on, so it can never be retired.
+    pub(crate) fn note_program_failure(&mut self, eb: EblockAddr) {
+        self.trace_eb(eb, "program failure");
+        self.stats.program_failures += 1;
+        if self.summary.get(eb).purpose == EblockPurpose::CkptArea {
+            return;
+        }
+        let lsn = self.wal.next_lsn();
+        self.summary.update(eb, lsn, |d| {
+            d.program_failures = d.program_failures.saturating_add(1);
+        });
     }
 
     /// Overlap ratio of the flash channels over the whole run so far:

@@ -262,6 +262,7 @@ impl Eleos {
                 Err(EleosError::ActionAborted) => {
                     // The GC write itself hit a program failure; the victim
                     // keeps its data and will be retried by a later pass.
+                    self.stats.gc_relocation_aborts += 1;
                     erase_ok[i] = false;
                 }
                 Err(e) => return Err(e),
@@ -345,6 +346,7 @@ impl Eleos {
                 Err(EleosError::ActionAborted) => {
                     // The GC write itself hit a program failure; the victim
                     // keeps its data and will be retried by a later GC pass.
+                    self.stats.gc_relocation_aborts += 1;
                     return Ok(());
                 }
                 Err(e) => return Err(e),
@@ -382,16 +384,22 @@ pub struct SpaceReport {
     /// Bytes consumed by the controller's own structures: the checkpoint
     /// area and log EBLOCKs.
     pub overhead_bytes: u64,
+    /// Bytes in permanently retired EBLOCKs (repeated program failures or
+    /// endurance exhaustion) — capacity the device has genuinely lost.
+    /// `DeviceFull` reflects this: retired blocks never re-enter a free
+    /// list.
+    pub retired_bytes: u64,
 }
 
 impl SpaceReport {
     /// Upper bound on live data: everything not free, not known garbage,
-    /// not controller overhead.
+    /// not controller overhead, not retired.
     pub fn live_estimate(&self) -> u64 {
         self.total_bytes
             .saturating_sub(self.free_bytes)
             .saturating_sub(self.reclaimable_bytes)
             .saturating_sub(self.overhead_bytes)
+            .saturating_sub(self.retired_bytes)
     }
 }
 
@@ -403,11 +411,13 @@ impl Eleos {
         let mut free = 0u64;
         let mut reclaimable = 0u64;
         let mut overhead = 0u64;
+        let mut retired = 0u64;
         for ch in 0..geo.channels {
             for eb in 0..geo.eblocks_per_channel {
                 let d = self.summary.get(EblockAddr::new(ch, eb));
                 match (d.state, d.purpose) {
                     (EblockState::Free, _) => free += eb_bytes,
+                    (EblockState::Retired, _) => retired += eb_bytes,
                     (_, EblockPurpose::Log | EblockPurpose::CkptArea) => overhead += eb_bytes,
                     _ => reclaimable += d.avail.min(eb_bytes),
                 }
@@ -418,6 +428,7 @@ impl Eleos {
             free_bytes: free,
             reclaimable_bytes: reclaimable,
             overhead_bytes: overhead,
+            retired_bytes: retired,
         }
     }
 

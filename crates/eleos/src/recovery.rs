@@ -179,6 +179,21 @@ impl Eleos {
 
         // ---------------- post-replay fixups ----------------
         this.fixup_log_eblocks(&scan)?;
+        // The open-EBLOCK fixup can migrate (poisoned or metadata-less
+        // blocks), and a migration's relocation action must be able to
+        // allocate — so the free lists need a first rebuild *before* the
+        // fixup. The rebuild runs again afterwards (it is idempotent) to
+        // account for every block the fixup freed or consumed.
+        this.rebuild_free_lists(&scan)?;
+        // `resume` starts the writer with zero standbys, so every seal up
+        // to this point had only the in-EBLOCK forward pointer. The fixup
+        // below can append enough records (force-closes, migrations) to
+        // fill the current log EBLOCK — and a page that lands on the last
+        // WBLOCK with no standbys records an *empty* forward-pointer set,
+        // stranding the writer (the next seal shuts the controller down).
+        // Top the standbys up first so recovery-time seals always have
+        // somewhere to point.
+        this.top_up_log_standbys()?;
         this.fixup_open_eblocks(open_meta, frontier, &scan)?;
         this.rebuild_free_lists(&scan)?;
         // Seed the per-channel log-reclaim index now that every descriptor
@@ -235,12 +250,6 @@ impl Eleos {
                     let eb = na.eblock_addr();
                     // Case 1 (Section VIII-C3).
                     let flush = self.summary.flush_lsn(eb);
-                    if let Ok(f) = std::env::var("ELEOS_TRACE_EB") {
-                        let parts: Vec<u32> = f.split('/').map(|x| x.parse().unwrap()).collect();
-                        if eb.channel == parts[0] && eb.eblock == parts[1] {
-                            eprintln!("[trace] pass2 Write eb{}/{} lsn {} flush {} state {:?} off {}", eb.channel, eb.eblock, lsn, flush, self.summary.get(eb).state, na.offset);
-                        }
-                    }
                     let state = self.summary.get(eb).state;
                     let ignorable = state != EblockState::Open && flush >= lsn;
                     if !ignorable {
@@ -386,12 +395,7 @@ impl Eleos {
                 }
                 LogRecord::EraseEblock { channel, eblock } => {
                     let eb = EblockAddr::new(*channel, *eblock);
-                    if let Ok(f) = std::env::var("ELEOS_TRACE_EB") {
-                        let parts: Vec<u32> = f.split('/').map(|x| x.parse().unwrap()).collect();
-                        if *channel == parts[0] && *eblock == parts[1] {
-                            eprintln!("[trace] replay EraseEblock ch{channel}/eb{eblock} lsn {lsn} flush {}", self.summary.flush_lsn(eb));
-                        }
-                    }
+                    self.trace_eb(eb, "replay EraseEblock");
                     let flush = self.summary.flush_lsn(eb);
                     open_meta.remove(&eb);
                     frontier.remove(&eb);
@@ -405,6 +409,21 @@ impl Eleos {
                             d.avail = 0;
                             d.ts = 0;
                             d.max_lsn = 0;
+                        });
+                    }
+                }
+                LogRecord::RetireEblock { channel, eblock } => {
+                    // Always logged right after the block's final
+                    // EraseEblock, so replaying in order lands on Retired
+                    // last; `rebuild_free_lists` collects only Free blocks,
+                    // which keeps retired capacity out of provisioning.
+                    let eb = EblockAddr::new(*channel, *eblock);
+                    open_meta.remove(&eb);
+                    frontier.remove(&eb);
+                    if lsn > self.summary.flush_lsn(eb) {
+                        self.summary.update(eb, lsn, |d| {
+                            d.state = EblockState::Retired;
+                            d.purpose = EblockPurpose::Data;
                         });
                     }
                 }
@@ -516,12 +535,6 @@ impl Eleos {
             for eb_i in 0..geo.eblocks_per_channel {
                 let eb = EblockAddr::new(ch, eb_i);
                 let d = *self.summary.get(eb);
-                if let Ok(f) = std::env::var("ELEOS_TRACE_EB") {
-                    let parts: Vec<u32> = f.split('/').map(|x| x.parse().unwrap()).collect();
-                    if ch == parts[0] && eb_i == parts[1] {
-                        eprintln!("[trace] fixup eb{ch}/{eb_i}: state {:?} purpose {:?} dev_frontier {}", d.state, d.purpose, self.dev.programmed_wblocks(eb)?);
-                    }
-                }
                 if d.state != EblockState::Open
                     || d.purpose == EblockPurpose::CkptArea
                     || log_ebs.contains(&eb)
@@ -529,6 +542,14 @@ impl Eleos {
                     continue;
                 }
                 if d.purpose == EblockPurpose::Log {
+                    if self.wal.standbys().contains(&eb) {
+                        // A standby this recovery just provisioned — the
+                        // writer holds a live reference, so reclaiming it
+                        // here would re-free a block the log is about to
+                        // program (the stale-standby corruption all over
+                        // again).
+                        continue;
+                    }
                     // A pre-crash log standby that never received a page:
                     // return it to the data pool below via rebuild.
                     let lsn = self.wal.next_lsn();
@@ -612,27 +633,25 @@ impl Eleos {
 
     /// Migrate an EBLOCK using already-rebuilt metadata (recovery variant
     /// of `migrate_eblock`, which would look for an open cursor).
+    /// Delegates to the bounded retry-with-relocation core so a program
+    /// failure *during recovery* relocates and retries instead of failing
+    /// the whole recovery.
     fn migrate_from_meta(
         &mut self,
         eb: EblockAddr,
         meta: Vec<(PageKind, Lpid)>,
     ) -> Result<()> {
-        self.stats.migrations += 1;
-        let valid = self.scan_valid_pages(eb, &meta)?;
-        if !valid.is_empty() {
-            let dest = Dest::GcBin {
-                channel: eb.channel,
-                victim_ts: self.usn,
-            };
-            self.run_action(ActionKind::Migrate, None, &valid, dest)?;
-        }
-        self.erase_and_free(eb)
+        self.migrate_with_meta(eb, &meta, 0)
     }
 
-    /// Rebuild per-channel free lists from descriptor states.
+    /// Rebuild per-channel free lists from descriptor states. Idempotent
+    /// (each call rebuilds from scratch): recovery runs it both before the
+    /// open-EBLOCK fixup, so fixup-time migrations can allocate, and after,
+    /// so blocks the fixup freed or consumed are accounted for.
     fn rebuild_free_lists(&mut self, _scan: &crate::wal::ScanResult) -> Result<()> {
         let geo = *self.dev.geometry();
         for ch in 0..geo.channels {
+            self.chans[ch as usize].free.clear();
             let free = self.summary.channel_eblocks_in_state(ch, EblockState::Free);
             for eb_i in free {
                 let eb = EblockAddr::new(ch, eb_i);
@@ -641,14 +660,17 @@ impl Eleos {
                 }
                 // A descriptor can say Free while the device still holds
                 // data (the erase happened but its record was lost — or
-                // vice versa). Erase defensively if needed.
-                if self.dev.programmed_wblocks(eb)? > 0 {
-                    if std::env::var("ELEOS_TRACE_EB").is_ok() {
-                        eprintln!("[trace] defensive erase ch{}/eb{}", eb.channel, eb.eblock);
-                    }
+                // vice versa). Erase defensively if needed. A crash can
+                // also land between a program failure and the healing
+                // erase: the block then has zero programmed WBLOCKs but is
+                // still poisoned, and handing it out like that would fail
+                // its very first program with `EblockPoisoned`.
+                if self.dev.programmed_wblocks(eb)? > 0 || self.dev.is_poisoned(eb)? {
+                    self.trace_eb(eb, "defensive erase");
                     let t = self.dev.erase(eb)?;
                     self.dev.clock_mut().wait_until(t);
                 }
+                self.trace_eb(eb, "free (recovery rebuild)");
                 self.chans[ch as usize].free.push_back(eb_i);
             }
         }

@@ -35,6 +35,25 @@ pub struct EleosStats {
     /// GC relocations dropped because a newer user write won (conditional
     /// install failed).
     pub gc_installs_aborted: u64,
+    /// Program failures the controller observed and handled (any path:
+    /// user action, GC relocation, checkpoint flush, WAL seal, close
+    /// repair). A device-level failure can be counted once per controller
+    /// reaction, so this tracks *handled events*, not raw flash errors.
+    pub program_failures: u64,
+    /// Bounded retries of internal actions (checkpoint flushes, nested
+    /// migrations) after a program-failure abort. User-action retries are
+    /// the application's job and are not counted here.
+    pub action_retries: u64,
+    /// GC relocation actions aborted by a program failure; the victim
+    /// keeps its data and is retried by a later GC pass.
+    pub gc_relocation_aborts: u64,
+    /// Log pages placed at a fallback forward-pointer candidate after the
+    /// primary location failed to program (Section VIII-A's three
+    /// provisioned locations absorbing a failure).
+    pub wal_fallbacks: u64,
+    /// EBLOCKs permanently retired for repeated program failures or
+    /// erase-endurance exhaustion.
+    pub retired_eblocks: u64,
 }
 
 impl EleosStats {

@@ -24,8 +24,10 @@ pub enum EblockState {
     Open = 1,
     /// Fully written and closed (metadata persisted).
     Used = 2,
-    /// Permanently retired (endurance exhausted).
-    Bad = 3,
+    /// Permanently retired: the block repeatedly failed programs (bad
+    /// media) or exhausted its erase endurance. Never re-enters a free
+    /// list; its capacity is excluded from provisioning.
+    Retired = 3,
 }
 
 impl EblockState {
@@ -34,7 +36,7 @@ impl EblockState {
             0 => Some(EblockState::Free),
             1 => Some(EblockState::Open),
             2 => Some(EblockState::Used),
-            3 => Some(EblockState::Bad),
+            3 => Some(EblockState::Retired),
             _ => None,
         }
     }
@@ -61,7 +63,7 @@ impl EblockPurpose {
     }
 }
 
-/// Per-EBLOCK descriptor ("less than 32 bytes": ours serializes to 31).
+/// Per-EBLOCK descriptor ("less than 32 bytes": ours serializes to 27).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EblockDesc {
     pub state: EblockState,
@@ -79,6 +81,12 @@ pub struct EblockDesc {
     pub ts: Usn,
     /// For log EBLOCKs: highest LSN stored, enabling truncation reclaim.
     pub max_lsn: Lsn,
+    /// Lifetime count of failed WBLOCK programs on this block. Unlike the
+    /// rest of the descriptor this survives erase: it is the evidence the
+    /// retirement policy accumulates across heal cycles (Section VII says
+    /// erase heals a poisoned block, but a block that keeps failing is bad
+    /// media, not a transient).
+    pub program_failures: u16,
 }
 
 impl Default for EblockDesc {
@@ -92,6 +100,7 @@ impl Default for EblockDesc {
             avail: 0,
             ts: 0,
             max_lsn: 0,
+            program_failures: 0,
         }
     }
 }
@@ -101,7 +110,7 @@ impl EblockDesc {
         let mut w = Writer(out);
         // State and purpose share one byte; `ts` (data blocks) and `max_lsn`
         // (log blocks) share one u64 — this keeps the descriptor within the
-        // paper's "less than 32 bytes" budget (25 bytes).
+        // paper's "less than 32 bytes" budget (27 bytes).
         w.u8((self.state as u8) | ((self.purpose as u8) << 4));
         w.u32(self.erase_count);
         w.u16(self.data_wblocks);
@@ -111,6 +120,7 @@ impl EblockDesc {
             EblockPurpose::Data => self.ts,
             EblockPurpose::Log | EblockPurpose::CkptArea => self.max_lsn,
         });
+        w.u16(self.program_failures);
     }
 
     fn decode(r: &mut Reader<'_>) -> Option<EblockDesc> {
@@ -126,6 +136,7 @@ impl EblockDesc {
             EblockPurpose::Data => (ts_or_lsn, 0),
             EblockPurpose::Log | EblockPurpose::CkptArea => (0, ts_or_lsn),
         };
+        let program_failures = r.u16()?;
         Some(EblockDesc {
             state,
             purpose,
@@ -135,6 +146,7 @@ impl EblockDesc {
             avail,
             ts,
             max_lsn,
+            program_failures,
         })
     }
 
@@ -265,7 +277,7 @@ impl SummaryTable {
     pub fn encode_page(&mut self, page: usize, flush_lsn: Lsn) -> Vec<u8> {
         let lo = page * DESCS_PER_PAGE;
         let hi = ((page + 1) * DESCS_PER_PAGE).min(self.descs.len());
-        let mut out = Vec::with_capacity(8 + 4 + (hi - lo) * 31);
+        let mut out = Vec::with_capacity(8 + 4 + (hi - lo) * 27);
         {
             let mut w = Writer(&mut out);
             w.u64(flush_lsn);
@@ -279,6 +291,23 @@ impl SummaryTable {
         pm.dirty = false;
         pm.rec_lsn = 0;
         out
+    }
+
+    /// Re-mark a page dirty at `rec_lsn`, keeping the smaller rec LSN if
+    /// the page was re-dirtied in the meantime. Used when a checkpoint
+    /// flush action ultimately fails after `encode_page` already marked
+    /// the page clean: without this, log truncation could advance past
+    /// records the (never-persisted) page still depends on.
+    pub fn mark_dirty(&mut self, page: usize, rec_lsn: Lsn) {
+        let pm = &mut self.pages[page];
+        if pm.dirty {
+            if rec_lsn != 0 && (pm.rec_lsn == 0 || rec_lsn < pm.rec_lsn) {
+                pm.rec_lsn = rec_lsn;
+            }
+        } else {
+            pm.dirty = true;
+            pm.rec_lsn = rec_lsn;
+        }
     }
 
     /// Load one page from its flushed bytes (recovery).
@@ -355,6 +384,7 @@ mod tests {
             d.data_wblocks = 14;
             d.meta_wblocks = 2;
             d.max_lsn = 1_000_000; // log blocks persist max_lsn, not ts
+            d.program_failures = 3;
         });
         let b = EblockAddr::new(1, 4); // a data block persists ts
         t.update(b, 8, |d| {
@@ -373,6 +403,40 @@ mod tests {
         assert_eq!(*t2.get(b), *t.get(b));
         assert_eq!(t2.get(b).ts, 424_242);
         assert_eq!(t2.page_meta(page).flush_lsn, 77);
+    }
+
+    #[test]
+    fn retired_state_and_failure_count_roundtrip() {
+        let mut t = table();
+        let a = EblockAddr::new(3, 9);
+        t.update(a, 5, |d| {
+            d.state = EblockState::Retired;
+            d.erase_count = 11;
+            d.program_failures = u16::MAX; // saturating counter survives intact
+        });
+        let page = t.page_of(a);
+        let bytes = t.encode_page(page, 9);
+        let mut t2 = table();
+        t2.decode_page(page, &bytes).unwrap();
+        assert_eq!(t2.get(a).state, EblockState::Retired);
+        assert_eq!(t2.get(a).program_failures, u16::MAX);
+    }
+
+    #[test]
+    fn mark_dirty_restores_min_rec_lsn() {
+        let mut t = table();
+        let a = EblockAddr::new(0, 1);
+        t.update(a, 30, |d| d.avail += 1);
+        let page = t.page_of(a);
+        let rec = t.page_meta(page).rec_lsn;
+        t.encode_page(page, 40); // marks clean
+        assert!(t.min_rec_lsn().is_none());
+        t.mark_dirty(page, rec); // flush failed: undo the clean marking
+        assert_eq!(t.min_rec_lsn(), Some(30));
+        // Re-dirtying keeps the smaller rec LSN.
+        t.update(a, 50, |d| d.avail += 1);
+        t.mark_dirty(page, 25);
+        assert_eq!(t.min_rec_lsn(), Some(25));
     }
 
     #[test]

@@ -69,6 +69,11 @@ pub enum LogRecord {
     /// this record a recovered summary could keep a stale purpose for the
     /// block (log placement itself is never logged).
     LogStandby { channel: u32, eblock: u32 },
+    /// An EBLOCK was permanently retired (repeated program failures or
+    /// erase-endurance exhaustion). Always follows the block's final
+    /// `EraseEblock`/close record, so replay lands on the retired state
+    /// last and the block never re-enters a rebuilt free list.
+    RetireEblock { channel: u32, eblock: u32 },
 }
 
 fn akind_to_u8(k: ActionKind) -> u8 {
@@ -174,6 +179,11 @@ impl LogRecord {
                 w.u32(*channel);
                 w.u32(*eblock);
             }
+            LogRecord::RetireEblock { channel, eblock } => {
+                w.u8(12);
+                w.u32(*channel);
+                w.u32(*eblock);
+            }
         }
     }
 
@@ -217,6 +227,10 @@ impl LogRecord {
                 eblock: r.u32()?,
             },
             11 => LogRecord::LogStandby {
+                channel: r.u32()?,
+                eblock: r.u32()?,
+            },
+            12 => LogRecord::RetireEblock {
                 channel: r.u32()?,
                 eblock: r.u32()?,
             },
@@ -274,6 +288,7 @@ mod tests {
         roundtrip(LogRecord::SessionClose { sid: 0xFEED });
         roundtrip(LogRecord::EraseEblock { channel: 3, eblock: 12 });
         roundtrip(LogRecord::LogStandby { channel: 1, eblock: 2 });
+        roundtrip(LogRecord::RetireEblock { channel: 2, eblock: 7 });
     }
 
     #[test]

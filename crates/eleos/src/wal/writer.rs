@@ -292,10 +292,12 @@ impl LogWriter {
                 }
                 Err(FlashError::ProgramFailed(_)) => {
                     poisoned.push(cand.eblock);
-                    if cand.eblock == self.cur_eblock {
-                        // The current log EBLOCK is dead; further candidates
-                        // are standbys.
-                    }
+                    // A poisoned EBLOCK is dead to the log: the controller
+                    // hands it to truncation-reclaim, which erases and
+                    // re-provisions it. If it stayed in the standby pool,
+                    // a later seal could program into the block after it
+                    // has been freed — or reallocated to user data.
+                    self.standbys.retain(|&s| s != cand.eblock);
                     continue;
                 }
                 Err(_) => continue,
@@ -559,7 +561,7 @@ mod tests {
     #[test]
     fn shutdown_when_all_candidates_fail() {
         let mut d = FlashDevice::new(Geometry::tiny(), CostProfile::unit())
-            .with_faults(FaultInjector::probabilistic(0.999999, 1));
+            .with_faults(FaultInjector::probabilistic(1.0, 1));
         let mut w = LogWriter::fresh(EblockAddr::new(0, 2));
         w.add_standby(EblockAddr::new(1, 3));
         w.append(&rec(0), &mut d).unwrap();

@@ -1,0 +1,296 @@
+//! Fault-path regression tests (Section VII): scripted single-fault
+//! sweeps over checkpointing and GC, probabilistic faults under churn,
+//! and end-to-end bad-block retirement.
+//!
+//! The sweep tests inject exactly one program failure at *every* ordinal
+//! position in a fixed deterministic workload, then audit, crash,
+//! recover, audit again, and keep writing. Sweeping the ordinal means no
+//! fragile "fail the 17th program" magic numbers: every program the
+//! checkpoint or GC path issues gets its turn to fail, so each of the
+//! failure handlers (WAL fallback, checkpoint retry, force-close
+//! migration, GC relocation abort, recovery defensive erase) is exercised
+//! with a pinned, replayable script. These sweeps reproduce the bugs the
+//! chaos soak found (see `eleos-bench`'s `chaos_regressions` for the
+//! original seeds).
+
+use eleos::{Eleos, EleosConfig, EleosError, PageMode, WriteBatch};
+use eleos_flash::{CostProfile, FlashDevice, Geometry, WblockAddr};
+use std::collections::BTreeMap;
+
+fn dev() -> FlashDevice {
+    FlashDevice::new(Geometry::tiny(), CostProfile::unit())
+}
+
+fn cfg() -> EleosConfig {
+    EleosConfig {
+        ckpt_log_bytes: u64::MAX, // explicit checkpoints only
+        ..EleosConfig::test_small()
+    }
+}
+
+fn payload(lpid: u64, v: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (lpid as u8) ^ (v as u8) ^ (i as u8).wrapping_mul(29))
+        .collect()
+}
+
+type Shadow = BTreeMap<u64, Vec<u8>>;
+
+/// Write `batches` deterministic batches, retrying aborted actions like a
+/// real host would (Section VII: "the user application may retry the
+/// failed batched write"). The shadow records only acknowledged content.
+fn write_churn(ssd: &mut Eleos, shadow: &mut Shadow, v: &mut u64, batches: u64, stride: u64) {
+    for b in 0..batches {
+        let mut batch = WriteBatch::new(PageMode::Variable);
+        for k in 0..6u64 {
+            *v += 1;
+            let lpid = (b * stride + k * 17) % 300;
+            let data = payload(lpid, *v, 64 + ((*v * 131) % 1500) as usize);
+            if batch.put(lpid, &data).is_err() {
+                continue; // duplicate lpid within the batch
+            }
+            shadow.insert(lpid, data);
+        }
+        let mut done = false;
+        for _ in 0..6 {
+            match ssd.write(&batch) {
+                Ok(_) => {
+                    done = true;
+                    break;
+                }
+                Err(EleosError::ActionAborted) => continue,
+                Err(EleosError::DeviceFull) => {
+                    ssd.maintenance().unwrap();
+                    continue;
+                }
+                Err(e) => panic!("write failed non-retryably: {e}"),
+            }
+        }
+        assert!(done, "batch {b} never acknowledged");
+    }
+}
+
+fn audit(ssd: &mut Eleos, shadow: &Shadow, ctx: &str) {
+    for (lpid, data) in shadow {
+        let got = ssd.read(*lpid).unwrap_or_else(|e| panic!("{ctx}: lpid {lpid} unreadable: {e}"));
+        assert_eq!(got.as_ref(), data.as_slice(), "{ctx}: lpid {lpid} content");
+    }
+}
+
+/// One program failure at ordinal `nth` of the checkpoint path. The
+/// checkpoint must either complete (internal retry / WAL fallback /
+/// force-close migration absorb the fault) or abort cleanly — and in both
+/// cases every acknowledged page must survive the subsequent crash, and
+/// the healed EBLOCK must be safely re-provisionable.
+///
+/// Regressions pinned by this sweep:
+/// * stale checkpoint retry bytes: a retried flush action must re-encode
+///   from the live tables, because the abort's own migration rewrites
+///   mapping entries between attempts;
+/// * force-close failure: the close plan's in-memory metadata is the only
+///   copy of the entry list — migrating with empty metadata erased the
+///   EBLOCK with its live pages still inside;
+/// * recovery handing out a poisoned zero-frontier EBLOCK without the
+///   healing erase (`EblockPoisoned` on its very first program);
+/// * standby-starved recovery: the resumed log writer had zero standby
+///   EBLOCKs until the very end of recovery, so a recovery-time log page
+///   landing on the last WBLOCK recorded an empty forward-pointer set and
+///   the first post-recovery write shut the controller down.
+#[test]
+fn single_fault_sweep_over_checkpoint() {
+    for nth in 1..=40u64 {
+        let mut ssd = Eleos::format(dev(), cfg()).unwrap();
+        let mut shadow = Shadow::new();
+        let mut v = 0u64;
+        write_churn(&mut ssd, &mut shadow, &mut v, 30, 7);
+        ssd.checkpoint().unwrap();
+        // Dirty a spread of mapping pages so the next checkpoint has real
+        // flush work (and real stale-bytes exposure).
+        write_churn(&mut ssd, &mut shadow, &mut v, 12, 11);
+
+        ssd.device_mut().faults_mut().fail_nth_from_now(nth);
+        match ssd.checkpoint() {
+            Ok(()) => {}
+            Err(EleosError::ActionAborted) => {} // retries exhausted: previous ckpt intact
+            Err(e) => panic!("nth={nth}: checkpoint failed non-retryably: {e}"),
+        }
+        audit(&mut ssd, &shadow, &format!("nth={nth} post-ckpt"));
+
+        let flash = ssd.crash();
+        let mut ssd = Eleos::recover(flash, cfg()).unwrap();
+        audit(&mut ssd, &shadow, &format!("nth={nth} post-recovery"));
+
+        // Keep writing: a poisoned EBLOCK that slipped back into a free
+        // list unerased only detonates when re-provisioned.
+        write_churn(&mut ssd, &mut shadow, &mut v, 20, 13);
+        ssd.maintenance().unwrap();
+        audit(&mut ssd, &shadow, &format!("nth={nth} post-churn"));
+    }
+}
+
+/// One program failure at ordinal `nth` of a GC-heavy maintenance pass:
+/// relocation actions abort, victims keep their data, and a later pass
+/// retries — no acknowledged page may be lost across the abort or the
+/// crash that follows. Also pinned the standby-starved recovery bug (see
+/// `single_fault_sweep_over_checkpoint`): recovery after the GC crash
+/// appends enough force-close records to cross a log-EBLOCK boundary.
+#[test]
+fn single_fault_sweep_over_gc() {
+    for nth in 1..=30u64 {
+        let mut ssd = Eleos::format(dev(), cfg()).unwrap();
+        let mut shadow = Shadow::new();
+        let mut v = 0u64;
+        // Overwrite-heavy churn builds garbage so maintenance has victims.
+        write_churn(&mut ssd, &mut shadow, &mut v, 120, 3);
+
+        ssd.device_mut().faults_mut().fail_nth_from_now(nth);
+        ssd.maintenance().unwrap();
+        audit(&mut ssd, &shadow, &format!("nth={nth} post-gc"));
+
+        let flash = ssd.crash();
+        let mut ssd = Eleos::recover(flash, cfg()).unwrap();
+        audit(&mut ssd, &shadow, &format!("nth={nth} post-recovery"));
+
+        write_churn(&mut ssd, &mut shadow, &mut v, 20, 13);
+        audit(&mut ssd, &shadow, &format!("nth={nth} post-churn"));
+    }
+}
+
+/// Probabilistic program failures while GC and checkpoints run: the
+/// differential contract (acknowledged content survives, aborted batches
+/// take no effect) must hold under a seeded random fault stream.
+#[test]
+fn probabilistic_faults_during_gc_and_checkpoints() {
+    let mut ssd = Eleos::format(dev(), cfg()).unwrap();
+    let mut shadow = Shadow::new();
+    let mut v = 0u64;
+    write_churn(&mut ssd, &mut shadow, &mut v, 40, 7);
+
+    *ssd.device_mut().faults_mut() = eleos_flash::FaultInjector::probabilistic(0.01, 0xDECAF);
+    for round in 0..8u64 {
+        write_churn(&mut ssd, &mut shadow, &mut v, 30, 3 + round);
+        match ssd.checkpoint() {
+            Ok(()) | Err(EleosError::ActionAborted) => {}
+            Err(e) => panic!("round {round}: checkpoint failed: {e}"),
+        }
+        ssd.maintenance().unwrap();
+    }
+    let stats = ssd.stats().clone();
+    assert!(
+        stats.program_failures > 0,
+        "fault stream never fired: {stats:?}"
+    );
+    assert!(stats.aborts > 0, "no action ever aborted: {stats:?}");
+
+    // Recovery runs fault-free (the injector models transient failures,
+    // and keeping it live would make the audit vacuous), mirroring the
+    // chaos soak's protocol.
+    ssd.device_mut().faults_mut().set_probability(0.0);
+    audit(&mut ssd, &shadow, "probabilistic pre-crash");
+    let flash = ssd.crash();
+    let mut ssd = Eleos::recover(flash, cfg()).unwrap();
+    audit(&mut ssd, &shadow, "probabilistic post-recovery");
+}
+
+/// A persistently bad EBLOCK (every WBLOCK fails every program, like real
+/// failed media) must be retired after `retire_program_failures` heal
+/// cycles: writes keep succeeding around it, the free lists permanently
+/// exclude it, `retired_bytes` accounts for the lost capacity, and the
+/// `Retired` state survives crash recovery.
+#[test]
+fn bad_eblock_is_retired_with_capacity_accounting() {
+    let geo = Geometry::tiny();
+    let mut config = cfg();
+    config.retire_program_failures = 2;
+    let mut device = dev();
+    for w in 0..geo.wblocks_per_eblock {
+        device.faults_mut().add_bad_wblock(WblockAddr::new(1, 9, w));
+    }
+    let mut ssd = Eleos::format(device, config.clone()).unwrap();
+    let mut shadow = Shadow::new();
+    let mut v = 0u64;
+
+    let mut rounds = 0;
+    let retired = loop {
+        write_churn(&mut ssd, &mut shadow, &mut v, 40, 3 + rounds);
+        // Every durable batch seals a log page, and this config never
+        // auto-checkpoints — without an explicit checkpoint the WAL is
+        // never truncated and Used+Log EBLOCKs swallow the device.
+        match ssd.checkpoint() {
+            Ok(()) | Err(EleosError::ActionAborted) => {}
+            Err(e) => panic!("round {rounds}: checkpoint failed: {e}"),
+        }
+        ssd.maintenance().unwrap();
+        let r = ssd
+            .eblock_report()
+            .into_iter()
+            .find(|(c, e, _, _, _)| (*c, *e) == (1, 9))
+            .expect("eblock report covers every eblock");
+        if r.2 == "Retired" {
+            break r;
+        }
+        rounds += 1;
+        assert!(rounds < 40, "eblock 1/9 never retired; last state {r:?}");
+    };
+    assert_eq!(retired.2, "Retired");
+    assert_eq!(ssd.stats().retired_eblocks, 1);
+
+    let space = ssd.space_report();
+    assert_eq!(space.retired_bytes, geo.eblock_bytes());
+    assert!(
+        space.free_bytes + space.retired_bytes + space.overhead_bytes <= space.total_bytes,
+        "capacity accounting inconsistent: {space:?}"
+    );
+    audit(&mut ssd, &shadow, "pre-crash");
+
+    // Retirement is durable: the block must not re-enter provisioning
+    // after recovery, and the lost capacity must still be counted.
+    let flash = ssd.crash();
+    let mut ssd = Eleos::recover(flash, config).unwrap();
+    let r = ssd
+        .eblock_report()
+        .into_iter()
+        .find(|(c, e, _, _, _)| (*c, *e) == (1, 9))
+        .unwrap();
+    assert_eq!(r.2, "Retired", "retirement lost across recovery");
+    assert_eq!(ssd.space_report().retired_bytes, geo.eblock_bytes());
+    audit(&mut ssd, &shadow, "post-recovery");
+
+    // The degraded device still serves writes at full correctness.
+    write_churn(&mut ssd, &mut shadow, &mut v, 40, 5);
+    ssd.checkpoint().unwrap();
+    ssd.maintenance().unwrap();
+    audit(&mut ssd, &shadow, "post-retirement churn");
+}
+
+/// A poisoned WAL EBLOCK must leave the writer's standby pool for good.
+/// Before the fix, the writer kept offering it as a forward-pointer
+/// candidate; once truncation-reclaim erased and freed it, a later seal
+/// could program into a block the allocator had already handed to user
+/// data. With every WBLOCK of the standby bad, heavy checkpoint-driven
+/// truncation makes the reclaim-then-reuse sequence happen repeatedly.
+#[test]
+fn poisoned_wal_standby_never_reused_after_reclaim() {
+    let geo = Geometry::tiny();
+    let mut config = cfg();
+    config.retire_program_failures = 0; // never retire: keep the block cycling
+    let mut device = dev();
+    for w in 0..geo.wblocks_per_eblock {
+        device.faults_mut().add_bad_wblock(WblockAddr::new(3, 4, w));
+    }
+    let mut ssd = Eleos::format(device, config.clone()).unwrap();
+    let mut shadow = Shadow::new();
+    let mut v = 0u64;
+    for round in 0..12u64 {
+        write_churn(&mut ssd, &mut shadow, &mut v, 25, 3 + round);
+        match ssd.checkpoint() {
+            Ok(()) | Err(EleosError::ActionAborted) => {}
+            Err(e) => panic!("round {round}: checkpoint failed: {e}"),
+        }
+        ssd.maintenance().unwrap();
+    }
+    audit(&mut ssd, &shadow, "pre-crash");
+    let flash = ssd.crash();
+    let mut ssd = Eleos::recover(flash, config).unwrap();
+    audit(&mut ssd, &shadow, "post-recovery");
+}

@@ -149,6 +149,7 @@ impl EblockSim {
 
 /// Internal programming-rule verdicts, converted to [`FlashError`] by the
 /// device (which knows the full address).
+#[derive(Debug)]
 pub(crate) enum ProgramCheck {
     Poisoned,
     Full,

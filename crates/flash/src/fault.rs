@@ -8,6 +8,7 @@
 use crate::addr::WblockAddr;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 
 /// Decides whether a given program operation fails.
 #[derive(Debug)]
@@ -16,11 +17,11 @@ pub struct FaultInjector {
     programs_seen: u64,
     /// Fail the program whose ordinal (0-based) is in this list.
     scripted: Vec<u64>,
-    /// Probability in [0, 1) that any program fails.
+    /// Probability in [0, 1] that any program fails.
     probability: f64,
     rng: StdRng,
     /// Addresses that always fail (simulating a bad region).
-    bad_wblocks: Vec<WblockAddr>,
+    bad_wblocks: BTreeSet<WblockAddr>,
 }
 
 impl Default for FaultInjector {
@@ -37,7 +38,7 @@ impl FaultInjector {
             scripted: Vec::new(),
             probability: 0.0,
             rng: StdRng::seed_from_u64(0),
-            bad_wblocks: Vec::new(),
+            bad_wblocks: BTreeSet::new(),
         }
     }
 
@@ -50,23 +51,36 @@ impl FaultInjector {
         s
     }
 
-    /// Fail programs independently with probability `p`, deterministically
-    /// seeded.
+    /// Fail programs independently with probability `p` (closed interval:
+    /// `p = 1.0` fails every program), deterministically seeded.
     pub fn probabilistic(p: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "probability must be in [0,1)");
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
         let mut s = Self::none();
         s.probability = p;
         s.rng = StdRng::seed_from_u64(seed);
         s
     }
 
-    /// Mark a specific WBLOCK as permanently failing.
-    pub fn add_bad_wblock(&mut self, addr: WblockAddr) {
-        self.bad_wblocks.push(addr);
+    /// Change the probabilistic failure rate without disturbing the RNG
+    /// stream, the scripted ordinals, or the bad regions. Lets a soak
+    /// driver quiesce random faults (e.g. while measuring) and resume.
+    pub fn set_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.probability = p;
     }
 
-    /// Add another scripted failure ordinal (relative to programs already
-    /// seen if `relative` is true).
+    /// Current probabilistic failure rate.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Mark a specific WBLOCK as permanently failing.
+    pub fn add_bad_wblock(&mut self, addr: WblockAddr) {
+        self.bad_wblocks.insert(addr);
+    }
+
+    /// Add another scripted failure ordinal, `n` programs from now: `n = 0`
+    /// fails the very next program attempt on the device.
     pub fn fail_nth_from_now(&mut self, n: u64) {
         self.scripted.push(self.programs_seen + n);
         self.scripted.sort_unstable();
@@ -135,6 +149,31 @@ mod tests {
         assert_ne!(run(7), run(8));
         let fails = run(7).iter().filter(|&&b| b).count();
         assert!(fails > 10 && fails < 60, "got {fails} failures");
+    }
+
+    #[test]
+    fn probabilistic_accepts_closed_interval() {
+        // p = 1.0 must be accepted and fail every single program; p = 0.0
+        // must never fail. Regression for the old `[0, 1)` assert that
+        // forced callers into a 0.999999 workaround.
+        let mut always = FaultInjector::probabilistic(1.0, 42);
+        for _ in 0..100 {
+            assert!(always.should_fail(addr()));
+        }
+        let mut never = FaultInjector::probabilistic(0.0, 42);
+        for _ in 0..100 {
+            assert!(!never.should_fail(addr()));
+        }
+    }
+
+    #[test]
+    fn set_probability_pauses_and_resumes() {
+        let mut f = FaultInjector::probabilistic(1.0, 9);
+        assert!(f.should_fail(addr()));
+        f.set_probability(0.0);
+        assert!(!f.should_fail(addr()));
+        f.set_probability(1.0);
+        assert!(f.should_fail(addr()));
     }
 
     #[test]

@@ -28,19 +28,41 @@ pub struct FlashStats {
 
 impl FlashStats {
     /// Difference since an earlier snapshot (for per-phase accounting).
+    ///
+    /// Counters are monotonic, so every field of `earlier` should be `<=`
+    /// the corresponding field of `self`; that invariant is checked with
+    /// `debug_assert`s. Release builds saturate instead of panicking, and
+    /// channels present in only one snapshot (the vectors are sized lazily
+    /// at device construction) are treated as zero on the other side.
     pub fn since(&self, earlier: &FlashStats) -> FlashStats {
+        fn sub(later: u64, earlier: u64, what: &str) -> u64 {
+            debug_assert!(
+                later >= earlier,
+                "FlashStats::since: non-monotonic {what} ({later} < {earlier}) — \
+                 are the snapshots swapped?"
+            );
+            later.saturating_sub(earlier)
+        }
+        let slots = self.channel_busy_ns.len().max(earlier.channel_busy_ns.len());
         FlashStats {
-            programs: self.programs - earlier.programs,
-            program_failures: self.program_failures - earlier.program_failures,
-            bytes_programmed: self.bytes_programmed - earlier.bytes_programmed,
-            rblock_reads: self.rblock_reads - earlier.rblock_reads,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            erases: self.erases - earlier.erases,
-            channel_busy_ns: self
-                .channel_busy_ns
-                .iter()
-                .enumerate()
-                .map(|(i, &b)| b - earlier.channel_busy_ns.get(i).copied().unwrap_or(0))
+            programs: sub(self.programs, earlier.programs, "programs"),
+            program_failures: sub(
+                self.program_failures,
+                earlier.program_failures,
+                "program_failures",
+            ),
+            bytes_programmed: sub(self.bytes_programmed, earlier.bytes_programmed, "bytes_programmed"),
+            rblock_reads: sub(self.rblock_reads, earlier.rblock_reads, "rblock_reads"),
+            bytes_read: sub(self.bytes_read, earlier.bytes_read, "bytes_read"),
+            erases: sub(self.erases, earlier.erases, "erases"),
+            channel_busy_ns: (0..slots)
+                .map(|i| {
+                    sub(
+                        self.channel_busy_ns.get(i).copied().unwrap_or(0),
+                        earlier.channel_busy_ns.get(i).copied().unwrap_or(0),
+                        "channel_busy_ns",
+                    )
+                })
                 .collect(),
         }
     }
@@ -103,6 +125,24 @@ mod tests {
         };
         let d = a.since(&FlashStats::default());
         assert_eq!(d.channel_busy_ns, vec![40, 50]);
+    }
+
+    #[test]
+    fn since_keeps_channels_only_in_earlier() {
+        // A snapshot taken before the device grew its busy vector must not
+        // shrink the result: slots present in only one side count as zero
+        // on the other. (The old implementation iterated `self`'s slots
+        // only and silently dropped `earlier`'s extras.)
+        let a = FlashStats {
+            channel_busy_ns: vec![40],
+            ..FlashStats::default()
+        };
+        let b = FlashStats {
+            channel_busy_ns: vec![10, 0, 0],
+            ..FlashStats::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.channel_busy_ns, vec![30, 0, 0]);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate, in dependency order: release build, the full workspace
 # test suite (the bare root package alone runs only 3 tests — --workspace
-# is what exercises every crate), lint-clean at -D warnings, then the
+# is what exercises every crate), lint-clean at -D warnings, a bounded
+# chaos-soak smoke (fault-injected differential oracle), then the
 # wall-clock perf smoke gate against the committed BENCH_controller.json.
 #
 # Usage: scripts/ci.sh
@@ -17,6 +18,9 @@ cargo test -q --workspace
 
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== chaos smoke (differential oracle, 5 seeds) =="
+cargo run --release -p eleos-bench --bin chaos -- --seeds 5
 
 echo "== perf smoke =="
 scripts/perf_smoke.sh
