@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use eleos::batch::parse_batch;
-use eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FlashDevice, Geometry};
 use eleos_workloads::{TpccTrace, TpccTraceConfig, YcsbConfig, YcsbWorkload, Zipfian};
 use rand::rngs::StdRng;
@@ -72,7 +72,7 @@ fn eleos_write_path(c: &mut Criterion) {
                 (ssd, batch)
             },
             |(mut ssd, batch)| {
-                ssd.write(black_box(&batch)).unwrap();
+                ssd.write(black_box(&batch), WriteOpts::default()).unwrap();
                 black_box(ssd.now())
             },
             BatchSize::LargeInput,
@@ -91,7 +91,7 @@ fn eleos_write_path(c: &mut Criterion) {
         for lpid in 0..512u64 {
             batch.put(lpid, &payload).unwrap();
         }
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 1) % 512;
@@ -119,7 +119,7 @@ fn gc_and_recovery(c: &mut Criterion) {
                 let lpid = rng.gen_range(0..1024u64);
                 b.put(lpid, &vec![round as u8; rng.gen_range(64..2048)]).unwrap();
             }
-            ssd.write(&b).unwrap();
+            ssd.write(&b, WriteOpts::default()).unwrap();
         }
         ssd
     };
@@ -183,7 +183,7 @@ fn baselines_and_deletes(c: &mut Criterion) {
                 for lpid in 0..64u64 {
                     batch.put(lpid, &[1u8; 500]).unwrap();
                 }
-                ssd.write(&batch).unwrap();
+                ssd.write(&batch, WriteOpts::default()).unwrap();
                 ssd
             },
             |mut ssd| {

@@ -10,7 +10,7 @@
 
 use crate::report::{fmt_bytes, fmt_rate, Table};
 use eleos_bwtree::{BwTree, BwTreeConfig, EleosStore, PageStore, UpdateMode};
-use eleos::{Eleos, EleosConfig, GcSelection, PageMode, WriteBatch};
+use eleos::{Eleos, EleosConfig, GcSelection, PageMode, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FlashDevice, Geometry};
 use eleos_workloads::Zipfian;
 use rand::rngs::StdRng;
@@ -51,7 +51,7 @@ fn churn(cfg: EleosConfig, rounds: u64, seed: u64) -> Option<ChurnOutcome> {
             let len = rng.gen_range(256..3000usize);
             batch.put(lpid, &vec![0xAB; len]).unwrap();
         }
-        match ssd.write(&batch) {
+        match ssd.write(&batch, WriteOpts::default()) {
             Ok(_) => {}
             Err(eleos::EleosError::DeviceFull) => return None,
             Err(e) => panic!("churn: {e}"),
@@ -68,9 +68,9 @@ fn churn(cfg: EleosConfig, rounds: u64, seed: u64) -> Option<ChurnOutcome> {
     let wear_cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
     Some(ChurnOutcome {
         flash_bytes: ssd.device().stats().bytes_programmed,
-        payload_bytes: ssd.stats().payload_bytes,
-        gc_moved_bytes: ssd.stats().gc_moved_bytes,
-        gc_erases: ssd.stats().gc_erases,
+        payload_bytes: ssd.snapshot().eleos.payload_bytes,
+        gc_moved_bytes: ssd.snapshot().eleos.gc_moved_bytes,
+        gc_erases: ssd.snapshot().eleos.gc_erases,
         sim_ns: ssd.now() - t0,
         wear_cv,
     })
@@ -171,7 +171,7 @@ fn churn_bimodal(cfg: EleosConfig, rounds: u64, seed: u64) -> Option<ChurnOutcom
         for k in 0..128u64 {
             batch.put(chunk * 128 + k, &vec![0xCC; 1500]).unwrap();
         }
-        if ssd.write(&batch).is_err() {
+        if ssd.write(&batch, WriteOpts::default()).is_err() {
             return None;
         }
     }
@@ -188,7 +188,7 @@ fn churn_bimodal(cfg: EleosConfig, rounds: u64, seed: u64) -> Option<ChurnOutcom
                 .put(lpid, &vec![0xAB; rng.gen_range(256..3000)])
                 .unwrap();
         }
-        match ssd.write(&batch) {
+        match ssd.write(&batch, WriteOpts::default()) {
             Ok(_) => {}
             Err(eleos::EleosError::DeviceFull) => return None,
             Err(e) => panic!("bimodal churn: {e}"),
@@ -205,9 +205,9 @@ fn churn_bimodal(cfg: EleosConfig, rounds: u64, seed: u64) -> Option<ChurnOutcom
     let wear_cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
     Some(ChurnOutcome {
         flash_bytes: ssd.device().stats().bytes_programmed,
-        payload_bytes: ssd.stats().payload_bytes,
-        gc_moved_bytes: ssd.stats().gc_moved_bytes,
-        gc_erases: ssd.stats().gc_erases,
+        payload_bytes: ssd.snapshot().eleos.payload_bytes,
+        gc_moved_bytes: ssd.snapshot().eleos.gc_moved_bytes,
+        gc_erases: ssd.snapshot().eleos.gc_erases,
         sim_ns: ssd.now() - t0,
         wear_cv,
     })
@@ -241,9 +241,9 @@ pub fn ablation_recovery_time() -> Table {
                 let lpid = zipf.next_scrambled(&mut rng);
                 b.put(lpid, &vec![1u8; rng.gen_range(256..2500)]).unwrap();
             }
-            ssd.write(&b).unwrap();
+            ssd.write(&b, WriteOpts::default()).unwrap();
         }
-        let ckpts = ssd.stats().checkpoints;
+        let ckpts = ssd.snapshot().eleos.checkpoints;
         let flash = ssd.crash();
         let reads0 = flash.stats().rblock_reads;
         let t0 = flash.clock().now();
@@ -343,9 +343,9 @@ pub fn ablation_pipelining() -> Table {
             }
             bytes += b.wire_len() as u64;
             if pipelined {
-                ssd.write_ordered_pipelined(sid, wsn, &b).unwrap();
+                ssd.write(&b, WriteOpts::ordered_pipelined(sid, wsn)).unwrap();
             } else {
-                ssd.write_ordered(sid, wsn, &b).unwrap();
+                ssd.write(&b, WriteOpts::ordered(sid, wsn)).unwrap();
             }
         }
         ssd.drain();
@@ -418,7 +418,7 @@ pub fn ablation_log_standbys() -> Table {
                     b.put(lpid, &vec![1u8; rng.gen_range(64..1024)]).unwrap();
                 }
                 for _ in 0..4 {
-                    match ssd.write(&b) {
+                    match ssd.write(&b, WriteOpts::default()) {
                         Ok(_) => {
                             total_committed += 1;
                             continue 'run;

@@ -13,16 +13,22 @@
 //! Usage:
 //!   perfbench [--label NAME] [--scale full|small] [--out FILE]
 //!             [--compare FILE] [--max-regression X.Y]
+//!   perfbench --telemetry-out FILE
+//!
+//! `--telemetry-out` skips the benches, runs a small mixed scenario, checks
+//! the telemetry conservation invariant (attribution buckets must sum to
+//! the simulated busy time) and writes the snapshot JSON to FILE — the
+//! `scripts/ci.sh` telemetry gate.
 //!
 //! `--compare` reads a committed BENCH_controller.json and fails (exit 1)
 //! if any bench's simulated-ops-per-host-second dropped by more than
 //! `--max-regression` (default 2.0×) against the most recent committed
 //! entry of the same bench name — that is the `scripts/perf_smoke.sh` gate.
 
-use eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
 use eleos_bench::perfjson::{parse_entries, render_entry, BenchEntry};
 use eleos_bench::tpcc_driver::{run_tpcc, Interface};
-use eleos_flash::{CostProfile, FlashDevice, Geometry};
+use eleos_flash::{CostProfile, FlashDevice, Geometry, SpanKind};
 use eleos_workloads::{TpccTraceConfig, Zipfian};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,6 +57,9 @@ fn bench_tpcc_write(scale: &str, label: &str) -> BenchEntry {
     let mut ops = 0u64;
     let mut host = 0.0f64;
     let mut programmed = 0u64;
+    let mut cpu_busy = 0u64;
+    let mut flash_busy = 0u64;
+    let mut write_p99 = 0u64;
     // Each repetition replays against a fresh device so the measurement
     // window is long enough to be stable without ever needing GC.
     for _ in 0..repeat {
@@ -70,6 +79,9 @@ fn bench_tpcc_write(scale: &str, label: &str) -> BenchEntry {
         host += t.elapsed().as_secs_f64();
         ops += r.pages;
         programmed += r.flash_bytes_programmed;
+        cpu_busy += r.cpu_busy_ns;
+        flash_busy += r.flash_busy_ns;
+        write_p99 = write_p99.max(r.write_p99_ns);
     }
     BenchEntry {
         label: label.to_string(),
@@ -80,6 +92,9 @@ fn bench_tpcc_write(scale: &str, label: &str) -> BenchEntry {
         sim_ops_per_host_sec: ops as f64 / host,
         bytes_programmed: programmed,
         bytes_read: 0,
+        cpu_busy_ns: cpu_busy,
+        flash_busy_ns: flash_busy,
+        write_p99_ns: write_p99,
     }
 }
 
@@ -107,17 +122,18 @@ fn bench_ycsb_read(scale: &str, label: &str) -> BenchEntry {
         page[..8].copy_from_slice(&lpid.to_le_bytes());
         batch.put(lpid, &page).expect("load put");
         if batch.wire_len() >= 1024 * 1024 {
-            ssd.write(&batch).expect("load write");
+            ssd.write(&batch, WriteOpts::default()).expect("load write");
             batch = WriteBatch::new(PageMode::Variable);
         }
     }
     if !batch.is_empty() {
-        ssd.write(&batch).expect("load write");
+        ssd.write(&batch, WriteOpts::default()).expect("load write");
     }
     ssd.drain();
 
     let zipf = Zipfian::new(records, 0.99);
     let bytes_read0 = ssd.device().stats().bytes_read;
+    let snap0 = ssd.snapshot();
     let t = Instant::now();
     let mut sink = 0u64;
     for _ in 0..ops {
@@ -127,6 +143,7 @@ fn bench_ycsb_read(scale: &str, label: &str) -> BenchEntry {
     }
     let host = t.elapsed().as_secs_f64();
     std::hint::black_box(sink);
+    let snap = ssd.snapshot();
     BenchEntry {
         label: label.to_string(),
         bench: "ycsb_read_zipfian".to_string(),
@@ -136,6 +153,9 @@ fn bench_ycsb_read(scale: &str, label: &str) -> BenchEntry {
         sim_ops_per_host_sec: ops as f64 / host,
         bytes_programmed: ssd.device().stats().bytes_programmed,
         bytes_read: ssd.device().stats().bytes_read - bytes_read0,
+        cpu_busy_ns: snap.cpu_busy_ns - snap0.cpu_busy_ns,
+        flash_busy_ns: snap.flash.total_busy_ns() - snap0.flash.total_busy_ns(),
+        write_p99_ns: 0, // read bench: the measured window records no write spans
     }
 }
 
@@ -153,12 +173,12 @@ fn load_uniform(ssd: &mut Eleos, records: u64, rng: &mut StdRng) {
     for lpid in 0..records {
         batch.put(lpid, &uniform_page(lpid, rng)).expect("load put");
         if batch.wire_len() >= 1024 * 1024 {
-            ssd.write(&batch).expect("load write");
+            ssd.write(&batch, WriteOpts::default()).expect("load write");
             batch = WriteBatch::new(PageMode::Variable);
         }
     }
     if !batch.is_empty() {
-        ssd.write(&batch).expect("load write");
+        ssd.write(&batch, WriteOpts::default()).expect("load write");
     }
     ssd.drain();
 }
@@ -192,18 +212,20 @@ fn bench_gc_heavy(scale: &str, label: &str) -> BenchEntry {
             let lpid = rng.gen_range(0..records);
             batch.put(lpid, &uniform_page(lpid, &mut rng)).expect("put");
             if batch.wire_len() >= 1024 * 1024 {
-                ssd.write(&batch).expect("overwrite");
+                ssd.write(&batch, WriteOpts::default()).expect("overwrite");
                 batch = WriteBatch::new(PageMode::Variable);
             }
         }
         if !batch.is_empty() {
-            ssd.write(&batch).expect("overwrite");
+            ssd.write(&batch, WriteOpts::default()).expect("overwrite");
         }
         ssd.drain();
-        (t.elapsed().as_secs_f64(), ssd.now() - sim0, ssd.device().stats().bytes_programmed - programmed0)
+        let host = t.elapsed().as_secs_f64();
+        let snap = ssd.snapshot();
+        (host, ssd.now() - sim0, ssd.device().stats().bytes_programmed - programmed0, snap)
     };
-    let (_, sim_serial, _) = run(false);
-    let (host, sim_deferred, programmed) = run(true);
+    let (_, sim_serial, _, _) = run(false);
+    let (host, sim_deferred, programmed, snap) = run(true);
     eprintln!(
         "  gc_heavy_uniform: simulated-time speedup {:.2}x (deferred vs serial schedule)",
         sim_serial as f64 / sim_deferred as f64
@@ -217,6 +239,11 @@ fn bench_gc_heavy(scale: &str, label: &str) -> BenchEntry {
         sim_ops_per_host_sec: overwrites as f64 / host,
         bytes_programmed: programmed,
         bytes_read: 0,
+        // Whole-run busy time and write span (load + overwrite phases):
+        // the span histogram is cumulative, so the p99 covers both.
+        cpu_busy_ns: snap.cpu_busy_ns,
+        flash_busy_ns: snap.flash.total_busy_ns(),
+        write_p99_ns: snap.span(SpanKind::WriteBatch).p99(),
     }
 }
 
@@ -258,10 +285,12 @@ fn bench_read_batch(scale: &str, label: &str) -> BenchEntry {
             }
         }
         std::hint::black_box(sink);
-        (t.elapsed().as_secs_f64(), ssd.now() - sim0, ssd.device().stats().bytes_read - read0)
+        let host = t.elapsed().as_secs_f64();
+        let snap = ssd.snapshot();
+        (host, ssd.now() - sim0, ssd.device().stats().bytes_read - read0, snap)
     };
-    let (_, sim_serial, _) = run(false);
-    let (host, sim_deferred, bytes_read) = run(true);
+    let (_, sim_serial, _, _) = run(false);
+    let (host, sim_deferred, bytes_read, snap) = run(true);
     eprintln!(
         "  ycsb_read_batch: simulated-time speedup {:.2}x (deferred vs serial schedule)",
         sim_serial as f64 / sim_deferred as f64
@@ -275,7 +304,59 @@ fn bench_read_batch(scale: &str, label: &str) -> BenchEntry {
         sim_ops_per_host_sec: ops as f64 / host,
         bytes_programmed: 0,
         bytes_read,
+        cpu_busy_ns: snap.cpu_busy_ns,
+        flash_busy_ns: snap.flash.total_busy_ns(),
+        write_p99_ns: 0, // read bench: the timed window issues no writes
     }
+}
+
+/// Small mixed scenario for the `--telemetry-out` gate: sequential load,
+/// one round of uniform overwrites, point reads, and a checkpoint on a
+/// 64 MB device — exercises the user_write/user_read/wal/ckpt buckets in
+/// well under a second.
+fn telemetry_scenario() -> eleos::TelemetrySnapshot {
+    let geo = Geometry {
+        channels: 4,
+        eblocks_per_channel: 16,
+        wblocks_per_eblock: 32,
+        wblock_bytes: 32 * 1024,
+        rblock_bytes: 4 * 1024,
+    };
+    let records = 8_000u64;
+    let cfg = EleosConfig {
+        max_user_lpid: records + 1,
+        ckpt_log_bytes: 4 * 1024 * 1024,
+        map_cache_pages: 1 << 12,
+        ..Default::default()
+    };
+    let mut ssd =
+        Eleos::format(FlashDevice::new(geo, CostProfile::high_end_cpu()), cfg).expect("format");
+    let mut rng = StdRng::seed_from_u64(0x7E1E);
+    load_uniform(&mut ssd, records, &mut rng);
+    let mut batch = WriteBatch::new(PageMode::Variable);
+    for _ in 0..records {
+        let lpid = rng.gen_range(0..records);
+        batch.put(lpid, &uniform_page(lpid, &mut rng)).expect("put");
+        if batch.wire_len() >= 256 * 1024 {
+            ssd.write(&batch, WriteOpts::default()).expect("overwrite");
+            batch = WriteBatch::new(PageMode::Variable);
+        }
+    }
+    if !batch.is_empty() {
+        ssd.write(&batch, WriteOpts::default()).expect("overwrite");
+    }
+    let mut sink = 0u64;
+    for _ in 0..2_000 {
+        let lpid = rng.gen_range(0..records);
+        let page = ssd.read(lpid).expect("read");
+        sink = sink.wrapping_add(page[0] as u64);
+    }
+    std::hint::black_box(sink);
+    // Aborted/full checkpoints are fine here — the gate checks conservation
+    // of whatever work actually happened, not checkpoint success.
+    let _ = ssd.checkpoint();
+    ssd.drain();
+    ssd.snapshot()
 }
 
 fn main() {
@@ -285,6 +366,25 @@ fn main() {
             .position(|a| a == name)
             .and_then(|i| args.get(i + 1).cloned())
     };
+
+    // `--telemetry-out FILE`: run the small mixed scenario, enforce the
+    // attribution conservation invariant in-process, and write the
+    // TelemetrySnapshot JSON — the scripts/ci.sh telemetry gate.
+    if let Some(path) = get_flag("--telemetry-out") {
+        let snap = telemetry_scenario();
+        if let Some(err) = snap.conservation_error() {
+            eprintln!("perfbench: telemetry conservation FAILED: {err}");
+            std::process::exit(1);
+        }
+        std::fs::write(&path, snap.to_json()).expect("write telemetry json");
+        eprintln!(
+            "perfbench: telemetry snapshot ok (total busy {} ns, write p99 {} ns) -> {path}",
+            snap.total_busy_ns(),
+            snap.span(SpanKind::WriteBatch).p99()
+        );
+        return;
+    }
+
     let label = get_flag("--label").unwrap_or_else(|| "dev".to_string());
     let scale = get_flag("--scale").unwrap_or_else(|| "full".to_string());
     let out_path = get_flag("--out").unwrap_or_else(|| "BENCH_controller.json".to_string());

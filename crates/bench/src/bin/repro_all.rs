@@ -165,6 +165,18 @@ fn jobs() -> Vec<Job> {
             vec![(t, notes)]
         }),
         Box::new(|| {
+            let (t, notes) = eleos_bench::experiments::attribution_write_heavy();
+            vec![(t, notes)]
+        }),
+        Box::new(|| {
+            let (t, notes) = eleos_bench::experiments::attribution_gc_heavy();
+            vec![(t, notes)]
+        }),
+        Box::new(|| {
+            let (t, notes) = eleos_bench::experiments::attribution_recovery();
+            vec![(t, notes)]
+        }),
+        Box::new(|| {
             vec![(
                 eleos_bench::ablation::ablation_log_standbys(),
                 "*Beyond the paper:* resilience of the three-location log \

@@ -19,7 +19,7 @@
 //! one-line repro command that replays the exact fault script.
 
 use crate::report::Table;
-use eleos::{Eleos, EleosConfig, EleosError, WriteBatch};
+use eleos::{Eleos, EleosConfig, EleosError, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FaultInjector, FlashDevice, Geometry, WblockAddr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -94,7 +94,9 @@ pub struct ChaosReport {
 }
 
 /// A divergence between the device and the oracle (or an invariant
-/// violation). Carries everything needed to replay the failing run.
+/// violation). Carries everything needed to replay the failing run, plus
+/// the tail of the controller's structured event ring — the last thing
+/// the controller was doing when the oracle caught it.
 #[derive(Debug, Clone)]
 pub struct ChaosFailure {
     pub seed: u64,
@@ -102,6 +104,10 @@ pub struct ChaosFailure {
     pub step: usize,
     pub what: String,
     pub config: ChaosConfig,
+    /// Most recent structured telemetry events at the divergence, oldest
+    /// first (empty when the controller no longer exists, e.g. a failed
+    /// format or recovery).
+    pub events: Vec<String>,
 }
 
 impl ChaosFailure {
@@ -127,6 +133,12 @@ impl fmt::Display for ChaosFailure {
             "ORACLE DIVERGENCE seed {} cycle {} step {}: {}",
             self.seed, self.cycle, self.step, self.what
         )?;
+        if !self.events.is_empty() {
+            writeln!(f, "  last controller events (oldest first):")?;
+            for e in &self.events {
+                writeln!(f, "    {e}")?;
+            }
+        }
         write!(f, "  repro: {}", self.repro_command())
     }
 }
@@ -179,6 +191,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
             step: 0,
             what: format!("format failed: {e}"),
             config: cfg.clone(),
+            events: Vec::new(),
         })
     })?;
 
@@ -189,7 +202,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
             step,
             what,
             config: cfg.clone(),
+            events: Vec::new(),
         })
+    };
+    // Attach the event-ring tail once the failure is a value (the mutable
+    // controller borrow that produced it has ended by then).
+    let with_events = |mut f: Box<ChaosFailure>, ssd: &Eleos| {
+        f.events = ssd.recent_events(16);
+        f
     };
 
     for cycle in 0..cfg.cycles {
@@ -228,7 +248,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
                     Err(e) => Err(fail(cycle, step, format!("maintenance failed: {e}"))),
                 }
             };
-            outcome?;
+            outcome.map_err(|f| with_events(f, &ssd))?;
             if want_crash {
                 break;
             }
@@ -259,23 +279,17 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
             match ssd.read(*lpid) {
                 Ok(got) if got.as_ref() == expect.as_slice() => {}
                 Ok(got) => {
-                    return Err(fail(
-                        cycle,
-                        0,
-                        format!(
-                            "post-recovery corruption: lpid {lpid} expected {} bytes, got {} \
-                             (content differs)",
-                            expect.len(),
-                            got.len()
-                        ),
-                    ));
+                    let what = format!(
+                        "post-recovery corruption: lpid {lpid} expected {} bytes, got {} \
+                         (content differs)",
+                        expect.len(),
+                        got.len()
+                    );
+                    return Err(with_events(fail(cycle, 0, what), &ssd));
                 }
                 Err(e) => {
-                    return Err(fail(
-                        cycle,
-                        0,
-                        format!("post-recovery loss: lpid {lpid} unreadable: {e}"),
-                    ));
+                    let what = format!("post-recovery loss: lpid {lpid} unreadable: {e}");
+                    return Err(with_events(fail(cycle, 0, what), &ssd));
                 }
             }
             report.audited_pages += 1;
@@ -284,18 +298,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
             match ssd.read(*lpid) {
                 Err(EleosError::NotFound(_)) => {}
                 Ok(_) => {
-                    return Err(fail(
-                        cycle,
-                        0,
-                        format!("post-recovery resurrection: deleted lpid {lpid} readable"),
-                    ));
+                    let what = format!("post-recovery resurrection: deleted lpid {lpid} readable");
+                    return Err(with_events(fail(cycle, 0, what), &ssd));
                 }
                 Err(e) => {
-                    return Err(fail(
-                        cycle,
-                        0,
-                        format!("post-recovery: deleted lpid {lpid} errored oddly: {e}"),
-                    ));
+                    let what = format!("post-recovery: deleted lpid {lpid} errored oddly: {e}");
+                    return Err(with_events(fail(cycle, 0, what), &ssd));
                 }
             }
         }
@@ -304,7 +312,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
         // must exactly match the retired descriptors, and the partition
         // must cover the device.
         if let Some(what) = capacity_invariant(&ssd) {
-            return Err(fail(cycle, 0, what));
+            return Err(with_events(fail(cycle, 0, what), &ssd));
         }
     }
 
@@ -346,7 +354,7 @@ fn retired_count(ssd: &Eleos) -> u64 {
 }
 
 fn accumulate(report: &mut ChaosReport, ssd: &Eleos) {
-    let s = ssd.stats();
+    let s = ssd.snapshot().eleos;
     report.program_failures += s.program_failures;
     report.action_retries += s.action_retries;
     report.checkpoints += s.checkpoints;
@@ -375,7 +383,7 @@ fn chaos_write(
     }
     // Section VII contract: ActionAborted means "retry the buffer".
     for _attempt in 0..8 {
-        match ssd.write(&b) {
+        match ssd.write(&b, WriteOpts::default()) {
             Ok(_) => {
                 report.batches += 1;
                 for (l, d) in staged {
@@ -563,9 +571,13 @@ mod tests {
             step: 2,
             what: "test".into(),
             config: ChaosConfig::default(),
+            events: vec!["ckpt begin lsn=7".into()],
         };
         let cmd = f.repro_command();
         assert!(cmd.contains("--seed 42"));
         assert!(cmd.contains("--bad-eblock 2/7"));
+        let shown = f.to_string();
+        assert!(shown.contains("last controller events"));
+        assert!(shown.contains("ckpt begin lsn=7"));
     }
 }

@@ -16,6 +16,13 @@ pub struct BenchEntry {
     pub sim_ops_per_host_sec: f64,
     pub bytes_programmed: u64,
     pub bytes_read: u64,
+    /// Simulated controller-CPU busy time over the run (telemetry snapshot).
+    pub cpu_busy_ns: u64,
+    /// Simulated flash-channel busy time over the run (telemetry snapshot).
+    pub flash_busy_ns: u64,
+    /// p99 of the write-batch latency span, simulated ns (0 when the bench
+    /// records no write spans, and in pre-telemetry committed entries).
+    pub write_p99_ns: u64,
 }
 
 /// Serialize one entry as a flat JSON object (no trailing newline).
@@ -24,7 +31,8 @@ pub fn render_entry(e: &BenchEntry, out: &mut String) {
         out,
         "  {{\"label\": \"{}\", \"bench\": \"{}\", \"scale\": \"{}\", \"ops\": {}, \
          \"host_seconds\": {:.4}, \"sim_ops_per_host_sec\": {:.1}, \
-         \"bytes_programmed\": {}, \"bytes_read\": {}}}",
+         \"bytes_programmed\": {}, \"bytes_read\": {}, \"cpu_busy_ns\": {}, \
+         \"flash_busy_ns\": {}, \"write_p99_ns\": {}}}",
         e.label,
         e.bench,
         e.scale,
@@ -32,7 +40,10 @@ pub fn render_entry(e: &BenchEntry, out: &mut String) {
         e.host_seconds,
         e.sim_ops_per_host_sec,
         e.bytes_programmed,
-        e.bytes_read
+        e.bytes_read,
+        e.cpu_busy_ns,
+        e.flash_busy_ns,
+        e.write_p99_ns
     );
 }
 
@@ -73,6 +84,11 @@ pub fn parse_entries(text: &str) -> Vec<BenchEntry> {
             sim_ops_per_host_sec: num("sim_ops_per_host_sec"),
             bytes_programmed: num("bytes_programmed") as u64,
             bytes_read: num("bytes_read") as u64,
+            // Default 0 keeps entries committed before the telemetry
+            // fields existed parseable.
+            cpu_busy_ns: num("cpu_busy_ns") as u64,
+            flash_busy_ns: num("flash_busy_ns") as u64,
+            write_p99_ns: num("write_p99_ns") as u64,
         });
     }
     out
@@ -112,6 +128,9 @@ mod tests {
             sim_ops_per_host_sec: 28.0,
             bytes_programmed: 1024,
             bytes_read: 2048,
+            cpu_busy_ns: 777,
+            flash_busy_ns: 888,
+            write_p99_ns: 999,
         };
         let mut s = String::new();
         render_entry(&e, &mut s);
@@ -120,6 +139,21 @@ mod tests {
         assert_eq!(back[0].label, "l");
         assert_eq!(back[0].ops, 42);
         assert_eq!(back[0].bytes_read, 2048);
+        assert_eq!(back[0].cpu_busy_ns, 777);
+        assert_eq!(back[0].flash_busy_ns, 888);
+        assert_eq!(back[0].write_p99_ns, 999);
+    }
+
+    #[test]
+    fn pre_telemetry_entries_parse_with_zero_defaults() {
+        let legacy = "  {\"label\": \"l\", \"bench\": \"b\", \"scale\": \"full\", \"ops\": 7, \
+                      \"host_seconds\": 1.0, \"sim_ops_per_host_sec\": 7.0, \
+                      \"bytes_programmed\": 1, \"bytes_read\": 2}";
+        let back = parse_entries(legacy);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].cpu_busy_ns, 0);
+        assert_eq!(back[0].flash_busy_ns, 0);
+        assert_eq!(back[0].write_p99_ns, 0);
     }
 
     #[test]
@@ -133,6 +167,9 @@ mod tests {
             sim_ops_per_host_sec: 1.0,
             bytes_programmed: 0,
             bytes_read: 0,
+            cpu_busy_ns: 0,
+            flash_busy_ns: 0,
+            write_p99_ns: 0,
         };
         let t = trajectory_table(&[mk("full"), mk("small"), mk("full")]);
         assert_eq!(t.rows.len(), 2);

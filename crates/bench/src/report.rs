@@ -1,6 +1,9 @@
 //! Plain-text table rendering for experiment output (and EXPERIMENTS.md
 //! sections).
 
+use eleos::TelemetrySnapshot;
+use eleos_flash::{Activity, FlashOp};
+
 /// A simple aligned table with a title.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -90,6 +93,70 @@ pub fn fmt_bytes(v: u64) -> String {
     }
 }
 
+/// Format simulated-nanosecond quantities compactly.
+pub fn fmt_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.3} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} us", v / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Render the resource × activity time-attribution ledger of a
+/// [`TelemetrySnapshot`] as a table whose rows sum to 100% of the
+/// simulated busy time (flash channel busy + controller CPU busy).
+///
+/// The `host` row absorbs the CPU residue that host-side drivers charge
+/// to the clock directly (outside any controller activity scope), so the
+/// share column is a complete partition, not a sample.
+pub fn attribution_table(title: impl Into<String>, snap: &TelemetrySnapshot) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "activity", "cpu", "program", "read", "erase", "total", "share",
+        ],
+    );
+    let total_busy = snap.total_busy_ns();
+    for a in Activity::ALL {
+        let mut cpu = snap.ledger.cpu_ns(a);
+        if a == Activity::Host {
+            cpu += snap.unattributed_cpu_ns();
+        }
+        let prog = snap.ledger.op_activity_ns(FlashOp::Program, a);
+        let read = snap.ledger.op_activity_ns(FlashOp::Read, a);
+        let erase = snap.ledger.op_activity_ns(FlashOp::Erase, a);
+        let row_total = cpu + prog + read + erase;
+        if row_total == 0 {
+            continue; // activities the workload never exercised
+        }
+        let share = row_total as f64 * 100.0 / total_busy.max(1) as f64;
+        t.row(vec![
+            a.label().to_string(),
+            fmt_ns(cpu),
+            fmt_ns(prog),
+            fmt_ns(read),
+            fmt_ns(erase),
+            fmt_ns(row_total),
+            format!("{share:.1}%"),
+        ]);
+    }
+    t.row(vec![
+        "total".into(),
+        fmt_ns(snap.cpu_busy_ns),
+        fmt_ns(snap.ledger.op_total(FlashOp::Program)),
+        fmt_ns(snap.ledger.op_total(FlashOp::Read)),
+        fmt_ns(snap.ledger.op_total(FlashOp::Erase)),
+        fmt_ns(total_busy),
+        "100.0%".into(),
+    ]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +186,31 @@ mod tests {
         assert_eq!(fmt_rate(12.3), "12.3");
         assert_eq!(fmt_bytes(2_000_000), "2.00 MB");
         assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 us");
+        assert_eq!(fmt_ns(2_000_000), "2.00 ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3.200 s");
+    }
+
+    #[test]
+    fn attribution_table_partitions_busy_time() {
+        use eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
+        use eleos_flash::{CostProfile, FlashDevice, Geometry};
+
+        let dev = FlashDevice::new(Geometry::tiny(), CostProfile::unit());
+        let mut ssd = Eleos::format(dev, EleosConfig::default()).unwrap();
+        let mut b = WriteBatch::new(PageMode::Variable);
+        for lpid in 0..8u64 {
+            b.put(lpid, &[lpid as u8; 600]).unwrap();
+        }
+        ssd.write(&b, WriteOpts::default()).unwrap();
+        let snap = ssd.snapshot();
+        assert!(snap.conservation_error().is_none());
+
+        let t = attribution_table("demo", &snap);
+        let labels: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
+        assert!(labels.contains(&"user_write"), "rows: {labels:?}");
+        assert_eq!(*labels.last().unwrap(), "total");
+        assert_eq!(t.rows.last().unwrap()[6], "100.0%");
     }
 }

@@ -14,8 +14,8 @@
 //! * **Batch (VP)** — ELEOS with variable-size pages: one context per
 //!   buffer, no padding.
 
-use eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
-use eleos_flash::{CostProfile, FlashDevice, Geometry, Nanos};
+use eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
+use eleos_flash::{CostProfile, FlashDevice, Geometry, Nanos, SpanKind};
 use eleos_workloads::{PageWrite, TpccTrace, TpccTraceConfig};
 use oxblock::{OxBlock, OxConfig};
 
@@ -51,6 +51,13 @@ pub struct TpccResult {
     pub flash_bytes_programmed: u64,
     /// Virtual elapsed time.
     pub sim_ns: Nanos,
+    /// Simulated controller-CPU busy time (telemetry snapshot).
+    pub cpu_busy_ns: Nanos,
+    /// Simulated flash-channel busy time, summed across channels.
+    pub flash_busy_ns: Nanos,
+    /// p99 of the write-batch latency span; 0 for the block path, whose
+    /// conventional FTL records no controller spans.
+    pub write_p99_ns: Nanos,
 }
 
 impl TpccResult {
@@ -151,15 +158,16 @@ fn run_batch(
         payload += len as u64;
         if batch.wire_len() >= buffer_bytes {
             wire += batch.wire_len() as u64;
-            ssd.write(&batch).unwrap();
+            ssd.write(&batch, WriteOpts::default()).unwrap();
             batch = WriteBatch::new(mode);
         }
     }
     if !batch.is_empty() {
         wire += batch.wire_len() as u64;
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
     }
     ssd.drain();
+    let snap = ssd.snapshot();
     TpccResult {
         interface: match mode {
             PageMode::Variable => Interface::BatchVp,
@@ -168,8 +176,11 @@ fn run_batch(
         buffer_bytes,
         pages,
         wire_bytes: wire,
-        flash_bytes_programmed: ssd.device().stats().bytes_programmed,
+        flash_bytes_programmed: snap.flash.bytes_programmed,
         sim_ns: ssd.now() - t0,
+        cpu_busy_ns: snap.cpu_busy_ns,
+        flash_busy_ns: snap.flash.total_busy_ns(),
+        write_p99_ns: snap.span(SpanKind::WriteBatch).p99(),
     }
 }
 
@@ -221,6 +232,9 @@ fn run_block(
         wire_bytes: wire,
         flash_bytes_programmed: ftl.device().stats().bytes_programmed,
         sim_ns: ftl.now() - t0,
+        cpu_busy_ns: ftl.device().clock().cpu_busy_ns(),
+        flash_busy_ns: ftl.device().stats().total_busy_ns(),
+        write_p99_ns: 0,
     }
 }
 

@@ -8,7 +8,7 @@
 //!   4 KB slots, every 1 MB flush becomes ~17 write contexts in the FTL,
 //!   and the host runs its own mapping checkpointing and GC.
 
-use eleos::{Eleos, EleosError, PageMode, WriteBatch};
+use eleos::{Eleos, EleosError, PageMode, WriteBatch, WriteOpts};
 use eleos_flash::{FlashStats, Nanos};
 use eleos_lss::{LogStore, LssError};
 use std::fmt;
@@ -112,7 +112,7 @@ impl PageStore for EleosStore {
                 .put(*pid, bytes)
                 .map_err(|e| StoreError::Backend(e.to_string()))?;
         }
-        let ack = self.ssd.write(&batch)?;
+        let ack = self.ssd.write(&batch, WriteOpts::default())?;
         Ok(ack.done_at)
     }
 

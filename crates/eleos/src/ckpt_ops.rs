@@ -15,11 +15,20 @@ use crate::phys::NULL_PADDR;
 use crate::summary::{EblockPurpose, EblockState};
 use crate::types::{ActionKind, Lsn, PageKind, MAP_PAGE_BASE, SMALL_PAGE_BASE, SUMMARY_PAGE_BASE};
 use crate::wal::LogRecord;
-use eleos_flash::FlashError;
+use eleos_flash::{Activity, FlashError, SpanKind};
 
 impl Eleos {
     /// Take a fuzzy checkpoint.
     pub fn checkpoint(&mut self) -> Result<()> {
+        let t0 = self.dev.clock().now();
+        let res = self.with_activity(Activity::Ckpt, |this| this.checkpoint_impl());
+        if res.is_ok() {
+            self.finish_span(SpanKind::Checkpoint, t0);
+        }
+        res
+    }
+
+    fn checkpoint_impl(&mut self) -> Result<()> {
         if self.shutdown {
             return Err(EleosError::ShutDown);
         }
@@ -143,18 +152,23 @@ impl Eleos {
     where
         F: FnMut(&mut Self) -> Result<Vec<ActionPage>>,
     {
-        let attempts = self.cfg.ckpt_retry_attempts.max(1);
-        for attempt in 1..=attempts {
-            let pages = build(self)?;
-            match self.run_action(ActionKind::Ckpt, None, &pages, Dest::User) {
-                Ok(_) => return Ok(()),
-                Err(EleosError::ActionAborted) if attempt < attempts => {
-                    self.stats.action_retries += 1;
+        // Scoped here (not only in `checkpoint`) so cache-pressure eviction
+        // flushes reached from the write path attribute as checkpoint work,
+        // not user-write work.
+        self.with_activity(Activity::Ckpt, |outer| {
+            let attempts = outer.cfg.ckpt_retry_attempts.max(1);
+            for attempt in 1..=attempts {
+                let pages = build(outer)?;
+                match outer.run_action(ActionKind::Ckpt, None, &pages, Dest::User) {
+                    Ok(_) => return Ok(()),
+                    Err(EleosError::ActionAborted) if attempt < attempts => {
+                        outer.stats.action_retries += 1;
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
             }
-        }
-        Err(EleosError::ActionAborted)
+            Err(EleosError::ActionAborted)
+        })
     }
 
     /// Flush the dirty / never-flushed summary pages with bounded retry.
@@ -164,6 +178,10 @@ impl Eleos {
     /// truncation advance past records it still depends on, and would
     /// hide it from the next attempt's dirty scan.
     fn flush_summary_pages(&mut self) -> Result<()> {
+        self.with_activity(Activity::Ckpt, |this| this.flush_summary_pages_impl())
+    }
+
+    fn flush_summary_pages_impl(&mut self) -> Result<()> {
         let mode = self.cfg.page_mode;
         let attempts = self.cfg.ckpt_retry_attempts.max(1);
         for attempt in 1..=attempts {

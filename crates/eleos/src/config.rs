@@ -90,6 +90,13 @@ pub struct EleosConfig {
     /// two schedules are byte- and tick-identical (the equivalence oracle —
     /// see DESIGN.md §2).
     pub defer_io: bool,
+    /// Simulated-time telemetry (DESIGN.md §10): latency spans, the
+    /// resource × activity attribution ledger, and the structured event
+    /// ring. Recording is passive — it never touches the clock, the RNG or
+    /// control flow — so a run with telemetry off is tick- and
+    /// byte-identical to the same run with it on (enforced by proptest).
+    /// Off reduces every record site to one branch.
+    pub telemetry: bool,
 }
 
 impl Default for EleosConfig {
@@ -111,6 +118,7 @@ impl Default for EleosConfig {
             migrate_retry_limit: 3,
             ckpt_retry_attempts: 3,
             defer_io: true,
+            telemetry: true,
         }
     }
 }

@@ -16,10 +16,52 @@ use crate::summary::{EblockPurpose, EblockState, SummaryTable};
 use crate::types::{ActionId, ActionKind, Lpid, Lsn, PageKind, Sid, Usn, Wsn};
 use crate::wal::{LogRecord, LogWriter, SealOutcome};
 use bytes::Bytes;
-use eleos_flash::{ByteExtent, EblockAddr, FlashDevice, FlashError, IoTicket, Nanos, WblockAddr};
+use eleos_flash::{
+    Activity, ByteExtent, EblockAddr, FlashDevice, FlashError, IoTicket, Nanos, SpanKind,
+    WblockAddr,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+
+/// Options for [`Eleos::write`] — the single write entry point.
+///
+/// The default is an unordered, synchronous write (the common case).
+/// Session-ordered and pipelined variants are opted into per call:
+///
+/// ```ignore
+/// ssd.write(&batch, WriteOpts::default())?;                    // unordered
+/// ssd.write(&batch, WriteOpts::ordered(sid, wsn))?;            // WSN-checked
+/// ssd.write(&batch, WriteOpts::ordered_pipelined(sid, wsn))?;  // no ACK wait
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteOpts {
+    /// Ordered-write session: `(sid, wsn)`; `wsn` must be exactly one
+    /// higher than the session's highest applied WSN (Section III-A2).
+    pub session: Option<(Sid, Wsn)>,
+    /// Skip the durability wait: the call returns once the commit record
+    /// is appended, and `BatchAck::done_at` tells when the buffer becomes
+    /// durable ("waiting for an ACK wastes parallelism").
+    pub pipelined: bool,
+}
+
+impl WriteOpts {
+    /// Session-ordered synchronous write.
+    pub fn ordered(sid: Sid, wsn: Wsn) -> Self {
+        WriteOpts {
+            session: Some((sid, wsn)),
+            pipelined: false,
+        }
+    }
+
+    /// Session-ordered pipelined write (no durability wait).
+    pub fn ordered_pipelined(sid: Sid, wsn: Wsn) -> Self {
+        WriteOpts {
+            session: Some((sid, wsn)),
+            pipelined: true,
+        }
+    }
+}
 
 /// Acknowledgement returned for a committed write buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +164,10 @@ pub struct Eleos {
     pub(crate) rng: StdRng,
     pub(crate) shutdown: bool,
     pub(crate) next_chan_rr: u32,
+    /// `ELEOS_TRACE_EB=ch/eb` parsed once at construction; when set,
+    /// matching EBLOCK events are also mirrored to stderr (the event ring
+    /// records them regardless, whenever telemetry is enabled).
+    pub(crate) trace_filter: Option<(u32, u32)>,
 }
 
 impl Eleos {
@@ -131,7 +177,8 @@ impl Eleos {
 
     /// Initialize a fresh device: reserve the checkpoint area and the first
     /// log EBLOCK, build free lists, and take the initial checkpoint.
-    pub fn format(dev: FlashDevice, cfg: EleosConfig) -> Result<Eleos> {
+    pub fn format(mut dev: FlashDevice, cfg: EleosConfig) -> Result<Eleos> {
+        dev.telemetry_mut().set_enabled(cfg.telemetry);
         let geo = *dev.geometry();
         assert!(geo.channels <= 64, "PhysAddr packs 6 channel bits");
         assert!(geo.eblocks_per_channel <= 1 << 18, "PhysAddr packs 18 eblock bits");
@@ -183,11 +230,49 @@ impl Eleos {
             rng: StdRng::seed_from_u64(0x1EE0_5EED),
             shutdown: false,
             next_chan_rr: 0,
+            trace_filter: Self::parse_trace_filter(),
             cfg,
         };
         this.top_up_log_standbys()?;
         this.checkpoint()?;
         Ok(this)
+    }
+
+    /// Parse `ELEOS_TRACE_EB=ch/eb` (once, at construction).
+    pub(crate) fn parse_trace_filter() -> Option<(u32, u32)> {
+        let f = std::env::var("ELEOS_TRACE_EB").ok()?;
+        let mut it = f.split('/');
+        let ch = it.next()?.parse().ok()?;
+        let eb = it.next()?.parse().ok()?;
+        Some((ch, eb))
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry helpers (DESIGN.md §10)
+    // ------------------------------------------------------------------
+
+    /// Run `f` with the attribution ledger charging to `a`, restoring the
+    /// previous activity afterwards (error paths included). Nested scopes
+    /// compose: a GC triggered inside a user write re-attributes only its
+    /// own charges.
+    #[inline]
+    pub(crate) fn with_activity<T>(
+        &mut self,
+        a: Activity,
+        f: impl FnOnce(&mut Self) -> Result<T>,
+    ) -> Result<T> {
+        let prev = self.dev.telemetry_mut().set_activity(a);
+        let res = f(self);
+        self.dev.telemetry_mut().set_activity(prev);
+        res
+    }
+
+    /// Record a completed span of `kind` that started at simulated time
+    /// `start` and ends now.
+    #[inline]
+    pub(crate) fn finish_span(&mut self, kind: SpanKind, start: Nanos) {
+        let end = self.dev.clock().now();
+        self.dev.telemetry_mut().record_span(kind, start, end);
     }
 
     // ------------------------------------------------------------------
@@ -207,6 +292,7 @@ impl Eleos {
         &mut self.dev
     }
 
+    #[deprecated(note = "use `Eleos::snapshot()` — one struct replaces the accessor sprawl")]
     pub fn stats(&self) -> &EleosStats {
         &self.stats
     }
@@ -268,37 +354,60 @@ impl Eleos {
     // Write path (Section IV)
     // ------------------------------------------------------------------
 
-    /// Write a batch without session ordering ("users without ordering
-    /// requirements can ignore sessions").
-    pub fn write(&mut self, batch: &WriteBatch) -> Result<BatchAck> {
-        self.write_inner(None, batch, true)
+    /// Write a batch of LPAGEs in one I/O — the single write entry point.
+    ///
+    /// `WriteOpts::default()` writes without session ordering ("users
+    /// without ordering requirements can ignore sessions") and blocks on
+    /// the virtual clock until the buffer is durable.
+    /// [`WriteOpts::ordered`] enforces the session WSN protocol;
+    /// [`WriteOpts::ordered_pipelined`] additionally skips the durability
+    /// wait (Section III-A2: "waiting for an ACK wastes parallelism") —
+    /// the returned `done_at` is when the buffer becomes durable, and the
+    /// host learns of unACKed buffers after a crash via the WSN redo
+    /// protocol. Call [`Eleos::drain`] to synchronize with all in-flight
+    /// flash work.
+    pub fn write(&mut self, batch: &WriteBatch, opts: WriteOpts) -> Result<BatchAck> {
+        if let Some((sid, wsn)) = opts.session {
+            self.sessions.check_next(sid, wsn)?;
+        }
+        self.write_inner(opts.session, batch, !opts.pipelined)
     }
 
     /// Write a batch within a session; `wsn` must be exactly one higher
-    /// than the session's highest applied WSN. Blocks (on the virtual
-    /// clock) until the buffer is durable.
+    /// than the session's highest applied WSN.
+    #[deprecated(note = "use `write(batch, WriteOpts::ordered(sid, wsn))`")]
     pub fn write_ordered(&mut self, sid: Sid, wsn: Wsn, batch: &WriteBatch) -> Result<BatchAck> {
-        self.sessions.check_next(sid, wsn)?;
-        self.write_inner(Some((sid, wsn)), batch, true)
+        self.write(batch, WriteOpts::ordered(sid, wsn))
     }
 
-    /// Pipelined ordered write (Section III-A2): the host does NOT wait for
-    /// the ACK before submitting the next WSN — "waiting for an ACK wastes
-    /// parallelism". The returned `done_at` is when this buffer becomes
-    /// durable; the host learns of unACKed buffers after a crash via the
-    /// WSN redo protocol. Call [`Eleos::drain`] to synchronize with all
-    /// in-flight flash work.
+    /// Pipelined ordered write.
+    #[deprecated(note = "use `write(batch, WriteOpts::ordered_pipelined(sid, wsn))`")]
     pub fn write_ordered_pipelined(
         &mut self,
         sid: Sid,
         wsn: Wsn,
         batch: &WriteBatch,
     ) -> Result<BatchAck> {
-        self.sessions.check_next(sid, wsn)?;
-        self.write_inner(Some((sid, wsn)), batch, false)
+        self.write(batch, WriteOpts::ordered_pipelined(sid, wsn))
     }
 
     fn write_inner(
+        &mut self,
+        sid_wsn: Option<(Sid, Wsn)>,
+        batch: &WriteBatch,
+        wait_durable: bool,
+    ) -> Result<BatchAck> {
+        let t0 = self.dev.clock().now();
+        let res = self.with_activity(Activity::UserWrite, |this| {
+            this.write_inner_impl(sid_wsn, batch, wait_durable)
+        });
+        if res.is_ok() {
+            self.finish_span(SpanKind::WriteBatch, t0);
+        }
+        res
+    }
+
+    fn write_inner_impl(
         &mut self,
         sid_wsn: Option<(Sid, Wsn)>,
         batch: &WriteBatch,
@@ -317,7 +426,6 @@ impl Eleos {
         // Host submission + transport (one I/O, many packets).
         let profile = *self.dev.profile();
         self.dev
-            .clock_mut()
             .cpu(profile.host_submit_ns + profile.transport_cpu(bytes.len() as u64));
         let entries = parse_batch(&bytes, self.cfg.page_mode)?;
         if entries.iter().any(|e| e.kind != PageKind::User) {
@@ -380,9 +488,17 @@ impl Eleos {
     /// zero-copy view of the device's stored buffer whenever the LPAGE sits
     /// inside one WBLOCK.
     pub fn read(&mut self, lpid: Lpid) -> Result<Bytes> {
+        let t0 = self.dev.clock().now();
+        let res = self.with_activity(Activity::UserRead, |this| this.read_impl(lpid));
+        if res.is_ok() {
+            self.finish_span(SpanKind::Read, t0);
+        }
+        res
+    }
+
+    fn read_impl(&mut self, lpid: Lpid) -> Result<Bytes> {
         let profile = *self.dev.profile();
         self.dev
-            .clock_mut()
             .cpu(profile.host_submit_ns + profile.read_ctx_ns);
         let addr = self
             .mapping
@@ -394,7 +510,7 @@ impl Eleos {
         if stored_lpid != lpid {
             return Err(EleosError::Corrupt("stored lpage identity mismatch"));
         }
-        self.dev.clock_mut().cpu(profile.transport_cpu(plen as u64));
+        self.dev.cpu(profile.transport_cpu(plen as u64));
         self.stats.reads += 1;
         self.stats.read_bytes += plen as u64;
         Ok(bytes.slice(ENTRY_HEADER..ENTRY_HEADER + plen))
@@ -408,6 +524,15 @@ impl Eleos {
     /// single-channel device) this degenerates to the serial schedule of
     /// [`Eleos::read`] repeated per LPID.
     pub fn read_batch(&mut self, lpids: &[Lpid]) -> Result<Vec<Bytes>> {
+        let t0 = self.dev.clock().now();
+        let res = self.with_activity(Activity::UserRead, |this| this.read_batch_impl(lpids));
+        if res.is_ok() {
+            self.finish_span(SpanKind::ReadBatch, t0);
+        }
+        res
+    }
+
+    fn read_batch_impl(&mut self, lpids: &[Lpid]) -> Result<Vec<Bytes>> {
         if !self.cfg.defer_io {
             return lpids.iter().map(|&l| self.read(l)).collect();
         }
@@ -417,7 +542,6 @@ impl Eleos {
         let mut addrs = Vec::with_capacity(lpids.len());
         for &lpid in lpids {
             self.dev
-                .clock_mut()
                 .cpu(profile.host_submit_ns + profile.read_ctx_ns);
             let addr = self
                 .mapping
@@ -437,7 +561,7 @@ impl Eleos {
             if stored_lpid != lpid {
                 return Err(EleosError::Corrupt("stored lpage identity mismatch"));
             }
-            self.dev.clock_mut().cpu(profile.transport_cpu(plen as u64));
+            self.dev.cpu(profile.transport_cpu(plen as u64));
             self.stats.reads += 1;
             self.stats.read_bytes += plen as u64;
             out.push(bytes.slice(ENTRY_HEADER..ENTRY_HEADER + plen));
@@ -452,6 +576,7 @@ impl Eleos {
 
     /// Mapping pages currently resident in the controller cache
     /// (introspection for tests/benches).
+    #[deprecated(note = "use `Eleos::snapshot().mapping_cached_pages`")]
     pub fn mapping_cached_pages(&self) -> usize {
         self.mapping.cached_pages()
     }
@@ -471,6 +596,15 @@ impl Eleos {
     /// address — so crash recovery replays them like any other update.
     /// Unknown LPIDs are ignored (idempotent redo after a lost ACK).
     pub fn delete_batch(&mut self, lpids: &[Lpid]) -> Result<()> {
+        let t0 = self.dev.clock().now();
+        let res = self.with_activity(Activity::UserWrite, |this| this.delete_batch_impl(lpids));
+        if res.is_ok() {
+            self.finish_span(SpanKind::DeleteBatch, t0);
+        }
+        res
+    }
+
+    fn delete_batch_impl(&mut self, lpids: &[Lpid]) -> Result<()> {
         if self.shutdown {
             return Err(EleosError::ShutDown);
         }
@@ -478,7 +612,7 @@ impl Eleos {
             return Err(EleosError::EmptyBatch);
         }
         let profile = *self.dev.profile();
-        self.dev.clock_mut().cpu(
+        self.dev.cpu(
             profile.host_submit_ns
                 + profile.context_ns
                 + profile.per_page_ns * lpids.len() as u64,
@@ -510,7 +644,7 @@ impl Eleos {
         let _ = commit_lsn;
         let t = self.log_force()?;
         self.dev.clock_mut().wait_until(t);
-        self.dev.clock_mut().cpu(profile.commit_force_ns);
+        self.dev.cpu(profile.commit_force_ns);
         for &lpid in lpids {
             let old = self.mapping.set(lpid, NULL_PADDR, first_lsn, &mut self.dev)?;
             if old != NULL_PADDR {
@@ -536,19 +670,25 @@ impl Eleos {
     // ------------------------------------------------------------------
 
     pub(crate) fn log_append(&mut self, rec: &LogRecord) -> Result<Lsn> {
-        let (lsn, outcome) = self.wal.append(rec, &mut self.dev)?;
-        if let Some(o) = outcome {
-            self.after_seal(&o)?;
-        }
-        Ok(lsn)
+        // All log I/O — seals, forces, standby top-ups triggered by a seal
+        // — attributes to the WAL regardless of what action appended.
+        self.with_activity(Activity::Wal, |this| {
+            let (lsn, outcome) = this.wal.append(rec, &mut this.dev)?;
+            if let Some(o) = outcome {
+                this.after_seal(&o)?;
+            }
+            Ok(lsn)
+        })
     }
 
     pub(crate) fn log_force(&mut self) -> Result<Nanos> {
-        let (t, outcome) = self.wal.force(&mut self.dev)?;
-        if let Some(o) = outcome {
-            self.after_seal(&o)?;
-        }
-        Ok(t)
+        self.with_activity(Activity::Wal, |this| {
+            let (t, outcome) = this.wal.force(&mut this.dev)?;
+            if let Some(o) = outcome {
+                this.after_seal(&o)?;
+            }
+            Ok(t)
+        })
     }
 
     /// Keep EBLOCK summary descriptors in sync with log-page placement and
@@ -637,18 +777,21 @@ impl Eleos {
     // EBLOCK allocation
     // ------------------------------------------------------------------
 
-    /// Debug aid: print `what` when `ELEOS_TRACE_EB=ch/eb` matches `eb`.
-    pub(crate) fn trace_eb(&self, eb: EblockAddr, what: &str) {
-        if let Ok(f) = std::env::var("ELEOS_TRACE_EB") {
-            let parts: Vec<u32> = f.split('/').map(|x| x.parse().unwrap()).collect();
-            if eb.channel == parts[0] && eb.eblock == parts[1] {
-                eprintln!(
-                    "[trace] {what} ch{}/eb{} next_lsn {}",
-                    eb.channel,
-                    eb.eblock,
-                    self.wal.next_lsn()
-                );
-            }
+    /// Record an EBLOCK lifecycle event in the structured event ring (the
+    /// chaos harness dumps the tail on divergence). When the cached
+    /// `ELEOS_TRACE_EB=ch/eb` filter matches, the event is also mirrored to
+    /// stderr — the old `trace_eb` env hack, now a filter over the ring.
+    pub(crate) fn trace_eb(&mut self, eb: EblockAddr, what: &str) {
+        let now = self.dev.clock().now();
+        let lsn = self.wal.next_lsn();
+        self.dev
+            .telemetry_mut()
+            .event(now, eb.channel, eb.eblock, || format!("{what} next_lsn {lsn}"));
+        if self.trace_filter == Some((eb.channel, eb.eblock)) {
+            eprintln!(
+                "[trace] {what} ch{}/eb{} next_lsn {lsn}",
+                eb.channel, eb.eblock
+            );
         }
     }
 
@@ -736,7 +879,6 @@ impl Eleos {
         }
         let profile = *self.dev.profile();
         self.dev
-            .clock_mut()
             .cpu(profile.context_ns + profile.per_page_ns * pages.len() as u64);
 
         let id = self.next_action;
@@ -794,7 +936,7 @@ impl Eleos {
             // commit record and all data are on flash.
             self.dev.clock_mut().wait_until(durable);
         }
-        self.dev.clock_mut().cpu(profile.commit_force_ns);
+        self.dev.cpu(profile.commit_force_ns);
 
         let mut relocations_aborted = 0;
         for (i, p) in pages.iter().enumerate() {
@@ -1333,6 +1475,17 @@ impl Eleos {
         meta: &[(PageKind, Lpid)],
         depth: u8,
     ) -> Result<()> {
+        self.with_activity(Activity::Migrate, |this| {
+            this.migrate_with_meta_impl(eb, meta, depth)
+        })
+    }
+
+    fn migrate_with_meta_impl(
+        &mut self,
+        eb: EblockAddr,
+        meta: &[(PageKind, Lpid)],
+        depth: u8,
+    ) -> Result<()> {
         if u32::from(depth) > self.cfg.migrate_retry_limit {
             self.shutdown = true;
             return Err(EleosError::ShutDown);
@@ -1553,13 +1706,44 @@ impl Eleos {
     /// Overlap ratio of the flash channels over the whole run so far:
     /// `Σ per-channel busy ns / (channels · now)`. Exposes the deferred
     /// completion win as a measurement rather than an inference.
+    #[deprecated(note = "use `Eleos::snapshot().overlap_ratio()`")]
     pub fn overlap_ratio(&self) -> f64 {
         self.dev.stats().overlap_ratio(self.dev.clock().now())
     }
 
     /// Busy nanoseconds accumulated per flash channel (utilization
     /// counters; see [`eleos_flash::FlashStats::channel_busy_ns`]).
+    #[deprecated(note = "use `Eleos::snapshot().flash.channel_busy_ns`")]
     pub fn channel_busy_ns(&self) -> &[u64] {
         &self.dev.stats().channel_busy_ns
+    }
+
+    /// One coherent view of everything observable about this controller at
+    /// the current simulated instant: operation counters, flash counters,
+    /// the time-attribution ledger, and the latency span histograms. This
+    /// replaces the old accessor sprawl (`stats()`, `overlap_ratio()`,
+    /// `channel_busy_ns()`, `mapping_cached_pages()`).
+    pub fn snapshot(&self) -> crate::telemetry_snapshot::TelemetrySnapshot {
+        let t = self.dev.telemetry();
+        crate::telemetry_snapshot::TelemetrySnapshot {
+            now: self.dev.clock().now(),
+            cpu_busy_ns: self.dev.clock().cpu_busy_ns(),
+            eleos: self.stats.clone(),
+            flash: self.dev.stats().clone(),
+            mapping_cached_pages: self.mapping.cached_pages(),
+            ledger: t.ledger.clone(),
+            spans: t.spans().to_vec(),
+        }
+    }
+
+    /// Newest `n` structured events (oldest first) — the bounded event ring
+    /// the chaos harness dumps on divergence.
+    pub fn recent_events(&self, n: usize) -> Vec<String> {
+        self.dev
+            .telemetry()
+            .ring
+            .tail(n)
+            .map(|e| e.to_string())
+            .collect()
     }
 }

@@ -14,7 +14,7 @@ use crate::error::{EleosError, Result};
 use crate::provision::decode_eblock_meta;
 use crate::summary::{EblockPurpose, EblockState};
 use crate::types::{ActionKind, Lpid, PageKind, Usn};
-use eleos_flash::{ByteExtent, EblockAddr, IoTicket};
+use eleos_flash::{Activity, ByteExtent, EblockAddr, IoTicket, SpanKind};
 
 /// One victim readied for relocation: its address, birth timestamp, and
 /// the (kind, lpid) entries decoded from its persisted metadata.
@@ -31,6 +31,13 @@ impl Eleos {
     /// With `defer_io` off (or a single needy channel) this reduces to the
     /// legacy schedule: drain one channel to its target before the next.
     pub fn maybe_gc(&mut self) -> Result<()> {
+        // Attribute everything underneath — victim scans, relocation
+        // actions, erases, and any WAL appends they cause — to GC (WAL
+        // I/O re-scopes itself inside `log_append`).
+        self.with_activity(Activity::Gc, |this| this.maybe_gc_impl())
+    }
+
+    fn maybe_gc_impl(&mut self) -> Result<()> {
         if self.shutdown {
             return Ok(());
         }
@@ -196,6 +203,17 @@ impl Eleos {
         if let [victim] = victims {
             return self.collect_eblock(*victim);
         }
+        // One span per overlapped round (victim count is in
+        // `gc_collections`); the serial path records one per victim.
+        let t0 = self.dev.clock().now();
+        let res = self.collect_victims_impl(victims);
+        if res.is_ok() {
+            self.finish_span(SpanKind::GcCollect, t0);
+        }
+        res
+    }
+
+    fn collect_victims_impl(&mut self, victims: &[EblockAddr]) -> Result<()> {
         let geo = *self.dev.geometry();
         let wb = geo.wblock_bytes as u64;
         // Phase 1: frontier checks, then all metadata reads batched.
@@ -310,6 +328,15 @@ impl Eleos {
     /// Collect one victim EBLOCK: read its metadata, move valid LPAGEs,
     /// erase.
     pub(crate) fn collect_eblock(&mut self, victim: EblockAddr) -> Result<()> {
+        let t0 = self.dev.clock().now();
+        let res = self.collect_eblock_impl(victim);
+        if res.is_ok() {
+            self.finish_span(SpanKind::GcCollect, t0);
+        }
+        res
+    }
+
+    fn collect_eblock_impl(&mut self, victim: EblockAddr) -> Result<()> {
         self.stats.gc_collections += 1;
         let geo = *self.dev.geometry();
         let d = *self.summary.get(victim);

@@ -14,7 +14,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+//! use eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
 //! use eleos_flash::{CostProfile, FlashDevice, Geometry};
 //!
 //! let dev = FlashDevice::new(Geometry::tiny(), CostProfile::unit());
@@ -24,7 +24,7 @@
 //! let mut batch = WriteBatch::new(PageMode::Variable);
 //! batch.put(1, b"hello").unwrap();
 //! batch.put(2, &vec![7u8; 1000]).unwrap();
-//! let ack = ssd.write(&batch).unwrap();
+//! let ack = ssd.write(&batch, WriteOpts::default()).unwrap();
 //! assert_eq!(ack.lpages, 2);
 //!
 //! // Read back by LPID.
@@ -34,8 +34,13 @@
 //! let sid = ssd.open_session().unwrap();
 //! let mut b2 = WriteBatch::new(PageMode::Variable);
 //! b2.put(1, b"newer").unwrap();
-//! ssd.write_ordered(sid, 1, &b2).unwrap();
+//! ssd.write(&b2, WriteOpts::ordered(sid, 1)).unwrap();
 //! assert_eq!(ssd.read(1).unwrap(), b"newer");
+//!
+//! // One snapshot exposes counters, latency spans and the time-
+//! // attribution ledger (DESIGN.md §10).
+//! let snap = ssd.snapshot();
+//! assert!(snap.conservation_error().is_none());
 //!
 //! // Crash and recover: committed state survives.
 //! let dev = ssd.crash();
@@ -71,14 +76,16 @@ pub mod recovery;
 pub mod session;
 pub mod stats;
 pub mod summary;
+pub mod telemetry_snapshot;
 pub mod types;
 pub mod wal;
 
 pub use batch::WriteBatch;
 pub use config::{EleosConfig, GcSelection, PageMode};
-pub use controller::{BatchAck, Eleos};
+pub use controller::{BatchAck, Eleos, WriteOpts};
 pub use error::{EleosError, Result};
 pub use phys::{PhysAddr, NULL_PADDR};
 pub use gc::SpaceReport;
 pub use stats::EleosStats;
+pub use telemetry_snapshot::TelemetrySnapshot;
 pub use types::{Lpid, Lsn, Sid, Usn, Wsn, LPAGE_ALIGN};

@@ -28,7 +28,7 @@ use crate::stats::EleosStats;
 use crate::summary::{EblockPurpose, EblockState, SummaryTable};
 use crate::types::{ActionId, ActionKind, Lpid, Lsn, PageKind};
 use crate::wal::{LogRecord, LogWriter};
-use eleos_flash::{EblockAddr, FlashDevice};
+use eleos_flash::{Activity, EblockAddr, FlashDevice, SpanKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -47,6 +47,13 @@ struct ReplayAction {
 impl Eleos {
     /// Rebuild a controller from the durable state on `dev`.
     pub fn recover(mut dev: FlashDevice, cfg: EleosConfig) -> Result<Eleos> {
+        dev.telemetry_mut().set_enabled(cfg.telemetry);
+        // Everything until the controller is handed back — checkpoint
+        // probes, log scan, table loads, replay, fixups — is recovery work.
+        // The activity is set on the *device* because most of it happens
+        // before an `Eleos` exists.
+        dev.telemetry_mut().set_activity(Activity::Recovery);
+        let t0 = dev.clock().now();
         let geo = *dev.geometry();
         let ckpt =
             CkptArea::find_latest(&mut dev).ok_or(EleosError::Corrupt("no checkpoint found"))?;
@@ -171,6 +178,7 @@ impl Eleos {
             rng: StdRng::seed_from_u64(0x1EE0_5EED ^ ckpt.seq),
             shutdown: false,
             next_chan_rr: 0,
+            trace_filter: Self::parse_trace_filter(),
             cfg,
         };
 
@@ -205,6 +213,8 @@ impl Eleos {
             }
         }
         this.top_up_log_standbys()?;
+        this.dev.telemetry_mut().set_activity(Activity::Host);
+        this.finish_span(SpanKind::Recovery, t0);
         Ok(this)
     }
 

@@ -1,0 +1,282 @@
+//! The unified controller observability snapshot (DESIGN.md §10).
+//!
+//! [`Eleos::snapshot`](crate::Eleos::snapshot) returns one coherent view
+//! of everything observable at the current simulated instant, replacing the
+//! old accessor sprawl (`stats()`, `overlap_ratio()`, `channel_busy_ns()`,
+//! `mapping_cached_pages()`). A snapshot is a plain value: benches diff two
+//! of them, merge ledgers across phases, and render attribution tables
+//! without re-touching the controller.
+//!
+//! The **conservation check** lives here: the attribution ledger is
+//! maintained at the charge sites (flash submit, `FlashDevice::cpu`),
+//! while `FlashStats::channel_busy_ns` and `SimClock::cpu_busy_ns` tally
+//! the same time independently and unattributed. For flash the two must
+//! agree *exactly* per channel; for CPU the attributed total must never
+//! exceed the clock's tally — the shortfall is CPU charged on the shared
+//! clock outside the controller (host drivers), reported as part of the
+//! `host` bucket.
+
+use crate::stats::EleosStats;
+use eleos_flash::{
+    Activity, AttributionLedger, FlashOp, FlashStats, LatencyHistogram, Nanos, SpanKind,
+};
+use std::fmt::Write as _;
+
+/// Everything observable about an [`crate::Eleos`] controller at one
+/// simulated instant.
+#[derive(Debug, Clone)]
+pub struct TelemetrySnapshot {
+    /// Current virtual time (CPU timeline).
+    pub now: Nanos,
+    /// Total CPU time ever charged on the clock (work, not waits),
+    /// including host-side charges outside the controller.
+    pub cpu_busy_ns: Nanos,
+    /// Controller-level operation counters.
+    pub eleos: EleosStats,
+    /// Device-level operation counters.
+    pub flash: FlashStats,
+    /// Mapping pages resident in the controller cache.
+    pub mapping_cached_pages: usize,
+    /// The resource × activity time-attribution ledger.
+    pub ledger: AttributionLedger,
+    /// Latency histograms, indexed by [`SpanKind::index`].
+    pub spans: Vec<LatencyHistogram>,
+}
+
+impl TelemetrySnapshot {
+    /// Channel overlap ratio over the whole run so far:
+    /// `Σ per-channel busy ns / (channels · now)`.
+    pub fn overlap_ratio(&self) -> f64 {
+        self.flash.overlap_ratio(self.now)
+    }
+
+    /// Latency histogram for one span kind.
+    pub fn span(&self, kind: SpanKind) -> &LatencyHistogram {
+        &self.spans[kind.index()]
+    }
+
+    /// CPU time charged on the shared clock but not attributed by the
+    /// controller — host-side driver work (bwtree/lss/oxblock `host_cpu`)
+    /// that bypasses `FlashDevice::cpu`. Reported under `host`.
+    pub fn unattributed_cpu_ns(&self) -> Nanos {
+        self.cpu_busy_ns.saturating_sub(self.ledger.cpu_total())
+    }
+
+    /// The full `host` CPU bucket: explicitly attributed host charges plus
+    /// the unattributed residue.
+    pub fn host_cpu_ns(&self) -> Nanos {
+        self.ledger.cpu_ns(Activity::Host) + self.unattributed_cpu_ns()
+    }
+
+    /// Total simulated busy time across all resources: every flash-channel
+    /// busy nanosecond plus every CPU-busy nanosecond. The attribution
+    /// table sums to exactly this.
+    pub fn total_busy_ns(&self) -> Nanos {
+        self.flash.total_busy_ns() + self.cpu_busy_ns
+    }
+
+    /// Busy time attributed to one activity across all resources (the
+    /// `host` row additionally absorbs the unattributed CPU residue, so the
+    /// rows sum to [`TelemetrySnapshot::total_busy_ns`]).
+    pub fn activity_busy_ns(&self, a: Activity) -> Nanos {
+        let mut ns = self.ledger.cpu_ns(a) + self.ledger.activity_flash_ns(a);
+        if a == Activity::Host {
+            ns += self.unattributed_cpu_ns();
+        }
+        ns
+    }
+
+    /// Verify the conservation invariants; `None` means they hold.
+    ///
+    /// 1. Per flash channel, the ledger's attributed time equals the
+    ///    device's independent busy tally **exactly** — every channel
+    ///    nanosecond is attributed, none twice.
+    /// 2. Attributed CPU never exceeds the clock's busy tally (the
+    ///    difference is host-side work, accounted in the `host` bucket).
+    pub fn conservation_error(&self) -> Option<String> {
+        for ch in 0..self.ledger.channels() {
+            let attributed = self.ledger.channel_total(ch as u32);
+            let device = self.flash.channel_busy_ns.get(ch).copied().unwrap_or(0);
+            if attributed != device {
+                return Some(format!(
+                    "channel {ch}: ledger attributes {attributed} ns but device tallied {device} ns"
+                ));
+            }
+        }
+        if self.ledger.cpu_total() > self.cpu_busy_ns {
+            return Some(format!(
+                "attributed CPU {} ns exceeds clock busy tally {} ns",
+                self.ledger.cpu_total(),
+                self.cpu_busy_ns
+            ));
+        }
+        None
+    }
+
+    /// Render the snapshot as one JSON object (hand-rolled — the workspace
+    /// carries no serde). Schema:
+    ///
+    /// ```json
+    /// {
+    ///   "now_ns": u64, "cpu_busy_ns": u64, "total_busy_ns": u64,
+    ///   "unattributed_cpu_ns": u64, "mapping_cached_pages": u64,
+    ///   "flash": { "programs": .., "bytes_programmed": .., "rblock_reads": ..,
+    ///              "bytes_read": .., "erases": .., "program_failures": ..,
+    ///              "total_busy_ns": .. },
+    ///   "cpu_attr_ns": { "<activity>": u64, .. },
+    ///   "flash_attr_ns": { "<activity>": { "program": u64, "read": u64,
+    ///                                      "erase": u64 }, .. },
+    ///   "spans": { "<kind>": { "count": .., "p50_ns": .., "p95_ns": ..,
+    ///                          "p99_ns": .., "max_ns": .., "mean_ns": .. }, .. },
+    ///   "conservation_ok": bool
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push('{');
+        let _ = write!(
+            s,
+            "\"now_ns\":{},\"cpu_busy_ns\":{},\"total_busy_ns\":{},\
+             \"unattributed_cpu_ns\":{},\"mapping_cached_pages\":{}",
+            self.now,
+            self.cpu_busy_ns,
+            self.total_busy_ns(),
+            self.unattributed_cpu_ns(),
+            self.mapping_cached_pages
+        );
+        let _ = write!(
+            s,
+            ",\"flash\":{{\"programs\":{},\"bytes_programmed\":{},\"rblock_reads\":{},\
+             \"bytes_read\":{},\"erases\":{},\"program_failures\":{},\"total_busy_ns\":{}}}",
+            self.flash.programs,
+            self.flash.bytes_programmed,
+            self.flash.rblock_reads,
+            self.flash.bytes_read,
+            self.flash.erases,
+            self.flash.program_failures,
+            self.flash.total_busy_ns()
+        );
+        s.push_str(",\"cpu_attr_ns\":{");
+        for (i, a) in Activity::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", a.label(), self.ledger.cpu_ns(*a));
+        }
+        s.push_str("},\"flash_attr_ns\":{");
+        for (i, a) in Activity::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{{", a.label());
+            for (j, op) in FlashOp::ALL.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\":{}", op.label(), self.ledger.op_activity_ns(*op, *a));
+            }
+            s.push('}');
+        }
+        s.push_str("},\"spans\":{");
+        for (i, k) in SpanKind::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let h = self.span(*k);
+            let _ = write!(
+                s,
+                "\"{}\":{{\"count\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
+                 \"max_ns\":{},\"mean_ns\":{:.1}}}",
+                k.label(),
+                h.count(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max(),
+                h.mean()
+            );
+        }
+        let _ = write!(
+            s,
+            "}},\"conservation_ok\":{}}}",
+            self.conservation_error().is_none()
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_snapshot(channels: usize) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            now: 0,
+            cpu_busy_ns: 0,
+            eleos: EleosStats::default(),
+            flash: FlashStats {
+                channel_busy_ns: vec![0; channels],
+                ..FlashStats::default()
+            },
+            mapping_cached_pages: 0,
+            ledger: AttributionLedger::new(channels),
+            spans: vec![LatencyHistogram::new(); SpanKind::COUNT],
+        }
+    }
+
+    #[test]
+    fn conservation_detects_channel_mismatch() {
+        let mut s = empty_snapshot(2);
+        assert!(s.conservation_error().is_none());
+        s.flash.channel_busy_ns[1] = 500;
+        let err = s.conservation_error().expect("mismatch must be flagged");
+        assert!(err.contains("channel 1"), "{err}");
+        s.ledger.charge_flash(1, FlashOp::Program, Activity::UserWrite, 500);
+        assert!(s.conservation_error().is_none());
+    }
+
+    #[test]
+    fn conservation_allows_host_cpu_residue_but_not_excess() {
+        let mut s = empty_snapshot(1);
+        s.cpu_busy_ns = 100;
+        s.ledger.charge_cpu(Activity::UserWrite, 60);
+        assert!(s.conservation_error().is_none());
+        assert_eq!(s.unattributed_cpu_ns(), 40);
+        assert_eq!(s.host_cpu_ns(), 40);
+        // Rows sum to the total busy time.
+        let by_activity: Nanos = Activity::ALL.iter().map(|&a| s.activity_busy_ns(a)).sum();
+        assert_eq!(by_activity, s.total_busy_ns());
+        // Attributing more CPU than the clock tallied is a bug.
+        s.ledger.charge_cpu(Activity::Gc, 50);
+        assert!(s.conservation_error().is_some());
+    }
+
+    #[test]
+    fn json_has_the_documented_keys() {
+        let mut s = empty_snapshot(2);
+        s.now = 1234;
+        s.cpu_busy_ns = 77;
+        s.flash.channel_busy_ns[0] = 900;
+        s.ledger.charge_flash(0, FlashOp::Read, Activity::Gc, 900);
+        s.spans[SpanKind::WriteBatch.index()].record(1000);
+        let j = s.to_json();
+        for key in [
+            "\"now_ns\":1234",
+            "\"cpu_busy_ns\":77",
+            "\"flash\":{",
+            "\"cpu_attr_ns\":{",
+            "\"flash_attr_ns\":{",
+            "\"spans\":{",
+            "\"write_batch\":{\"count\":1",
+            "\"conservation_ok\":true",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        // Balanced braces (cheap well-formedness check without a parser).
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! The pre-unification entry points survive as `#[deprecated]` one-line
+//! shims for one PR cycle (DESIGN.md §10 deprecation policy). This is the
+//! only place allowed to call them: it pins that each shim forwards to
+//! the unified API with identical behavior until the removal PR deletes
+//! both the shims and this file.
+#![allow(deprecated)]
+
+use eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos_flash::{CostProfile, FlashDevice, Geometry};
+
+fn ssd() -> Eleos {
+    Eleos::format(
+        FlashDevice::new(Geometry::tiny(), CostProfile::unit()),
+        EleosConfig::test_small(),
+    )
+    .expect("format")
+}
+
+#[test]
+fn write_ordered_shims_forward_to_the_unified_write() {
+    let mut ssd = ssd();
+    let sid = ssd.open_session().expect("open_session");
+
+    let mut b = WriteBatch::new(PageMode::Variable);
+    b.put(1, b"via write_ordered").expect("put");
+    ssd.write_ordered(sid, 1, &b).expect("write_ordered");
+
+    let mut b = WriteBatch::new(PageMode::Variable);
+    b.put(2, b"via write_ordered_pipelined").expect("put");
+    ssd.write_ordered_pipelined(sid, 2, &b).expect("write_ordered_pipelined");
+
+    assert_eq!(ssd.session_highest_wsn(sid), Some(2));
+    assert_eq!(ssd.read(1).expect("read").as_ref(), b"via write_ordered");
+    assert_eq!(ssd.read(2).expect("read").as_ref(), b"via write_ordered_pipelined");
+}
+
+#[test]
+fn accessor_shims_agree_with_the_snapshot() {
+    let mut ssd = ssd();
+    let mut b = WriteBatch::new(PageMode::Variable);
+    for lpid in 0..8u64 {
+        b.put(lpid, &[lpid as u8; 300]).expect("put");
+    }
+    ssd.write(&b, eleos::WriteOpts::default()).expect("write");
+
+    let snap = ssd.snapshot();
+    assert_eq!(ssd.stats().batches, snap.eleos.batches);
+    assert_eq!(ssd.mapping_cached_pages(), snap.mapping_cached_pages);
+    assert_eq!(ssd.overlap_ratio(), snap.overlap_ratio());
+    assert_eq!(ssd.channel_busy_ns(), &snap.flash.channel_busy_ns[..]);
+}

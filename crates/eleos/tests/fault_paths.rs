@@ -13,7 +13,7 @@
 //! chaos soak found (see `eleos-bench`'s `chaos_regressions` for the
 //! original seeds).
 
-use eleos::{Eleos, EleosConfig, EleosError, PageMode, WriteBatch};
+use eleos::{Eleos, EleosConfig, EleosError, PageMode, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FlashDevice, Geometry, WblockAddr};
 use std::collections::BTreeMap;
 
@@ -53,7 +53,7 @@ fn write_churn(ssd: &mut Eleos, shadow: &mut Shadow, v: &mut u64, batches: u64, 
         }
         let mut done = false;
         for _ in 0..6 {
-            match ssd.write(&batch) {
+            match ssd.write(&batch, WriteOpts::default()) {
                 Ok(_) => {
                     done = true;
                     break;
@@ -175,7 +175,7 @@ fn probabilistic_faults_during_gc_and_checkpoints() {
         }
         ssd.maintenance().unwrap();
     }
-    let stats = ssd.stats().clone();
+    let stats = ssd.snapshot().eleos.clone();
     assert!(
         stats.program_failures > 0,
         "fault stream never fired: {stats:?}"
@@ -233,7 +233,7 @@ fn bad_eblock_is_retired_with_capacity_accounting() {
         assert!(rounds < 40, "eblock 1/9 never retired; last state {r:?}");
     };
     assert_eq!(retired.2, "Retired");
-    assert_eq!(ssd.stats().retired_eblocks, 1);
+    assert_eq!(ssd.snapshot().eleos.retired_eblocks, 1);
 
     let space = ssd.space_report();
     assert_eq!(space.retired_bytes, geo.eblock_bytes());

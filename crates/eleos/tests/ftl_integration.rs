@@ -1,7 +1,7 @@
 //! Integration tests: the full ELEOS FTL against a shadow model, under
 //! overwrite pressure (GC), crashes, and injected write failures.
 
-use eleos::{Eleos, EleosConfig, EleosError, GcSelection, PageMode, WriteBatch};
+use eleos::{Eleos, EleosConfig, EleosError, GcSelection, PageMode, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FlashDevice, Geometry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,12 +61,12 @@ fn write_read_many_batches_variable() {
             batch.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
     }
     for (lpid, data) in &shadow {
         assert_eq!(ssd.read(*lpid).unwrap(), *data, "lpid {lpid}");
     }
-    assert!(ssd.stats().batches == 20);
+    assert!(ssd.snapshot().eleos.batches == 20);
     assert!(ssd.read(9999).is_err());
 }
 
@@ -77,7 +77,7 @@ fn duplicate_lpids_in_one_batch_last_wins() {
     batch.put(5, b"first version").unwrap();
     batch.put(6, b"other").unwrap();
     batch.put(5, b"second version").unwrap();
-    ssd.write(&batch).unwrap();
+    ssd.write(&batch, WriteOpts::default()).unwrap();
     assert_eq!(ssd.read(5).unwrap(), b"second version");
     assert_eq!(ssd.read(6).unwrap(), b"other");
 }
@@ -90,7 +90,7 @@ fn fixed_page_mode_stores_and_reads() {
     let mut batch = WriteBatch::new(PageMode::Fixed(4096));
     batch.put(1, &payload(1, 0, 100)).unwrap();
     batch.put(2, &payload(2, 0, 4000)).unwrap();
-    ssd.write(&batch).unwrap();
+    ssd.write(&batch, WriteOpts::default()).unwrap();
     assert_eq!(ssd.read(1).unwrap(), payload(1, 0, 100));
     assert_eq!(ssd.read(2).unwrap(), payload(2, 0, 4000));
     // Every page occupies the full fixed size on flash.
@@ -103,7 +103,7 @@ fn variable_mode_stores_compactly() {
     let mut ssd = Eleos::format(small_dev(), cfg()).unwrap();
     let mut batch = WriteBatch::new(PageMode::Variable);
     batch.put(1, &payload(1, 0, 100)).unwrap();
-    ssd.write(&batch).unwrap();
+    ssd.write(&batch, WriteOpts::default()).unwrap();
     // 100 bytes payload + 16 header -> 128 stored.
     assert_eq!(ssd.stored_len(1).unwrap(), Some(128));
 }
@@ -124,14 +124,14 @@ fn overwrite_pressure_triggers_gc_and_preserves_data() {
             batch.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
     }
     assert!(
-        ssd.stats().gc_collections > 0,
+        ssd.snapshot().eleos.gc_collections > 0,
         "expected GC under overwrite pressure: {:?}",
-        ssd.stats()
+        ssd.snapshot().eleos
     );
-    assert!(ssd.stats().gc_erases > 0);
+    assert!(ssd.snapshot().eleos.gc_erases > 0);
     for (lpid, data) in &shadow {
         assert_eq!(ssd.read(*lpid).unwrap(), *data, "lpid {lpid} after GC");
     }
@@ -153,7 +153,7 @@ fn gc_selection_policies_all_work() {
                 batch.put(lpid, &data).unwrap();
                 shadow.insert(lpid, data);
             }
-            ssd.write(&batch).unwrap();
+            ssd.write(&batch, WriteOpts::default()).unwrap();
         }
         for (lpid, data) in &shadow {
             assert_eq!(ssd.read(*lpid).unwrap(), *data, "{sel:?} lpid {lpid}");
@@ -174,7 +174,7 @@ fn crash_recover_preserves_acked_batches() {
             batch.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
     }
     let dev = ssd.crash();
     let mut ssd = Eleos::recover(dev, cfg()).unwrap();
@@ -184,7 +184,7 @@ fn crash_recover_preserves_acked_batches() {
     // The recovered controller keeps working.
     let mut batch = WriteBatch::new(PageMode::Variable);
     batch.put(0, b"post-recovery").unwrap();
-    ssd.write(&batch).unwrap();
+    ssd.write(&batch, WriteOpts::default()).unwrap();
     assert_eq!(ssd.read(0).unwrap(), b"post-recovery");
 }
 
@@ -212,7 +212,7 @@ fn repeated_crash_recover_cycles() {
                 batch.put(lpid, &data).unwrap();
                 shadow.insert(lpid, data);
             }
-            ssd.write(&batch).unwrap();
+            ssd.write(&batch, WriteOpts::default()).unwrap();
         }
         if cycle % 2 == 1 {
             ssd.checkpoint().unwrap();
@@ -246,7 +246,7 @@ fn many_crash_cycles_with_gc_and_auto_checkpoints() {
                 b.put(lpid, &data).unwrap();
                 shadow.insert(lpid, data);
             }
-            ssd.write(&b).unwrap();
+            ssd.write(&b, WriteOpts::default()).unwrap();
         }
         let flash = ssd.crash();
         ssd = Eleos::recover(flash, config.clone()).unwrap();
@@ -269,12 +269,12 @@ fn crash_with_gc_activity_then_recover() {
             batch.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
         if round == 120 {
             ssd.checkpoint().unwrap();
         }
     }
-    assert!(ssd.stats().gc_collections > 0, "GC must have run");
+    assert!(ssd.snapshot().eleos.gc_collections > 0, "GC must have run");
     let dev = ssd.crash();
     let mut ssd = Eleos::recover(dev, cfg_auto_ckpt()).unwrap();
     for (lpid, data) in &shadow {
@@ -289,7 +289,7 @@ fn crash_with_gc_activity_then_recover() {
             batch.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
     }
     for (lpid, data) in &shadow {
         assert_eq!(ssd.read(*lpid).unwrap(), *data, "lpid {lpid} post-recovery GC");
@@ -302,20 +302,20 @@ fn session_ordering_and_recovery_of_wsn() {
     let sid = ssd.open_session().unwrap();
     let mut b = WriteBatch::new(PageMode::Variable);
     b.put(1, b"v1").unwrap();
-    ssd.write_ordered(sid, 1, &b).unwrap();
+    ssd.write(&b, WriteOpts::ordered(sid, 1)).unwrap();
     // Skipping a WSN is rejected with the highest ACK.
     let mut b2 = WriteBatch::new(PageMode::Variable);
     b2.put(1, b"v3").unwrap();
-    match ssd.write_ordered(sid, 3, &b2) {
+    match ssd.write(&b2, WriteOpts::ordered(sid, 3)) {
         Err(EleosError::WsnOutOfOrder { got: 3, highest_acked: 1 }) => {}
         other => panic!("expected WsnOutOfOrder, got {other:?}"),
     }
     // Duplicate is rejected the same way (idempotent redo after lost ACK).
-    match ssd.write_ordered(sid, 1, &b2) {
+    match ssd.write(&b2, WriteOpts::ordered(sid, 1)) {
         Err(EleosError::WsnOutOfOrder { got: 1, highest_acked: 1 }) => {}
         other => panic!("expected WsnOutOfOrder, got {other:?}"),
     }
-    ssd.write_ordered(sid, 2, &b2).unwrap();
+    ssd.write(&b2, WriteOpts::ordered(sid, 2)).unwrap();
     assert_eq!(ssd.read(1).unwrap(), b"v3");
 
     // WSN state survives a crash.
@@ -326,11 +326,11 @@ fn session_ordering_and_recovery_of_wsn() {
     b3.put(1, b"v4").unwrap();
     // Redoing WSN 2 after crash is rejected (already applied)...
     assert!(matches!(
-        ssd.write_ordered(sid, 2, &b3),
+        ssd.write(&b3, WriteOpts::ordered(sid, 2)),
         Err(EleosError::WsnOutOfOrder { highest_acked: 2, .. })
     ));
     // ...and WSN 3 proceeds.
-    ssd.write_ordered(sid, 3, &b3).unwrap();
+    ssd.write(&b3, WriteOpts::ordered(sid, 3)).unwrap();
     assert_eq!(ssd.read(1).unwrap(), b"v4");
 }
 
@@ -351,7 +351,7 @@ fn write_failure_aborts_and_retry_succeeds() {
             batch.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
     }
     // Inject: fail the 3rd program attempt from now.
     ssd.device_mut().faults_mut().fail_nth_from_now(2);
@@ -365,7 +365,7 @@ fn write_failure_aborts_and_retry_succeeds() {
             batch.put(lpid, &data).unwrap();
             staged.push((lpid, data));
         }
-        match ssd.write(&batch) {
+        match ssd.write(&batch, WriteOpts::default()) {
             Ok(_) => {
                 for (l, d) in staged {
                     shadow.insert(l, d);
@@ -374,7 +374,7 @@ fn write_failure_aborts_and_retry_succeeds() {
             Err(EleosError::ActionAborted) => {
                 aborted += 1;
                 // Retry the same buffer (the paper's contract).
-                ssd.write(&batch).unwrap();
+                ssd.write(&batch, WriteOpts::default()).unwrap();
                 for (l, d) in staged {
                     shadow.insert(l, d);
                 }
@@ -383,7 +383,7 @@ fn write_failure_aborts_and_retry_succeeds() {
         }
     }
     assert_eq!(aborted, 1, "exactly one injected failure");
-    assert!(ssd.stats().migrations >= 1);
+    assert!(ssd.snapshot().eleos.migrations >= 1);
     for (lpid, data) in &shadow {
         assert_eq!(ssd.read(*lpid).unwrap(), *data, "lpid {lpid} after failure");
     }
@@ -412,12 +412,12 @@ fn explicit_checkpoints_bound_replay_and_preserve_data() {
             batch.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
         if round % 4 == 3 {
             ssd.checkpoint().unwrap();
         }
     }
-    assert!(ssd.stats().checkpoints >= 3);
+    assert!(ssd.snapshot().eleos.checkpoints >= 3);
     let dev = ssd.crash();
     let mut ssd = Eleos::recover(dev, cfg()).unwrap();
     for (lpid, data) in &shadow {
@@ -442,7 +442,7 @@ fn mapping_cache_pressure_forces_paging() {
                 batch.put(lpid, &data).unwrap();
                 shadow.insert(lpid, data);
             }
-            ssd.write(&batch).unwrap();
+            ssd.write(&batch, WriteOpts::default()).unwrap();
         }
         ssd.checkpoint().unwrap();
     }
@@ -455,7 +455,7 @@ fn mapping_cache_pressure_forces_paging() {
 fn empty_batch_rejected() {
     let mut ssd = Eleos::format(small_dev(), cfg()).unwrap();
     let batch = WriteBatch::new(PageMode::Variable);
-    assert!(matches!(ssd.write(&batch), Err(EleosError::EmptyBatch)));
+    assert!(matches!(ssd.write(&batch, WriteOpts::default()), Err(EleosError::EmptyBatch)));
 }
 
 #[test]
@@ -467,7 +467,7 @@ fn virtual_time_advances_and_scales_with_work() {
     for lpid in 0..32u64 {
         batch.put(lpid, &payload(lpid, 0, 1024)).unwrap();
     }
-    ssd.write(&batch).unwrap();
+    ssd.write(&batch, WriteOpts::default()).unwrap();
     let t1 = ssd.now();
     assert!(t1 > t0, "time must advance with a write");
     ssd.read(0).unwrap();
@@ -481,7 +481,7 @@ fn delete_clears_mapping_and_survives_crash() {
     batch.put(1, b"keep me").unwrap();
     batch.put(2, b"delete me").unwrap();
     batch.put(3, b"also delete").unwrap();
-    ssd.write(&batch).unwrap();
+    ssd.write(&batch, WriteOpts::default()).unwrap();
     ssd.delete_batch(&[2, 3]).unwrap();
     assert!(matches!(ssd.read(2), Err(EleosError::NotFound(2))));
     assert!(matches!(ssd.read(3), Err(EleosError::NotFound(3))));
@@ -496,7 +496,7 @@ fn delete_clears_mapping_and_survives_crash() {
     // A new write after delete works.
     let mut b = WriteBatch::new(PageMode::Variable);
     b.put(2, b"reborn").unwrap();
-    ssd.write(&b).unwrap();
+    ssd.write(&b, WriteOpts::default()).unwrap();
     assert_eq!(ssd.read(2).unwrap(), b"reborn");
 }
 
@@ -512,13 +512,13 @@ fn delete_frees_space_for_gc() {
             let lpid = rng.gen_range(0..2048u64);
             batch.put(lpid, &payload(lpid, round, 3000)).unwrap();
         }
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
         if round % 10 == 9 {
             let dels: Vec<u64> = (0..2048u64).filter(|_| rng.gen_bool(0.3)).collect();
             ssd.delete_batch(&dels).unwrap();
         }
     }
-    assert!(ssd.stats().gc_erases > 0);
+    assert!(ssd.snapshot().eleos.gc_erases > 0);
     // Batch boundaries: empty and reserved-lpid deletes rejected.
     assert!(matches!(ssd.delete_batch(&[]), Err(EleosError::EmptyBatch)));
     assert!(matches!(
@@ -543,9 +543,9 @@ fn pipelined_ordered_writes_preserve_order_and_save_time() {
                 b.put(k, &payload(k, wsn, 1024)).unwrap();
             }
             if pipelined {
-                ssd.write_ordered_pipelined(sid, wsn, &b).unwrap();
+                ssd.write(&b, WriteOpts::ordered_pipelined(sid, wsn)).unwrap();
             } else {
-                ssd.write_ordered(sid, wsn, &b).unwrap();
+                ssd.write(&b, WriteOpts::ordered(sid, wsn)).unwrap();
             }
         }
         ssd.drain();
@@ -577,11 +577,11 @@ fn mapping_cache_bounded_by_eviction_flush() {
             let lpid = (round * 8 + k) * 17 % 4096;
             b.put(lpid, &payload(lpid, round, 300)).unwrap();
         }
-        ssd.write(&b).unwrap();
+        ssd.write(&b, WriteOpts::default()).unwrap();
         assert!(
-            ssd.mapping_cached_pages() <= 6 + 8,
+            ssd.snapshot().mapping_cached_pages <= 6 + 8,
             "cache ballooned to {}",
-            ssd.mapping_cached_pages()
+            ssd.snapshot().mapping_cached_pages
         );
     }
     // Everything still readable through the paged mapping.
@@ -605,7 +605,7 @@ fn space_report_tracks_consumption() {
         for lpid in 0..256u64 {
             b.put(lpid, &payload(lpid, round, 4000)).unwrap();
         }
-        ssd.write(&b).unwrap();
+        ssd.write(&b, WriteOpts::default()).unwrap();
     }
     let r = ssd.space_report();
     assert!(r.free_bytes < r0.free_bytes);
@@ -626,19 +626,19 @@ fn multiple_interleaved_sessions_stay_independent() {
     for wsn in 1..=5u64 {
         let mut wa = WriteBatch::new(PageMode::Variable);
         wa.put(1, &payload(1, wsn, 200)).unwrap();
-        ssd.write_ordered(a, wsn, &wa).unwrap();
+        ssd.write(&wa, WriteOpts::ordered(a, wsn)).unwrap();
         // Session b intentionally lags.
         if wsn <= 2 {
             let mut wb = WriteBatch::new(PageMode::Variable);
             wb.put(2, &payload(2, wsn + 100, 200)).unwrap();
-            ssd.write_ordered(b, wsn, &wb).unwrap();
+            ssd.write(&wb, WriteOpts::ordered(b, wsn)).unwrap();
         }
     }
     assert_eq!(ssd.session_highest_wsn(a), Some(5));
     assert_eq!(ssd.session_highest_wsn(b), Some(2));
     // Cross-session WSNs don't interfere.
     assert!(matches!(
-        ssd.write_ordered(b, 5, &WriteBatch::new(PageMode::Variable)),
+        ssd.write(&WriteBatch::new(PageMode::Variable), WriteOpts::ordered(b, 5)),
         Err(EleosError::WsnOutOfOrder { highest_acked: 2, .. })
     ));
 }
@@ -676,7 +676,7 @@ fn soak_churn_crash_audit() {
                 b.put(lpid, &data).unwrap();
                 shadow.insert(lpid, data);
             }
-            ssd.write(&b).unwrap();
+            ssd.write(&b, WriteOpts::default()).unwrap();
         }
         let flash = ssd.crash();
         ssd = Eleos::recover(flash, config.clone()).unwrap();
@@ -684,5 +684,5 @@ fn soak_churn_crash_audit() {
             assert_eq!(ssd.read(*lpid).unwrap(), *data, "cycle {cycle} lpid {lpid}");
         }
     }
-    assert!(ssd.stats().gc_erases > 0);
+    assert!(ssd.snapshot().eleos.gc_erases > 0);
 }

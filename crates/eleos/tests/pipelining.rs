@@ -12,7 +12,7 @@
 //! * `read_batch` must return exactly the bytes of sequential `read`s, and
 //!   the clock must stay monotone throughout.
 
-use eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FlashDevice, Geometry};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -74,7 +74,7 @@ fn run_script(geo: Geometry, defer_io: bool, ops: &[Op]) -> Eleos {
                 for &(lpid, seed, len) in pages {
                     b.put(lpid, &page_bytes(lpid, seed, len)).unwrap();
                 }
-                ssd.write(&b).unwrap();
+                ssd.write(&b, WriteOpts::default()).unwrap();
             }
             Op::Read(lpid) => {
                 let _ = ssd.read(*lpid); // NotFound is fine
@@ -103,7 +103,7 @@ proptest! {
         let serial = run_script(geo_1ch(), false, &ops);
         let deferred = run_script(geo_1ch(), true, &ops);
         prop_assert_eq!(serial.now(), deferred.now(), "final clock tick diverged");
-        prop_assert_eq!(serial.stats(), deferred.stats());
+        prop_assert_eq!(serial.snapshot().eleos, deferred.snapshot().eleos);
         prop_assert_eq!(serial.device().stats(), deferred.device().stats());
     }
 
@@ -128,7 +128,7 @@ proptest! {
                 for &(lpid, seed, len) in pages {
                     b.put(lpid, &page_bytes(lpid, seed, len)).unwrap();
                 }
-                ssd.write(&b).unwrap();
+                ssd.write(&b, WriteOpts::default()).unwrap();
             }
             let mapped: Vec<u64> = reads
                 .iter()
@@ -150,7 +150,7 @@ proptest! {
         prop_assert_eq!(s.rblock_reads, d.rblock_reads);
         prop_assert_eq!(s.bytes_read, d.bytes_read);
         prop_assert_eq!(s.erases, d.erases);
-        prop_assert_eq!(serial.stats(), deferred.stats());
+        prop_assert_eq!(serial.snapshot().eleos, deferred.snapshot().eleos);
         prop_assert!(deferred.now() <= serial.now(),
             "deferred schedule slower: {} > {}", deferred.now(), serial.now());
     }
@@ -173,7 +173,7 @@ proptest! {
                 b.put(lpid, &data).unwrap();
                 shadow.insert(lpid, data);
             }
-            ssd.write(&b).unwrap();
+            ssd.write(&b, WriteOpts::default()).unwrap();
         }
         let mapped: Vec<u64> = probe.iter().copied().filter(|l| shadow.contains_key(l)).collect();
         let t0 = ssd.now();
@@ -206,10 +206,10 @@ fn gc_round_robin_correct_and_overlapping() {
             b.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&b).unwrap();
+        ssd.write(&b, WriteOpts::default()).unwrap();
     }
-    assert!(ssd.stats().gc_collections > 0, "workload must trigger GC");
-    let ratio = ssd.overlap_ratio();
+    assert!(ssd.snapshot().eleos.gc_collections > 0, "workload must trigger GC");
+    let ratio = ssd.snapshot().overlap_ratio();
     let channels = ssd.device().geometry().channels as f64;
     assert!(
         ratio > 1.05 / channels,

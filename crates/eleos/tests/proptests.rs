@@ -5,7 +5,7 @@
 //!   batch is fully visible and no partial buffer is (Section III-A1);
 //! * write-failure handling never loses committed data.
 
-use eleos::{Eleos, EleosConfig, EleosError, PageMode, WriteBatch};
+use eleos::{Eleos, EleosConfig, EleosError, PageMode, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FaultInjector, FlashDevice, Geometry};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -58,7 +58,7 @@ proptest! {
                     for &(lpid, seed, len) in &pages {
                         b.put(lpid, &page_bytes(lpid, seed, len)).unwrap();
                     }
-                    ssd.write(&b).unwrap();
+                    ssd.write(&b, WriteOpts::default()).unwrap();
                     for &(lpid, seed, len) in &pages {
                         shadow.insert(lpid, page_bytes(lpid, seed, len));
                     }
@@ -93,7 +93,7 @@ proptest! {
                     for &(lpid, seed, len) in pages {
                         b.put(lpid, &page_bytes(lpid, seed, len)).unwrap();
                     }
-                    ssd.write(&b).unwrap(); // ACKed
+                    ssd.write(&b, WriteOpts::default()).unwrap(); // ACKed
                     for &(lpid, seed, len) in pages {
                         shadow.insert(lpid, page_bytes(lpid, seed, len));
                     }
@@ -110,7 +110,7 @@ proptest! {
         // And it still accepts writes after recovery.
         let mut b = WriteBatch::new(PageMode::Variable);
         b.put(0, b"alive").unwrap();
-        ssd.write(&b).unwrap();
+        ssd.write(&b, WriteOpts::default()).unwrap();
         prop_assert_eq!(ssd.read(0).unwrap(), b"alive");
     }
 
@@ -136,7 +136,7 @@ proptest! {
             }
             // Retry aborted buffers, as the interface contract demands.
             for _attempt in 0..6 {
-                match ssd.write(&b) {
+                match ssd.write(&b, WriteOpts::default()) {
                     Ok(_) => {
                         for &(lpid, seed, len) in pages {
                             shadow.insert(lpid, page_bytes(lpid, seed, len));
@@ -177,8 +177,8 @@ proptest! {
         }
         // Fixed-page wire size is always at least the variable one.
         prop_assert!(bf.wire_len() >= bv.wire_len());
-        ssd_v.write(&bv).unwrap();
-        ssd_f.write(&bf).unwrap();
+        ssd_v.write(&bv, WriteOpts::default()).unwrap();
+        ssd_f.write(&bf, WriteOpts::default()).unwrap();
         for &(lpid, _, _) in &pages {
             prop_assert_eq!(ssd_v.read(lpid).unwrap(), ssd_f.read(lpid).unwrap());
         }
@@ -211,7 +211,7 @@ proptest! {
                         for &(lpid, seed, len) in &pages {
                             b.put(lpid, &page_bytes(lpid, seed, len)).unwrap();
                         }
-                        ssd.write(&b).unwrap();
+                        ssd.write(&b, WriteOpts::default()).unwrap();
                         for &(lpid, seed, len) in &pages {
                             shadow.insert(lpid, page_bytes(lpid, seed, len));
                         }
@@ -255,7 +255,7 @@ proptest! {
         for &(lpid, seed, len) in &committed {
             b.put(lpid, &page_bytes(lpid, seed, len)).unwrap();
         }
-        ssd.write(&b).unwrap();
+        ssd.write(&b, WriteOpts::default()).unwrap();
         for &(lpid, seed, len) in &committed {
             shadow.insert(lpid, page_bytes(lpid, seed, len));
         }
@@ -265,7 +265,7 @@ proptest! {
             fb.put(lpid, &page_bytes(lpid, seed ^ 0xFF, len)).unwrap();
         }
         ssd.device_mut().faults_mut().fail_nth_from_now(0);
-        match ssd.write(&fb) {
+        match ssd.write(&fb, WriteOpts::default()) {
             Err(EleosError::ActionAborted) => {}
             other => return Err(TestCaseError::fail(format!("expected abort, got {other:?}"))),
         }
@@ -287,7 +287,7 @@ proptest! {
             }
         }
         // The device still accepts writes.
-        ssd.write(&fb).unwrap();
+        ssd.write(&fb, WriteOpts::default()).unwrap();
     }
 }
 
@@ -328,7 +328,7 @@ proptest! {
             for &(lpid, seed, len) in pages {
                 b.put(lpid, &page_bytes(lpid, seed, len)).unwrap();
             }
-            ssd.write(&b).unwrap();
+            ssd.write(&b, WriteOpts::default()).unwrap();
             for &(lpid, seed, len) in pages {
                 shadow.insert(lpid, page_bytes(lpid, seed, len));
             }

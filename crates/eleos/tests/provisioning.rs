@@ -2,7 +2,7 @@
 //! Section IV/V: channel distribution, WBLOCK packing, cross-WBLOCK pages,
 //! fragmentation accounting, and exact-slice reads.
 
-use eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FlashDevice, Geometry};
 
 fn dev() -> FlashDevice {
@@ -24,7 +24,7 @@ fn large_batch_spreads_across_channels() {
     for lpid in 0..256u64 {
         batch.put(lpid, &vec![lpid as u8; 4000]).unwrap();
     }
-    ssd.write(&batch).unwrap();
+    ssd.write(&batch, WriteOpts::default()).unwrap();
     let mut channels_touched = std::collections::HashSet::new();
     for lpid in 0..256u64 {
         let a = ssd.lpid_location(lpid).unwrap().unwrap();
@@ -45,7 +45,7 @@ fn lpage_spans_wblocks_within_one_eblock() {
     let big = vec![0xCD; 40_000]; // > 2 WBLOCKs of 16 KB
     let mut batch = WriteBatch::new(PageMode::Variable);
     batch.put(1, &big).unwrap();
-    ssd.write(&batch).unwrap();
+    ssd.write(&batch, WriteOpts::default()).unwrap();
     let a = ssd.lpid_location(1).unwrap().unwrap();
     assert!(a.len >= 40_000 + 16);
     // Stored within one EBLOCK (the mapping encodes a single extent).
@@ -61,14 +61,14 @@ fn batches_start_at_fresh_wblocks() {
     let mut b1 = WriteBatch::new(PageMode::Variable);
     b1.put(1, &[1u8; 100]).unwrap();
     b1.put(2, &[2u8; 100]).unwrap();
-    ssd.write(&b1).unwrap();
+    ssd.write(&b1, WriteOpts::default()).unwrap();
     let a1 = ssd.lpid_location(1).unwrap().unwrap();
     let a2 = ssd.lpid_location(2).unwrap().unwrap();
     // Same batch, same chunk: contiguous.
     assert_eq!(a2.offset, a1.offset + a1.len);
     let mut b2 = WriteBatch::new(PageMode::Variable);
     b2.put(3, &[3u8; 100]).unwrap();
-    ssd.write(&b2).unwrap();
+    ssd.write(&b2, WriteOpts::default()).unwrap();
     let a3 = ssd.lpid_location(3).unwrap().unwrap();
     // Next batch: WBLOCK-aligned start (possibly a different channel).
     assert_eq!(
@@ -87,7 +87,7 @@ fn reads_return_exact_slices() {
     let mut batch = WriteBatch::new(PageMode::Variable);
     batch.put(1, &[0xAA; 65]).unwrap(); // forces padding to 128
     batch.put(2, &[0xBB; 100]).unwrap(); // physically adjacent
-    ssd.write(&batch).unwrap();
+    ssd.write(&batch, WriteOpts::default()).unwrap();
     let r1 = ssd.read(1).unwrap();
     assert_eq!(r1.len(), 65);
     assert!(r1.iter().all(|&b| b == 0xAA));
@@ -104,7 +104,7 @@ fn read_amplification_counted_at_device() {
     let mut batch = WriteBatch::new(PageMode::Variable);
     // 6 KB page: covers 2–3 RBLOCKs of 4 KB.
     batch.put(1, &vec![7u8; 6000]).unwrap();
-    ssd.write(&batch).unwrap();
+    ssd.write(&batch, WriteOpts::default()).unwrap();
     let before = ssd.device().stats().bytes_read;
     let got = ssd.read(1).unwrap();
     assert_eq!(got.len(), 6000);
@@ -127,7 +127,7 @@ fn stored_footprint_by_mode() {
         let mut ssd = Eleos::format(dev(), config).unwrap();
         let mut batch = WriteBatch::new(mode);
         batch.put(1, &[9u8; 1900]).unwrap();
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
         assert_eq!(ssd.stored_len(1).unwrap(), Some(expect_stored), "{mode:?}");
     }
 }
@@ -139,11 +139,11 @@ fn oversized_lpage_rejected_cleanly() {
     // Tiny geometry EBLOCK = 256 KB; ask for 300 KB.
     let mut batch = WriteBatch::new(PageMode::Variable);
     batch.put(1, &vec![0u8; 300 * 1024]).unwrap();
-    assert!(ssd.write(&batch).is_err());
+    assert!(ssd.write(&batch, WriteOpts::default()).is_err());
     // The controller remains usable.
     let mut ok = WriteBatch::new(PageMode::Variable);
     ok.put(2, b"fine").unwrap();
-    ssd.write(&ok).unwrap();
+    ssd.write(&ok, WriteOpts::default()).unwrap();
     assert_eq!(ssd.read(2).unwrap(), b"fine");
 }
 
@@ -156,7 +156,7 @@ fn overwrites_accrue_reclaimable_space() {
         for lpid in 0..32u64 {
             batch.put(lpid, &vec![round as u8; 2000]).unwrap();
         }
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
     }
     let avail: u64 = ssd
         .eblock_report()

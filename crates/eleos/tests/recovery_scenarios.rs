@@ -1,6 +1,6 @@
 //! Targeted recovery scenarios from Section VIII of the paper.
 
-use eleos::{Eleos, EleosConfig, EleosError, PageMode, WriteBatch};
+use eleos::{Eleos, EleosConfig, EleosError, PageMode, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FlashDevice, Geometry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,14 +44,14 @@ fn gc_moves_checkpointed_table_pages_then_recovery() {
             b.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&b).unwrap();
+        ssd.write(&b, WriteOpts::default()).unwrap();
     }
     ssd.checkpoint().unwrap(); // table pages now on flash, addresses in ckpt
 
     // Churn hard so GC erases the EBLOCKs holding the checkpointed table
     // pages (moving the still-valid ones elsewhere). No further explicit
     // checkpoint: the ckpt record's table addresses go stale.
-    let gc_before = ssd.stats().gc_collections;
+    let gc_before = ssd.snapshot().eleos.gc_collections;
     for _ in 0..260 {
         let mut b = WriteBatch::new(PageMode::Variable);
         for _ in 0..16 {
@@ -61,12 +61,12 @@ fn gc_moves_checkpointed_table_pages_then_recovery() {
             b.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&b).unwrap();
+        ssd.write(&b, WriteOpts::default()).unwrap();
     }
     assert!(
-        ssd.stats().gc_collections > gc_before,
+        ssd.snapshot().eleos.gc_collections > gc_before,
         "scenario needs GC activity: {:?}",
-        ssd.stats()
+        ssd.snapshot().eleos
     );
 
     // Crash and recover; every committed page must be found even though
@@ -88,7 +88,7 @@ fn repeated_updates_to_one_lpid_across_crash() {
     for ver in 0..50u64 {
         let mut b = WriteBatch::new(PageMode::Variable);
         b.put(7, &payload(7, ver, 900)).unwrap();
-        ssd.write(&b).unwrap();
+        ssd.write(&b, WriteOpts::default()).unwrap();
     }
     let flash = ssd.crash();
     let mut ssd = Eleos::recover(flash, cfg()).unwrap();
@@ -101,9 +101,9 @@ fn repeated_updates_to_one_lpid_across_crash() {
             let lpid = rng.gen_range(0..256u64);
             b.put(lpid, &payload(lpid, ver, 2048)).unwrap();
         }
-        ssd.write(&b).unwrap();
+        ssd.write(&b, WriteOpts::default()).unwrap();
     }
-    assert!(ssd.stats().gc_erases > 0, "AVAIL must drive GC after recovery");
+    assert!(ssd.snapshot().eleos.gc_erases > 0, "AVAIL must drive GC after recovery");
 }
 
 /// Sessions recorded before a checkpoint plus sessions opened after it
@@ -114,13 +114,13 @@ fn session_table_recovery_mixed_checkpoint_ages() {
     let s1 = ssd.open_session().unwrap();
     let mut b = WriteBatch::new(PageMode::Variable);
     b.put(1, b"one").unwrap();
-    ssd.write_ordered(s1, 1, &b).unwrap();
+    ssd.write(&b, WriteOpts::ordered(s1, 1)).unwrap();
     ssd.checkpoint().unwrap();
     let s2 = ssd.open_session().unwrap(); // after the checkpoint: log only
     let mut b2 = WriteBatch::new(PageMode::Variable);
     b2.put(2, b"two").unwrap();
-    ssd.write_ordered(s2, 1, &b2).unwrap();
-    ssd.write_ordered(s1, 2, &b2).unwrap();
+    ssd.write(&b2, WriteOpts::ordered(s2, 1)).unwrap();
+    ssd.write(&b2, WriteOpts::ordered(s1, 2)).unwrap();
     let s3 = ssd.open_session().unwrap();
     ssd.close_session(s3).unwrap();
 
@@ -131,10 +131,10 @@ fn session_table_recovery_mixed_checkpoint_ages() {
     assert_eq!(ssd.session_highest_wsn(s3), None, "closed session stays closed");
     // Ordering still enforced post-recovery.
     assert!(matches!(
-        ssd.write_ordered(s1, 2, &b2),
+        ssd.write(&b2, WriteOpts::ordered(s1, 2)),
         Err(EleosError::WsnOutOfOrder { highest_acked: 2, .. })
     ));
-    ssd.write_ordered(s1, 3, &b2).unwrap();
+    ssd.write(&b2, WriteOpts::ordered(s1, 3)).unwrap();
 }
 
 /// Crash immediately after a checkpoint: the replay window is empty and
@@ -151,7 +151,7 @@ fn crash_right_after_checkpoint() {
             b.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&b).unwrap();
+        ssd.write(&b, WriteOpts::default()).unwrap();
     }
     ssd.checkpoint().unwrap();
     let flash = ssd.crash();
@@ -168,7 +168,7 @@ fn double_crash_without_intervening_writes() {
     let mut ssd = Eleos::format(dev(), cfg()).unwrap();
     let mut b = WriteBatch::new(PageMode::Variable);
     b.put(9, b"survivor").unwrap();
-    ssd.write(&b).unwrap();
+    ssd.write(&b, WriteOpts::default()).unwrap();
     let flash = ssd.crash();
     let ssd = Eleos::recover(flash, cfg()).unwrap();
     let flash = ssd.crash();
@@ -177,7 +177,7 @@ fn double_crash_without_intervening_writes() {
     // Still writable.
     let mut b = WriteBatch::new(PageMode::Variable);
     b.put(10, b"after double crash").unwrap();
-    ssd.write(&b).unwrap();
+    ssd.write(&b, WriteOpts::default()).unwrap();
     assert_eq!(ssd.read(10).unwrap(), b"after double crash");
 }
 
@@ -197,7 +197,7 @@ fn log_program_failure_then_crash_recovery() {
             b.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&b).unwrap();
+        ssd.write(&b, WriteOpts::default()).unwrap();
     }
     ssd.device_mut().faults_mut().fail_nth_from_now(1);
     ssd.device_mut().faults_mut().fail_nth_from_now(4);
@@ -210,14 +210,14 @@ fn log_program_failure_then_crash_recovery() {
             b.put(lpid, &data).unwrap();
             staged.push((lpid, data));
         }
-        match ssd.write(&b) {
+        match ssd.write(&b, WriteOpts::default()) {
             Ok(_) => {
                 for (l, d) in staged {
                     shadow.insert(l, d);
                 }
             }
             Err(EleosError::ActionAborted) => {
-                ssd.write(&b).unwrap();
+                ssd.write(&b, WriteOpts::default()).unwrap();
                 for (l, d) in staged {
                     shadow.insert(l, d);
                 }

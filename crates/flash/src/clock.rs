@@ -45,6 +45,11 @@ pub struct IoTicket {
 pub struct SimClock {
     cpu_now: Nanos,
     channel_free: Vec<Nanos>,
+    /// Total CPU time ever spent via [`SimClock::cpu`]. Unlike `cpu_now`
+    /// this never jumps forward on waits, so it is the independent tally
+    /// the telemetry conservation check compares the attribution ledger
+    /// against (the ledger is maintained at the charge sites, this here).
+    cpu_busy: Nanos,
 }
 
 impl SimClock {
@@ -52,6 +57,7 @@ impl SimClock {
         SimClock {
             cpu_now: 0,
             channel_free: vec![0; channels as usize],
+            cpu_busy: 0,
         }
     }
 
@@ -65,6 +71,14 @@ impl SimClock {
     #[inline]
     pub fn cpu(&mut self, ns: Nanos) {
         self.cpu_now += ns;
+        self.cpu_busy += ns;
+    }
+
+    /// Total CPU time spent through [`SimClock::cpu`] since creation (or
+    /// the last [`SimClock::reset`]); excludes time the CPU merely waited.
+    #[inline]
+    pub fn cpu_busy_ns(&self) -> Nanos {
+        self.cpu_busy
     }
 
     /// Submit an operation of `duration` to `channel` at the current CPU
@@ -116,6 +130,7 @@ impl SimClock {
     /// Reset all timelines to zero (fresh experiment on the same device).
     pub fn reset(&mut self) {
         self.cpu_now = 0;
+        self.cpu_busy = 0;
         for c in &mut self.channel_free {
             *c = 0;
         }
@@ -209,5 +224,18 @@ mod tests {
         c.reset();
         assert_eq!(c.now(), 0);
         assert_eq!(c.channel_free_at(1), 0);
+        assert_eq!(c.cpu_busy_ns(), 0);
+    }
+
+    #[test]
+    fn cpu_busy_counts_work_not_waits() {
+        let mut c = SimClock::new(1);
+        c.cpu(100);
+        let d = c.submit_channel(0, 10_000);
+        c.wait_until(d);
+        c.cpu(50);
+        // now() includes the wait; cpu_busy_ns() only the charged work.
+        assert_eq!(c.now(), 10_150);
+        assert_eq!(c.cpu_busy_ns(), 150);
     }
 }

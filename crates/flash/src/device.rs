@@ -15,6 +15,7 @@ use crate::fault::FaultInjector;
 use crate::geometry::Geometry;
 use crate::stats::FlashStats;
 use bytes::Bytes;
+use eleos_telemetry::{FlashOp, Telemetry};
 
 /// The emulated flash array plus its clock, cost model and fault injector.
 ///
@@ -35,6 +36,11 @@ pub struct FlashDevice {
     /// `EblockSim`s so `wear_map()` can hand out a borrowed view instead of
     /// collecting a fresh `Vec` on every call.
     wear: Vec<u32>,
+    /// Simulated-time observability: the attribution ledger, span latency
+    /// histograms and the structured event ring (DESIGN.md §10). Owned by
+    /// the device because the device is the single place where channel
+    /// time is charged.
+    telemetry: Telemetry,
 }
 
 impl FlashDevice {
@@ -50,6 +56,7 @@ impl FlashDevice {
         FlashDevice {
             clock: SimClock::new(geo.channels),
             wear: vec![0u32; geo.total_eblocks() as usize],
+            telemetry: Telemetry::new(geo.channels as usize, true),
             geo,
             profile,
             blocks,
@@ -64,11 +71,22 @@ impl FlashDevice {
 
     /// Submit `duration` on `channel` and account its busy time. All channel
     /// occupancy flows through here so the per-channel utilization counters
-    /// stay in step with the clock.
+    /// — and the telemetry attribution ledger — stay in step with the clock.
     #[inline]
-    fn submit(&mut self, channel: u32, duration: Nanos) -> Nanos {
+    fn submit(&mut self, channel: u32, op: FlashOp, duration: Nanos) -> Nanos {
         self.stats.channel_busy_ns[channel as usize] += duration;
+        self.telemetry.charge_flash(channel, op, duration);
         self.clock.submit_channel(channel, duration)
+    }
+
+    /// Spend `ns` of serial CPU time, attributed to the telemetry's current
+    /// activity. The controller charges CPU through here; host-side drivers
+    /// that charge the clock directly show up as the unattributed residue
+    /// ("host" bucket) of the conservation check.
+    #[inline]
+    pub fn cpu(&mut self, ns: Nanos) {
+        self.clock.cpu(ns);
+        self.telemetry.charge_cpu(ns);
     }
 
     /// Replace the fault injector (builder style).
@@ -110,6 +128,16 @@ impl FlashDevice {
 
     pub fn faults_mut(&mut self) -> &mut FaultInjector {
         &mut self.faults
+    }
+
+    #[inline]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    #[inline]
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     fn eb(&self, a: EblockAddr) -> Result<&EblockSim> {
@@ -161,7 +189,7 @@ impl FlashDevice {
             }
         }
         let duration = self.profile.program_duration(geo.wblock_bytes);
-        let done = self.submit(addr.channel(), duration);
+        let done = self.submit(addr.channel(), FlashOp::Program, duration);
         if self.faults.should_fail(addr) {
             self.stats.program_failures += 1;
             self.blocks[addr.channel() as usize][addr.eblock.eblock as usize].poison();
@@ -203,7 +231,7 @@ impl FlashDevice {
             }
         }
         let duration = self.profile.read_duration(count, geo.rblock_bytes);
-        let done = self.submit(ext.eblock.channel, duration);
+        let done = self.submit(ext.eblock.channel, FlashOp::Read, duration);
         let out = self
             .eb(ext.eblock)?
             .read_bytes(&geo, ext.offset as usize, ext.len as usize);
@@ -246,7 +274,7 @@ impl FlashDevice {
             let ext = exts[i];
             let count = ext.rblock_count(&geo);
             let duration = self.profile.read_duration(count, geo.rblock_bytes);
-            let done = self.submit(ext.eblock.channel, duration);
+            let done = self.submit(ext.eblock.channel, FlashOp::Read, duration);
             let bytes = self
                 .eb(ext.eblock)?
                 .read_bytes(&geo, ext.offset as usize, ext.len as usize);
@@ -291,7 +319,7 @@ impl FlashDevice {
             }
         }
         let duration = self.profile.read_duration(1, geo.rblock_bytes);
-        let done = self.submit(addr.channel(), duration);
+        let done = self.submit(addr.channel(), FlashOp::Read, duration);
         let tag = self.eb(addr.eblock)?.read_tag(&geo, addr.wblock);
         self.stats.rblock_reads += 1;
         self.stats.bytes_read += geo.rblock_bytes as u64;
@@ -310,7 +338,7 @@ impl FlashDevice {
         self.wear[wear_idx] += 1;
         self.stats.erases += 1;
         let duration = self.profile.erase_eblock_ns;
-        Ok(self.submit(a.channel, duration))
+        Ok(self.submit(a.channel, FlashOp::Erase, duration))
     }
 
     /// How many WBLOCKs of this EBLOCK have been programmed (the "write
@@ -565,6 +593,45 @@ mod tests {
         // no CPU-induced gaps).
         d.clock_mut().drain();
         assert_eq!(d.stats().total_busy_ns(), d.clock().now());
+    }
+
+    #[test]
+    fn telemetry_ledger_matches_channel_busy_exactly() {
+        use eleos_telemetry::Activity;
+        let mut d = FlashDevice::new(Geometry::tiny(), CostProfile::weak_controller())
+            .with_faults(FaultInjector::script([1]));
+        let geo = *d.geometry();
+        d.telemetry_mut().set_activity(Activity::UserWrite);
+        d.program(WblockAddr::new(0, 0, 0), wb(&geo, 1), &[]).unwrap();
+        // Failed program still occupies — and is attributed — channel time.
+        let e = d.program(WblockAddr::new(0, 0, 1), wb(&geo, 1), &[]);
+        assert!(matches!(e, Err(FlashError::ProgramFailed(_))));
+        d.telemetry_mut().set_activity(Activity::Gc);
+        d.read_extent(ByteExtent::new(EblockAddr::new(0, 0), 0, 8))
+            .unwrap();
+        d.erase(EblockAddr::new(0, 0)).unwrap();
+        d.telemetry_mut().set_activity(Activity::Host);
+        d.cpu(123);
+        // Conservation: the attributed ledger reproduces the independent
+        // per-channel busy counters and the clock's CPU tally exactly.
+        let ledger = &d.telemetry().ledger;
+        for ch in 0..geo.channels {
+            assert_eq!(
+                ledger.channel_total(ch),
+                d.stats().channel_busy_ns[ch as usize],
+                "channel {ch}"
+            );
+        }
+        assert_eq!(ledger.cpu_total(), d.clock().cpu_busy_ns());
+        let prog = d.profile().program_duration(geo.wblock_bytes);
+        assert_eq!(
+            ledger.flash_ns(0, FlashOp::Program, Activity::UserWrite),
+            2 * prog
+        );
+        assert_eq!(
+            ledger.flash_ns(0, FlashOp::Erase, Activity::Gc),
+            d.profile().erase_eblock_ns
+        );
     }
 
     #[test]

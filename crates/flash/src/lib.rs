@@ -38,3 +38,8 @@ pub use error::{FlashError, Result};
 pub use fault::FaultInjector;
 pub use geometry::{Geometry, TAG_BYTES_PER_RBLOCK};
 pub use stats::FlashStats;
+// Telemetry primitives travel with the device that records into them
+// (DESIGN.md §10); re-exported so downstream crates need no direct dep.
+pub use eleos_telemetry::{
+    Activity, AttributionLedger, Event, EventRing, FlashOp, LatencyHistogram, SpanKind, Telemetry,
+};

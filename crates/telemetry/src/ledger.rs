@@ -1,0 +1,172 @@
+//! Time-attribution ledger: every simulated busy nanosecond, split by
+//! resource (controller CPU, per-channel flash program/read/erase) ×
+//! [`Activity`]. The ledger is the half of the conservation check that is
+//! maintained *with* attribution; the flash stats and clock keep
+//! independent unattributed tallies of the same time, and the two must
+//! agree exactly (ci.sh enforces this).
+
+use crate::{Activity, FlashOp, Nanos};
+
+/// Per-channel flash cell: `[op][activity]` nanoseconds.
+type ChannelCells = [[Nanos; Activity::COUNT]; FlashOp::COUNT];
+
+#[derive(Debug, Clone)]
+pub struct AttributionLedger {
+    cpu: [Nanos; Activity::COUNT],
+    flash: Vec<ChannelCells>,
+}
+
+impl AttributionLedger {
+    pub fn new(channels: usize) -> Self {
+        AttributionLedger {
+            cpu: [0; Activity::COUNT],
+            flash: vec![[[0; Activity::COUNT]; FlashOp::COUNT]; channels],
+        }
+    }
+
+    pub fn channels(&self) -> usize {
+        self.flash.len()
+    }
+
+    #[inline]
+    pub fn charge_cpu(&mut self, activity: Activity, ns: Nanos) {
+        self.cpu[activity.index()] += ns;
+    }
+
+    #[inline]
+    pub fn charge_flash(&mut self, channel: u32, op: FlashOp, activity: Activity, ns: Nanos) {
+        self.flash[channel as usize][op.index()][activity.index()] += ns;
+    }
+
+    /// CPU nanoseconds attributed to `activity`.
+    pub fn cpu_ns(&self, activity: Activity) -> Nanos {
+        self.cpu[activity.index()]
+    }
+
+    pub fn cpu_total(&self) -> Nanos {
+        self.cpu.iter().sum()
+    }
+
+    /// Flash nanoseconds in one (channel, op, activity) cell.
+    pub fn flash_ns(&self, channel: u32, op: FlashOp, activity: Activity) -> Nanos {
+        self.flash[channel as usize][op.index()][activity.index()]
+    }
+
+    /// Total flash time on one channel, all ops and activities.
+    pub fn channel_total(&self, channel: u32) -> Nanos {
+        self.flash[channel as usize]
+            .iter()
+            .flat_map(|ops| ops.iter())
+            .sum()
+    }
+
+    pub fn flash_total(&self) -> Nanos {
+        (0..self.flash.len() as u32).map(|c| self.channel_total(c)).sum()
+    }
+
+    /// Flash time in one op, summed over channels and activities.
+    pub fn op_total(&self, op: FlashOp) -> Nanos {
+        self.flash
+            .iter()
+            .map(|ch| ch[op.index()].iter().sum::<Nanos>())
+            .sum()
+    }
+
+    /// Flash time attributed to one activity, summed over channels and ops.
+    pub fn activity_flash_ns(&self, activity: Activity) -> Nanos {
+        self.flash
+            .iter()
+            .flat_map(|ch| ch.iter())
+            .map(|ops| ops[activity.index()])
+            .sum()
+    }
+
+    /// Flash time in one (op, activity), summed over channels.
+    pub fn op_activity_ns(&self, op: FlashOp, activity: Activity) -> Nanos {
+        self.flash
+            .iter()
+            .map(|ch| ch[op.index()][activity.index()])
+            .sum()
+    }
+
+    /// Total attributed time, CPU plus flash.
+    pub fn grand_total(&self) -> Nanos {
+        self.cpu_total() + self.flash_total()
+    }
+
+    /// Add `other`'s charges into `self`. Panics if channel counts differ —
+    /// merging ledgers from different devices is a bug.
+    pub fn merge(&mut self, other: &AttributionLedger) {
+        assert_eq!(
+            self.flash.len(),
+            other.flash.len(),
+            "merging ledgers with different channel counts"
+        );
+        for (a, b) in self.cpu.iter_mut().zip(other.cpu.iter()) {
+            *a += b;
+        }
+        for (ch_a, ch_b) in self.flash.iter_mut().zip(other.flash.iter()) {
+            for (op_a, op_b) in ch_a.iter_mut().zip(ch_b.iter()) {
+                for (cell_a, cell_b) in op_a.iter_mut().zip(op_b.iter()) {
+                    *cell_a += cell_b;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_decompose_consistently() {
+        let mut l = AttributionLedger::new(3);
+        l.charge_cpu(Activity::UserWrite, 100);
+        l.charge_cpu(Activity::Gc, 40);
+        l.charge_flash(0, FlashOp::Program, Activity::UserWrite, 1000);
+        l.charge_flash(1, FlashOp::Read, Activity::Gc, 300);
+        l.charge_flash(1, FlashOp::Erase, Activity::Gc, 2000);
+        l.charge_flash(2, FlashOp::Program, Activity::Ckpt, 500);
+
+        assert_eq!(l.cpu_total(), 140);
+        assert_eq!(l.flash_total(), 3800);
+        assert_eq!(l.grand_total(), 3940);
+        assert_eq!(l.channel_total(0), 1000);
+        assert_eq!(l.channel_total(1), 2300);
+        assert_eq!(l.op_total(FlashOp::Program), 1500);
+        assert_eq!(l.op_total(FlashOp::Erase), 2000);
+        assert_eq!(l.activity_flash_ns(Activity::Gc), 2300);
+        assert_eq!(l.op_activity_ns(FlashOp::Program, Activity::Ckpt), 500);
+        // Sum over the full taxonomy reproduces the totals (conservation
+        // within the ledger itself).
+        let by_activity: Nanos = Activity::ALL
+            .iter()
+            .map(|&a| l.cpu_ns(a) + l.activity_flash_ns(a))
+            .sum();
+        assert_eq!(by_activity, l.grand_total());
+        let by_channel: Nanos = (0..3).map(|c| l.channel_total(c)).sum();
+        assert_eq!(by_channel + l.cpu_total(), l.grand_total());
+    }
+
+    #[test]
+    fn merge_adds_cell_wise() {
+        let mut a = AttributionLedger::new(2);
+        let mut b = AttributionLedger::new(2);
+        a.charge_flash(0, FlashOp::Program, Activity::UserWrite, 10);
+        b.charge_flash(0, FlashOp::Program, Activity::UserWrite, 5);
+        b.charge_cpu(Activity::Wal, 7);
+        a.merge(&b);
+        assert_eq!(a.flash_ns(0, FlashOp::Program, Activity::UserWrite), 15);
+        assert_eq!(a.cpu_ns(Activity::Wal), 7);
+        assert_eq!(a.grand_total(), 22);
+    }
+
+    #[test]
+    #[should_panic(expected = "different channel counts")]
+    fn merge_rejects_channel_mismatch() {
+        let mut a = AttributionLedger::new(2);
+        let b = AttributionLedger::new(3);
+        a.merge(&b);
+    }
+}

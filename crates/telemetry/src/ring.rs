@@ -1,0 +1,137 @@
+//! Bounded structured event ring.
+//!
+//! Subsumes the old `ELEOS_TRACE_EB` eprintln hack: EBLOCK lifecycle
+//! events (alloc, erase_and_free, program failure, recovery replays…)
+//! always flow into this ring when telemetry is enabled, and printing is a
+//! *filter over the ring's stream* instead of a separate code path. The
+//! chaos binary dumps the tail of the ring on divergence, so the events
+//! leading up to a failure are available without re-running under a trace
+//! flag.
+
+use crate::Nanos;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One structured event, stamped with simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Simulated time the event was recorded.
+    pub at: Nanos,
+    pub channel: u32,
+    pub eblock: u32,
+    /// What happened (e.g. `"alloc"`, `"erase_and_free"`).
+    pub what: String,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={} ch{}/eb{} {}",
+            self.at, self.channel, self.eblock, self.what
+        )
+    }
+}
+
+/// Fixed-capacity FIFO of [`Event`]s; pushing past capacity drops the
+/// oldest event and counts it, so memory stays bounded on unbounded runs.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    cap: usize,
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl EventRing {
+    pub fn new(cap: usize) -> Self {
+        EventRing {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.clamp(1, 64)),
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, e: Event) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(e);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted to honor the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Oldest-to-newest iteration over the retained events.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// The newest `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> impl Iterator<Item = &Event> {
+        self.buf.iter().skip(self.buf.len().saturating_sub(n))
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: Nanos, what: &str) -> Event {
+        Event {
+            at,
+            channel: 1,
+            eblock: 2,
+            what: what.to_string(),
+        }
+    }
+
+    #[test]
+    fn ring_stays_bounded_and_drops_oldest() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i, "x"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ats: Vec<Nanos> = r.iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn tail_returns_newest_in_order() {
+        let mut r = EventRing::new(10);
+        for i in 0..6 {
+            r.push(ev(i, "x"));
+        }
+        let ats: Vec<Nanos> = r.tail(2).map(|e| e.at).collect();
+        assert_eq!(ats, vec![4, 5]);
+        // Asking for more than retained returns everything.
+        assert_eq!(r.tail(100).count(), 6);
+    }
+
+    #[test]
+    fn event_display_is_greppable() {
+        let e = ev(42, "alloc");
+        assert_eq!(e.to_string(), "t=42 ch1/eb2 alloc");
+    }
+}

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example compressed_pages`
 
-use eleos_repro::eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos_repro::eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
 use eleos_repro::flash::{CostProfile, FlashDevice, Geometry};
 use eleos_repro::workloads::{TpccTrace, TpccTraceConfig};
 
@@ -35,7 +35,7 @@ fn run(mode: PageMode) -> (u64, u64, f64) {
         batch.put(w.lpid, &scratch[..w.len as usize]).unwrap();
         payload += w.len as u64;
         if batch.wire_len() >= 1 << 20 {
-            ssd.write(&batch).expect("write");
+            ssd.write(&batch, WriteOpts::default()).expect("write");
             batch = WriteBatch::new(mode);
         }
         if payload >= 32 << 20 {
@@ -43,7 +43,7 @@ fn run(mode: PageMode) -> (u64, u64, f64) {
         }
     }
     if !batch.is_empty() {
-        ssd.write(&batch).expect("write");
+        ssd.write(&batch, WriteOpts::default()).expect("write");
     }
     ssd.drain();
     let flash = ssd.device().stats().bytes_programmed;

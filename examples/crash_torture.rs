@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example crash_torture`
 
-use eleos_repro::eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos_repro::eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
 use eleos_repro::flash::{CostProfile, FlashDevice, Geometry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,7 +44,7 @@ fn main() {
                 b.put(lpid, &data).unwrap();
                 staged.push((lpid, data));
             }
-            ssd.write(&b).expect("write");
+            ssd.write(&b, WriteOpts::default()).expect("write");
             total_batches += 1;
             for (l, d) in staged {
                 shadow.insert(l, d); // only ACKed batches enter the shadow
@@ -66,7 +66,7 @@ fn main() {
         "\nsurvived {cycles} crash/recover cycles over {total_batches} batches; \
          {} distinct pages intact; GC ran {} times, {} checkpoints",
         shadow.len(),
-        ssd.stats().gc_collections,
-        ssd.stats().checkpoints,
+        ssd.snapshot().eleos.gc_collections,
+        ssd.snapshot().eleos.checkpoints,
     );
 }

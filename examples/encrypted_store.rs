@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --release --example encrypted_store`
 
-use eleos_repro::eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos_repro::eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
 use eleos_repro::flash::{CostProfile, FlashDevice, Geometry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,12 +101,12 @@ fn main() {
         cipher_bytes += cipher.len() as u64;
         batch.put(lpid, &cipher).expect("variable pages take any size");
         if batch.wire_len() >= 1 << 20 {
-            ssd.write(&batch).expect("write");
+            ssd.write(&batch, WriteOpts::default()).expect("write");
             batch = WriteBatch::new(PageMode::Variable);
         }
     }
     if !batch.is_empty() {
-        ssd.write(&batch).expect("write");
+        ssd.write(&batch, WriteOpts::default()).expect("write");
     }
 
     // Read back and decrypt a sample.

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use eleos_repro::eleos::{Eleos, EleosConfig, PageMode, WriteBatch};
+use eleos_repro::eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
 use eleos_repro::flash::{CostProfile, FlashDevice, Geometry};
 
 fn main() {
@@ -22,7 +22,7 @@ fn main() {
     batch.put(1, b"tiny metadata page").unwrap();
     batch.put(2, &vec![0xC0; 1900]).unwrap(); // a ~1.9 KB compressed page
     batch.put(3, &vec![0xDE; 60_000]).unwrap(); // a large blob
-    let ack = ssd.write(&batch).expect("batched write");
+    let ack = ssd.write(&batch, WriteOpts::default()).expect("batched write");
     println!(
         "wrote {} pages ({} wire bytes) in ONE I/O, durable at t={} µs",
         ack.lpages,
@@ -42,8 +42,8 @@ fn main() {
     let sid = ssd.open_session().expect("open session");
     let mut b1 = WriteBatch::new(PageMode::Variable);
     b1.put(1, b"version 2 of page 1").unwrap();
-    ssd.write_ordered(sid, 1, &b1).expect("wsn 1");
-    let err = ssd.write_ordered(sid, 1, &b1).unwrap_err();
+    ssd.write(&b1, WriteOpts::ordered(sid, 1)).expect("wsn 1");
+    let err = ssd.write(&b1, WriteOpts::ordered(sid, 1)).unwrap_err();
     println!("redoing WSN 1 is refused: {err}");
 
     // --- crash and recover ---------------------------------------------
@@ -53,7 +53,7 @@ fn main() {
     assert_eq!(ssd.session_highest_wsn(sid), Some(1));
     println!("recovered: committed data and session state survived the crash");
 
-    let s = ssd.stats();
+    let s = ssd.snapshot().eleos;
     println!(
         "controller stats: {} commits, {} checkpoints, flash bytes written {}",
         s.commits,

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example write_failures`
 
-use eleos_repro::eleos::{Eleos, EleosConfig, EleosError, PageMode, WriteBatch};
+use eleos_repro::eleos::{Eleos, EleosConfig, EleosError, PageMode, WriteBatch, WriteOpts};
 use eleos_repro::flash::{CostProfile, FaultInjector, FlashDevice, Geometry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,7 +35,7 @@ fn main() {
         }
         // The interface contract: an aborted buffer is simply retried.
         for _attempt in 0..8 {
-            match ssd.write(&b) {
+            match ssd.write(&b, WriteOpts::default()) {
                 Ok(_) => {
                     for (l, d) in staged {
                         shadow.insert(l, d);
@@ -61,8 +61,8 @@ fn main() {
     println!(
         "program failures injected: {}   EBLOCK migrations: {}   pages GC-moved: {}",
         flash.program_failures,
-        ssd.stats().migrations,
-        ssd.stats().gc_moved_pages,
+        ssd.snapshot().eleos.migrations,
+        ssd.snapshot().eleos.gc_moved_pages,
     );
     println!("full audit of {} pages passed — no committed data lost", shadow.len());
 }

@@ -22,6 +22,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== chaos smoke (differential oracle, 5 seeds) =="
 cargo run --release -p eleos-bench --bin chaos -- --seeds 5
 
+echo "== telemetry gate (snapshot schema + conservation) =="
+# perfbench --telemetry-out runs a small mixed scenario, enforces the
+# attribution conservation invariant in-process (exit 1 on violation),
+# and writes the snapshot JSON; the greps pin the documented schema.
+telemetry_json="$(mktemp)"
+trap 'rm -f "$telemetry_json"' EXIT
+cargo run --release -p eleos-bench --bin perfbench -- --telemetry-out "$telemetry_json"
+for key in now_ns cpu_busy_ns total_busy_ns unattributed_cpu_ns \
+           mapping_cached_pages flash cpu_attr_ns flash_attr_ns spans \
+           user_write gc ckpt wal recovery write_batch p99_ns \
+           conservation_ok; do
+  grep -q "\"$key\"" "$telemetry_json" \
+    || { echo "telemetry gate: missing key \"$key\"" >&2; exit 1; }
+done
+grep -q '"conservation_ok":true' "$telemetry_json" \
+  || { echo "telemetry gate: conservation_ok is not true" >&2; exit 1; }
+
 echo "== perf smoke =="
 scripts/perf_smoke.sh
 

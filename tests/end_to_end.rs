@@ -166,7 +166,7 @@ fn application_crash_recovery_via_eleos() {
 /// I-B).
 #[test]
 fn mixed_size_blob_store() {
-    use eleos_repro::eleos::WriteBatch;
+    use eleos_repro::eleos::{WriteBatch, WriteOpts};
     let dev = FlashDevice::new(geo(), CostProfile::unit());
     let cfg = EleosConfig {
         max_user_lpid: 4096,
@@ -189,12 +189,12 @@ fn mixed_size_blob_store() {
             batch.put(lpid, &data).unwrap();
             shadow.insert(lpid, data);
         }
-        ssd.write(&batch).unwrap();
+        ssd.write(&batch, WriteOpts::default()).unwrap();
     }
     for (lpid, data) in &shadow {
         assert_eq!(&ssd.read(*lpid).unwrap(), data, "blob {lpid}");
     }
     // Variable-size storage: stored bytes track payloads, not page grids.
-    let s = ssd.stats();
+    let s = ssd.snapshot().eleos;
     assert!(s.padding_overhead() < 0.10, "padding {}", s.padding_overhead());
 }
