@@ -34,7 +34,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: chaos [--seed N | --seeds N] [--cycles N] [--steps N] \
-             [--fail-p P] [--bad-eblock CH/EB | --no-bad-region]"
+             [--fail-p P] [--bad-eblock CH/EB | --no-bad-region] [--clients N]"
         );
         return;
     }
@@ -42,6 +42,9 @@ fn main() {
     let mut base = ChaosConfig::default();
     if let Some(c) = parse(&args, "--cycles") {
         base.cycles = c;
+    }
+    if let Some(c) = parse(&args, "--clients") {
+        base.clients = c;
     }
     if let Some(s) = parse(&args, "--steps") {
         base.steps_per_cycle = s;
@@ -73,12 +76,19 @@ fn main() {
     };
 
     println!(
-        "chaos soak: {} seed(s), {} cycles x ~{} steps, fail-p {}, bad region {:?}",
+        "chaos soak: {} seed(s), {} cycles x ~{} steps, fail-p {}, bad region {:?}, \
+         {} client(s){}",
         seeds.len(),
         base.cycles,
         base.steps_per_cycle,
         base.fail_p,
-        base.bad_eblock
+        base.bad_eblock,
+        base.clients,
+        if base.clients > 1 {
+            " via group-commit front-end"
+        } else {
+            ""
+        }
     );
 
     let mut divergences = 0u32;
@@ -88,7 +98,7 @@ fn main() {
             Ok(r) => println!(
                 "  seed {seed:>3}: OK  {} batches, {} crashes ({} forced), {} aborts retried, \
                  {} pgm failures, {} internal retries, {} retired EBLOCKs, {} pages audited, \
-                 {} live",
+                 {} live{}",
                 r.batches,
                 r.crashes,
                 r.shutdowns,
@@ -97,7 +107,12 @@ fn main() {
                 r.action_retries,
                 r.retired_eblocks,
                 r.audited_pages,
-                r.live_pages
+                r.live_pages,
+                if base.clients > 1 {
+                    format!(", {} groups", r.groups)
+                } else {
+                    String::new()
+                }
             ),
             Err(f) => {
                 divergences += 1;

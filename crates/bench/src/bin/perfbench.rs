@@ -399,6 +399,7 @@ fn main() {
         bench_ycsb_read(&scale, &label),
         bench_gc_heavy(&scale, &label),
         bench_read_batch(&scale, &label),
+        eleos_bench::frontend_scale::bench_frontend_scale(&scale, &label),
     ];
     for e in &entries {
         eprintln!(

@@ -161,6 +161,10 @@ fn jobs() -> Vec<Job> {
             )]
         }),
         Box::new(|| {
+            let (t, notes) = eleos_bench::frontend_scale::frontend_scale_table();
+            vec![(t, notes)]
+        }),
+        Box::new(|| {
             let (t, notes) = eleos_bench::chaos::fault_handling_table(6);
             vec![(t, notes)]
         }),

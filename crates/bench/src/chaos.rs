@@ -19,6 +19,7 @@
 //! one-line repro command that replays the exact fault script.
 
 use crate::report::Table;
+use eleos::frontend::{Frontend, GroupCommitPolicy};
 use eleos::{Eleos, EleosConfig, EleosError, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FaultInjector, FlashDevice, Geometry, WblockAddr};
 use rand::rngs::StdRng;
@@ -46,6 +47,11 @@ pub struct ChaosConfig {
     pub bad_eblock: Option<(u32, u32)>,
     /// LPID key space.
     pub max_lpid: u64,
+    /// Concurrent client streams. `1` drives the controller directly
+    /// (the classic single-writer soak); `> 1` drives it through the
+    /// group-commit [`Frontend`] with one shadow map per client, each
+    /// client confined to its private `max_lpid / clients` LPID slice.
+    pub clients: usize,
 }
 
 impl Default for ChaosConfig {
@@ -57,6 +63,7 @@ impl Default for ChaosConfig {
             fail_p: 0.002,
             bad_eblock: Some((2, 7)),
             max_lpid: 512,
+            clients: 1,
         }
     }
 }
@@ -91,6 +98,9 @@ pub struct ChaosReport {
     pub checkpoints: u64,
     /// Distinct live pages at the end.
     pub live_pages: u64,
+    /// Group-commit flushes the front-end completed (0 in single-client
+    /// mode, which bypasses the front-end).
+    pub groups: u64,
 }
 
 /// A divergence between the device and the oracle (or an invariant
@@ -118,9 +128,14 @@ impl ChaosFailure {
             Some((c, e)) => format!("--bad-eblock {c}/{e}"),
             None => "--no-bad-region".to_string(),
         };
+        let clients = if self.config.clients > 1 {
+            format!(" --clients {}", self.config.clients)
+        } else {
+            String::new()
+        };
         format!(
             "cargo run --release -p eleos-bench --bin chaos -- --seed {} --cycles {} \
-             --steps {} --fail-p {} {bad}",
+             --steps {} --fail-p {} {bad}{clients}",
             self.seed, self.config.cycles, self.config.steps_per_cycle, self.config.fail_p
         )
     }
@@ -174,6 +189,9 @@ fn page_content(lpid: u64, version: u64, len: usize) -> Vec<u8> {
 
 /// Run one chaos soak to completion. `Ok` means zero divergences.
 pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
+    if cfg.clients > 1 {
+        return run_chaos_multi(cfg);
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut shadow: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut deleted: BTreeSet<u64> = BTreeSet::new();
@@ -319,6 +337,322 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
     accumulate(&mut report, &ssd);
     report.retired_eblocks = retired_count(&ssd);
     report.live_pages = shadow.len() as u64;
+    Ok(report)
+}
+
+/// What to do after absorbing a front-end call's outcome.
+enum Disposition {
+    Continue,
+    Crash,
+}
+
+/// Map a front-end submit/flush result onto the soak's contract: transient
+/// conditions are absorbed (the queue stays intact inside the front-end),
+/// a controller shutdown forces the next crash, anything else is a
+/// divergence.
+fn absorb_frontend_result<T>(
+    res: Result<T, EleosError>,
+    report: &mut ChaosReport,
+) -> Result<Disposition, String> {
+    match res {
+        Ok(_) => Ok(Disposition::Continue),
+        Err(EleosError::ShutDown) => Ok(Disposition::Crash),
+        Err(EleosError::ActionAborted) => {
+            report.aborts_retried += 1;
+            Ok(Disposition::Continue)
+        }
+        Err(EleosError::DeviceFull) => {
+            report.device_full += 1;
+            Ok(Disposition::Continue)
+        }
+        Err(e) => Err(format!("front-end call failed non-retryably: {e}")),
+    }
+}
+
+/// Drain the front-end's ack stream into the per-client shadows. ACKs are
+/// reconciled from the `acked_batches` counters rather than the returned
+/// `GroupAck` lists, so an error return that swallowed a successful
+/// deadline flush cannot desynchronize the oracle: anything the front-end
+/// counted as acked is durable, in per-client seq order, by contract.
+/// One unACKed client batch the oracle is waiting on: `(seq, pages)`.
+type StagedBatch = (u64, Vec<(u64, Vec<u8>)>);
+
+fn reconcile_acks(
+    fe: &Frontend,
+    staged: &mut [std::collections::VecDeque<StagedBatch>],
+    applied: &mut [u64],
+    shadows: &mut [BTreeMap<u64, Vec<u8>>],
+    deleteds: &mut [BTreeSet<u64>],
+    report: &mut ChaosReport,
+) -> Result<(), String> {
+    for c in 0..fe.clients() {
+        while applied[c] < fe.acked_batches(c) {
+            let (seq, pages) = staged[c].pop_front().ok_or_else(|| {
+                format!(
+                    "client {c}: front-end acked batch {} the oracle never staged",
+                    applied[c]
+                )
+            })?;
+            if seq != applied[c] {
+                return Err(format!(
+                    "client {c}: ack-order skew: staged seq {seq}, expected {} \
+                     (group {} next)",
+                    applied[c],
+                    fe.next_group_id()
+                ));
+            }
+            for (l, d) in pages {
+                deleteds[c].remove(&l);
+                shadows[c].insert(l, d);
+            }
+            applied[c] += 1;
+            report.batches += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Multi-client soak: N client streams drive the controller through the
+/// group-commit [`Frontend`], each confined to a private LPID slice with
+/// its own shadow map and tombstone set. The oracle's contract sharpens
+/// the single-client one:
+///
+/// * a client batch enters its shadow only when the front-end ACKs it
+///   (covering group durable) — never at submission;
+/// * batches queued but unACKed at a crash are discarded, exactly like a
+///   host losing its in-flight requests;
+/// * divergence dumps name the client and the group id in flight.
+fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
+    use std::collections::VecDeque;
+    let clients = cfg.clients;
+    let slice = cfg.max_lpid / clients as u64;
+    assert!(slice > 0, "max_lpid must give every client a nonempty slice");
+    let policy = GroupCommitPolicy {
+        flush_bytes: 3 * 1024,
+        flush_interval_ns: 50_000,
+        max_queued_batches: 8,
+        ..GroupCommitPolicy::default()
+    };
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut shadows: Vec<BTreeMap<u64, Vec<u8>>> = vec![BTreeMap::new(); clients];
+    let mut deleteds: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); clients];
+    // Batches submitted but not yet ACKed, per client, in seq order.
+    let mut staged: Vec<VecDeque<StagedBatch>> = vec![VecDeque::new(); clients];
+    let mut applied: Vec<u64> = vec![0; clients];
+    let mut versions: Vec<u64> = vec![0; clients];
+    let mut at = 0u64;
+    let mut report = ChaosReport {
+        seed: cfg.seed,
+        ..Default::default()
+    };
+
+    let ecfg = controller_cfg(cfg.max_lpid);
+    let mut ssd = Eleos::format(make_device(cfg), ecfg.clone()).map_err(|e| {
+        Box::new(ChaosFailure {
+            seed: cfg.seed,
+            cycle: 0,
+            step: 0,
+            what: format!("format failed: {e}"),
+            config: cfg.clone(),
+            events: Vec::new(),
+        })
+    })?;
+    let mut fe = Frontend::new(clients, policy.clone());
+
+    let fail = |cycle: usize, step: usize, what: String| {
+        Box::new(ChaosFailure {
+            seed: cfg.seed,
+            cycle,
+            step,
+            what,
+            config: cfg.clone(),
+            events: Vec::new(),
+        })
+    };
+    let with_events = |mut f: Box<ChaosFailure>, ssd: &Eleos| {
+        f.events = ssd.recent_events(16);
+        f
+    };
+
+    for cycle in 0..cfg.cycles {
+        let steps = rng.gen_range(cfg.steps_per_cycle / 2..=cfg.steps_per_cycle.max(2));
+        let mut want_crash = false;
+        for step in 0..steps {
+            let roll: u32 = rng.gen_range(0..100);
+            let outcome: Result<Disposition, String> = if roll < 55 {
+                // Submit one client batch through the front-end.
+                let client = rng.gen_range(0..clients);
+                let base = client as u64 * slice;
+                let mut b = WriteBatch::new(eleos::PageMode::Variable);
+                let mut pages: Vec<(u64, Vec<u8>)> = Vec::new();
+                for _ in 0..rng.gen_range(1..6usize) {
+                    versions[client] += 1;
+                    let lpid = base + rng.gen_range(0..slice);
+                    let data =
+                        page_content(lpid, versions[client], rng.gen_range(64..1536));
+                    if pages.iter().any(|(l, _)| *l == lpid) {
+                        continue;
+                    }
+                    b.put(lpid, &data)
+                        .map_err(|e| format!("put failed: {e}"))
+                        .map_err(|w| fail(cycle, step, w))
+                        .map_err(|f| with_events(f, &ssd))?;
+                    pages.push((lpid, data));
+                }
+                at += rng.gen_range(2_000..30_000);
+                let pre = fe.submitted_batches(client);
+                let res = fe.submit(&mut ssd, client, at, b);
+                if fe.submitted_batches(client) > pre {
+                    // The batch made it into the queue (even if a flush
+                    // attempt afterwards errored): stage it for its ACK.
+                    staged[client].push_back((pre, pages));
+                }
+                reconcile_acks(
+                    &fe, &mut staged, &mut applied, &mut shadows, &mut deleteds,
+                    &mut report,
+                )
+                .and_then(|()| absorb_frontend_result(res, &mut report))
+            } else if roll < 70 {
+                // Audit a random client's acked state. Queued batches are
+                // invisible here by design: unACKed writes have no
+                // durability claim.
+                let client = rng.gen_range(0..clients);
+                chaos_audit(&mut rng, &mut ssd, &shadows[client], &deleteds[client], &mut report)
+                    .map(|()| Disposition::Continue)
+                    .map_err(|w| format!("client {client}: {w}"))
+            } else if roll < 80 {
+                // Deletes bypass the front-end, so drain it first: a queued
+                // write of an LPID must not land after its delete.
+                let res = fe.flush(&mut ssd);
+                reconcile_acks(
+                    &fe, &mut staged, &mut applied, &mut shadows, &mut deleteds,
+                    &mut report,
+                )
+                .and_then(|()| absorb_frontend_result(res, &mut report))
+                .and_then(|d| match d {
+                    Disposition::Continue if fe.pending_batches() == 0 => {
+                        let client = rng.gen_range(0..clients);
+                        chaos_delete(
+                            &mut rng,
+                            &mut ssd,
+                            &mut shadows[client],
+                            &mut deleteds[client],
+                            &mut report,
+                        )
+                        .map(|()| Disposition::Continue)
+                        .map_err(|w| format!("client {client}: {w}"))
+                    }
+                    // Drain didn't complete (transient error): skip the
+                    // delete this step rather than reorder around the queue.
+                    d => Ok(d),
+                })
+            } else if roll < 90 {
+                match ssd.checkpoint() {
+                    Ok(()) | Err(EleosError::ActionAborted) | Err(EleosError::DeviceFull) => {
+                        Ok(Disposition::Continue)
+                    }
+                    Err(EleosError::ShutDown) => Ok(Disposition::Crash),
+                    Err(e) => Err(format!("checkpoint failed: {e}")),
+                }
+            } else {
+                match ssd.maintenance() {
+                    Ok(()) | Err(EleosError::ActionAborted) | Err(EleosError::DeviceFull) => {
+                        Ok(Disposition::Continue)
+                    }
+                    Err(EleosError::ShutDown) => Ok(Disposition::Crash),
+                    Err(e) => Err(format!("maintenance failed: {e}")),
+                }
+            };
+            match outcome {
+                Ok(Disposition::Continue) => {}
+                Ok(Disposition::Crash) => {
+                    want_crash = true;
+                    break;
+                }
+                Err(w) => return Err(with_events(fail(cycle, step, w), &ssd)),
+            }
+        }
+        if want_crash {
+            report.shutdowns += 1;
+        }
+
+        // CRASH: queued-but-unACKed client batches die with the host side;
+        // the oracle forgets them the same way.
+        let inflight_group = fe.next_group_id();
+        report.groups += fe.groups_flushed();
+        for c in 0..clients {
+            staged[c].clear();
+            applied[c] = 0;
+        }
+        accumulate(&mut report, &ssd);
+        report.crashes += 1;
+        let mut flash = ssd.crash();
+        flash.faults_mut().set_probability(0.0);
+        ssd = match Eleos::recover(flash, ecfg.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(fail(cycle, 0, format!("recovery failed: {e}")));
+            }
+        };
+        ssd.device_mut().faults_mut().set_probability(cfg.fail_p);
+        fe = Frontend::new(clients, policy.clone());
+
+        // Full differential audit, client by client. Divergences name the
+        // client and the group that was in flight when power went out.
+        for c in 0..clients {
+            for (lpid, expect) in &shadows[c] {
+                match ssd.read(*lpid) {
+                    Ok(got) if got.as_ref() == expect.as_slice() => {}
+                    Ok(got) => {
+                        let what = format!(
+                            "client {c}: post-recovery corruption: lpid {lpid} expected \
+                             {} bytes, got {} (group {inflight_group} in flight at crash)",
+                            expect.len(),
+                            got.len()
+                        );
+                        return Err(with_events(fail(cycle, 0, what), &ssd));
+                    }
+                    Err(e) => {
+                        let what = format!(
+                            "client {c}: post-recovery loss: ACKed lpid {lpid} unreadable: \
+                             {e} (group {inflight_group} in flight at crash)"
+                        );
+                        return Err(with_events(fail(cycle, 0, what), &ssd));
+                    }
+                }
+                report.audited_pages += 1;
+            }
+            for lpid in &deleteds[c] {
+                match ssd.read(*lpid) {
+                    Err(EleosError::NotFound(_)) => {}
+                    Ok(_) => {
+                        let what = format!(
+                            "client {c}: post-recovery resurrection: deleted lpid {lpid} \
+                             readable (group {inflight_group} in flight at crash)"
+                        );
+                        return Err(with_events(fail(cycle, 0, what), &ssd));
+                    }
+                    Err(e) => {
+                        let what = format!(
+                            "client {c}: post-recovery: deleted lpid {lpid} errored \
+                             oddly: {e}"
+                        );
+                        return Err(with_events(fail(cycle, 0, what), &ssd));
+                    }
+                }
+            }
+        }
+
+        if let Some(what) = capacity_invariant(&ssd) {
+            return Err(with_events(fail(cycle, 0, what), &ssd));
+        }
+    }
+
+    accumulate(&mut report, &ssd);
+    report.groups += fe.groups_flushed();
+    report.retired_eblocks = retired_count(&ssd);
+    report.live_pages = shadows.iter().map(|s| s.len() as u64).sum();
     Ok(report)
 }
 
@@ -563,8 +897,37 @@ mod tests {
         assert!(r.crashes >= 3);
     }
 
+    /// Multi-client front-end smoke: four client streams through group
+    /// commit, per-client shadows, must complete divergence-free.
+    #[test]
+    fn multi_client_chaos_smoke_fixed_seed() {
+        let cfg = ChaosConfig {
+            seed: 11,
+            cycles: 3,
+            steps_per_cycle: 24,
+            clients: 4,
+            ..Default::default()
+        };
+        let r = run_chaos(&cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert!(r.batches > 0, "soak acked no client batches");
+        assert!(r.groups > 0, "front-end flushed no groups");
+        assert!(r.crashes >= 3);
+    }
+
     #[test]
     fn repro_command_mentions_seed_and_region() {
+        let multi = ChaosFailure {
+            seed: 3,
+            cycle: 0,
+            step: 0,
+            what: "test".into(),
+            config: ChaosConfig {
+                clients: 4,
+                ..ChaosConfig::default()
+            },
+            events: Vec::new(),
+        };
+        assert!(multi.repro_command().contains("--clients 4"));
         let f = ChaosFailure {
             seed: 42,
             cycle: 1,

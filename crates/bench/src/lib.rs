@@ -15,6 +15,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod experiments;
+pub mod frontend_scale;
 pub mod harness;
 pub mod perfjson;
 pub mod report;

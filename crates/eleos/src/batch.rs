@@ -93,6 +93,21 @@ impl WriteBatch {
         }
     }
 
+    /// Append every entry of `other` (group-commit coalescing: the wire
+    /// format is a plain concatenation of entries, so merging client
+    /// batches is a byte append). Entry order — and therefore the
+    /// duplicate-LPID later-wins rule — follows append order. Modes must
+    /// match.
+    pub fn append_batch(&mut self, other: &WriteBatch) -> Result<()> {
+        if self.mode != other.mode {
+            return Err(EleosError::Corrupt("coalesced batches must share a page mode"));
+        }
+        self.buf.extend_from_slice(&other.buf);
+        self.entries += other.entries;
+        self.payload_bytes += other.payload_bytes;
+        Ok(())
+    }
+
     /// Number of LPAGEs in the buffer.
     pub fn len(&self) -> usize {
         self.entries

@@ -68,6 +68,7 @@ pub mod codec;
 pub mod config;
 pub mod controller;
 pub mod error;
+pub mod frontend;
 pub mod gc;
 pub mod mapping;
 pub mod phys;
@@ -84,6 +85,7 @@ pub use batch::WriteBatch;
 pub use config::{EleosConfig, GcSelection, PageMode};
 pub use controller::{BatchAck, Eleos, WriteOpts};
 pub use error::{EleosError, Result};
+pub use frontend::{Frontend, GroupAck, GroupCommitPolicy};
 pub use phys::{PhysAddr, NULL_PADDR};
 pub use gc::SpaceReport;
 pub use stats::EleosStats;

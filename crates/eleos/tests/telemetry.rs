@@ -4,8 +4,10 @@
 //! attribution ledger must partition the device's busy time exactly
 //! (the conservation invariant).
 
+use eleos::frontend::{Frontend, GroupCommitPolicy};
 use eleos::{Eleos, EleosConfig, PageMode, WriteBatch, WriteOpts};
-use eleos_flash::{Activity, CostProfile, FlashDevice, Geometry};
+use eleos_flash::{Activity, CostProfile, FlashDevice, Geometry, SpanKind};
+use eleos_workloads::multi_client::{generate, MultiClientConfig};
 use proptest::prelude::*;
 
 /// One scripted operation. Errors (DeviceFull, aborts) are tolerated but
@@ -164,6 +166,64 @@ fn conservation_holds_across_gc_and_recovery() {
         "GC recorded no flash time"
     );
     // And the ledger rows re-partition the exact total.
+    let sum: u64 = Activity::ALL.iter().map(|&a| snap.activity_busy_ns(a)).sum();
+    assert_eq!(sum, snap.total_busy_ns());
+}
+
+/// The host front-end is a first-class telemetry citizen: driving a
+/// multi-client schedule through group commit — including time-threshold
+/// flushes, whose waits advance the SimClock CPU horizon — must leave the
+/// `frontend` activity row populated, the group_flush span recorded, and
+/// `conservation_error` exactly `None` (the conservation check is
+/// equality, so any unattributed or double-counted tick trips it).
+#[test]
+fn frontend_activity_row_conserves() {
+    let c = cfg(true);
+    let mut ssd =
+        Eleos::format(FlashDevice::new(Geometry::tiny(), CostProfile::unit()), c.clone())
+            .expect("format");
+    let mc = MultiClientConfig {
+        clients: 3,
+        batches_per_client: 40,
+        lpids_per_client: 32,
+        // Gaps long enough that the 25 us time threshold below fires for
+        // some groups — the idle wait it charges must stay conserved.
+        mean_gap_ns: 30_000,
+        seed: 9,
+        ..MultiClientConfig::default()
+    };
+    let mut fe = Frontend::new(
+        mc.clients,
+        GroupCommitPolicy {
+            flush_bytes: 4 * 1024,
+            flush_interval_ns: 25_000,
+            max_queued_batches: 16,
+            ..GroupCommitPolicy::default()
+        },
+    );
+    for cb in generate(&mc) {
+        let mut b = WriteBatch::new(PageMode::Variable);
+        for (lpid, payload) in &cb.pages {
+            b.put(*lpid, payload).expect("put");
+        }
+        fe.submit(&mut ssd, cb.client, cb.at, b).expect("submit");
+        // Conservation must hold at every step, not just at the end.
+        assert!(ssd.snapshot().conservation_error().is_none());
+    }
+    fe.flush(&mut ssd).expect("final flush");
+
+    let snap = ssd.snapshot();
+    assert!(snap.conservation_error().is_none(), "{:?}", snap.conservation_error());
+    assert!(
+        snap.ledger.cpu_ns(Activity::Frontend) > 0,
+        "frontend bookkeeping CPU was not attributed"
+    );
+    assert_eq!(
+        snap.span(SpanKind::GroupFlush).count(),
+        fe.groups_flushed(),
+        "one group_flush span per durable group"
+    );
+    // The frontend row participates in the exact repartition of busy time.
     let sum: u64 = Activity::ALL.iter().map(|&a| snap.activity_busy_ns(a)).sum();
     assert_eq!(sum, snap.total_busy_ns());
 }

@@ -41,6 +41,11 @@ pub struct FlashDevice {
     /// the device because the device is the single place where channel
     /// time is charged.
     telemetry: Telemetry,
+    /// Power-cut budget: `Some(n)` allows `n` more mutating commands
+    /// (programs and erases that pass validation); afterwards every
+    /// mutating command fails with [`FlashError::PowerLost`] without
+    /// touching media, stats or the clock. `None` = mains power.
+    power_budget: Option<u64>,
 }
 
 impl FlashDevice {
@@ -66,7 +71,36 @@ impl FlashDevice {
                 ..FlashStats::default()
             },
             endurance: u32::MAX,
+            power_budget: None,
         }
+    }
+
+    /// Arm a simulated power cut: the next `n` mutating commands (programs
+    /// and erases that pass validation) succeed, then power is lost and
+    /// every further mutation fails with [`FlashError::PowerLost`]. Reads
+    /// keep working — the media is frozen in its pre-cut state, exactly
+    /// what recovery will see.
+    pub fn set_power_cut_after(&mut self, n: u64) {
+        self.power_budget = Some(n);
+    }
+
+    /// Restore mains power (mutations succeed again). The crash-sweep
+    /// harness calls this between `Eleos::crash()` and `Eleos::recover`.
+    pub fn clear_power_cut(&mut self) {
+        self.power_budget = None;
+    }
+
+    /// Spend one unit of the power budget. Returns an error if the budget
+    /// is exhausted — the caller must bail before mutating anything.
+    #[inline]
+    fn tick_power_budget(&mut self) -> Result<()> {
+        if let Some(rem) = self.power_budget.as_mut() {
+            if *rem == 0 {
+                return Err(FlashError::PowerLost);
+            }
+            *rem -= 1;
+        }
+        Ok(())
     }
 
     /// Submit `duration` on `channel` and account its busy time. All channel
@@ -188,6 +222,7 @@ impl FlashDevice {
                 return Err(check.into_error(addr));
             }
         }
+        self.tick_power_budget()?;
         let duration = self.profile.program_duration(geo.wblock_bytes);
         let done = self.submit(addr.channel(), FlashOp::Program, duration);
         if self.faults.should_fail(addr) {
@@ -329,10 +364,14 @@ impl FlashDevice {
     /// Erase an EBLOCK. Fails permanently once the endurance limit is hit.
     pub fn erase(&mut self, a: EblockAddr) -> Result<Nanos> {
         let endurance = self.endurance;
-        let eb = self.eb_mut(a)?;
-        if eb.erase_count() >= endurance {
-            return Err(FlashError::WornOut(a));
+        {
+            let eb = self.eb(a)?;
+            if eb.erase_count() >= endurance {
+                return Err(FlashError::WornOut(a));
+            }
         }
+        self.tick_power_budget()?;
+        let eb = self.eb_mut(a)?;
         eb.erase();
         let wear_idx = a.channel as usize * self.geo.eblocks_per_channel as usize + a.eblock as usize;
         self.wear[wear_idx] += 1;
@@ -632,6 +671,31 @@ mod tests {
             ledger.flash_ns(0, FlashOp::Erase, Activity::Gc),
             d.profile().erase_eblock_ns
         );
+    }
+
+    #[test]
+    fn power_cut_freezes_media_but_allows_reads() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        d.set_power_cut_after(1);
+        d.program(WblockAddr::new(0, 0, 0), wb(&geo, 1), &[]).unwrap();
+        let stats_before = d.stats().clone();
+        let free_before = d.clock().channel_free_at(0);
+        let e = d.program(WblockAddr::new(0, 0, 1), wb(&geo, 2), &[]);
+        assert!(matches!(e, Err(FlashError::PowerLost)));
+        assert!(matches!(d.erase(EblockAddr::new(1, 0)), Err(FlashError::PowerLost)));
+        // Dropped commands leave media, stats and the clock untouched.
+        assert_eq!(d.stats(), &stats_before);
+        assert_eq!(d.clock().channel_free_at(0), free_before);
+        assert_eq!(d.programmed_wblocks(EblockAddr::new(0, 0)).unwrap(), 1);
+        // Reads still serve the pre-cut media state.
+        let (bytes, _) = d
+            .read_extent(ByteExtent::new(EblockAddr::new(0, 0), 0, 8))
+            .unwrap();
+        assert_eq!(bytes, vec![1; 8]);
+        // Power restored: mutations succeed again.
+        d.clear_power_cut();
+        d.program(WblockAddr::new(0, 0, 1), wb(&geo, 2), &[]).unwrap();
     }
 
     #[test]

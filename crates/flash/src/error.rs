@@ -31,6 +31,11 @@ pub enum FlashError {
     WornOut(EblockAddr),
     /// A read touched an RBLOCK that has never been programmed.
     ReadUnwritten { eblock: EblockAddr, rblock: u32 },
+    /// Simulated power cut: the device's mutation budget is exhausted, so
+    /// this program/erase was dropped without touching the media. Reads
+    /// still work (the media is frozen in its pre-cut state); the
+    /// controller is expected to crash and recover.
+    PowerLost,
     /// Data length does not match the unit size of the operation.
     BadLength { expected: usize, got: usize },
 }
@@ -79,6 +84,9 @@ impl fmt::Display for FlashError {
             ),
             FlashError::BadLength { expected, got } => {
                 write!(f, "bad data length: expected {expected}, got {got}")
+            }
+            FlashError::PowerLost => {
+                write!(f, "power lost: mutating flash command dropped")
             }
         }
     }

@@ -49,13 +49,16 @@ pub enum Activity {
     Recovery,
     /// Write-failure migration of already-durable pages.
     Migrate,
+    /// Host front-end work: group-commit queueing, coalescing client
+    /// batches, and time-threshold flush waits (DESIGN.md §11).
+    Frontend,
     /// Time charged on the shared clock outside the controller (host-side
     /// CPU from bwtree/lss drivers, unattributed residue).
     Host,
 }
 
 impl Activity {
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
     pub const ALL: [Activity; Activity::COUNT] = [
         Activity::UserWrite,
         Activity::UserRead,
@@ -64,6 +67,7 @@ impl Activity {
         Activity::Wal,
         Activity::Recovery,
         Activity::Migrate,
+        Activity::Frontend,
         Activity::Host,
     ];
 
@@ -77,7 +81,8 @@ impl Activity {
             Activity::Wal => 4,
             Activity::Recovery => 5,
             Activity::Migrate => 6,
-            Activity::Host => 7,
+            Activity::Frontend => 7,
+            Activity::Host => 8,
         }
     }
 
@@ -90,6 +95,7 @@ impl Activity {
             Activity::Wal => "wal",
             Activity::Recovery => "recovery",
             Activity::Migrate => "migrate",
+            Activity::Frontend => "frontend",
             Activity::Host => "host",
         }
     }
@@ -142,10 +148,13 @@ pub enum SpanKind {
     Checkpoint,
     /// One full crash recovery.
     Recovery,
+    /// One group-commit flush: group opened (first batch enqueued) to the
+    /// covering `Eleos::write` reaching durability.
+    GroupFlush,
 }
 
 impl SpanKind {
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
     pub const ALL: [SpanKind; SpanKind::COUNT] = [
         SpanKind::WriteBatch,
         SpanKind::Read,
@@ -154,6 +163,7 @@ impl SpanKind {
         SpanKind::GcCollect,
         SpanKind::Checkpoint,
         SpanKind::Recovery,
+        SpanKind::GroupFlush,
     ];
 
     #[inline]
@@ -166,6 +176,7 @@ impl SpanKind {
             SpanKind::GcCollect => 4,
             SpanKind::Checkpoint => 5,
             SpanKind::Recovery => 6,
+            SpanKind::GroupFlush => 7,
         }
     }
 
@@ -178,6 +189,7 @@ impl SpanKind {
             SpanKind::GcCollect => "gc_collect",
             SpanKind::Checkpoint => "checkpoint",
             SpanKind::Recovery => "recovery",
+            SpanKind::GroupFlush => "group_flush",
         }
     }
 }

@@ -11,15 +11,20 @@
 //! * [`tpcc_engine`] — the *organic* alternative: a miniature TPC-C
 //!   transaction engine over a paged store with real page compression
 //!   ([`compress`]), whose flush stream is the trace;
-//! * [`zipf`] — the shared Zipfian generator.
+//! * [`zipf`] — the shared Zipfian generator;
+//! * [`multi_client`] — deterministic multi-client submission schedules
+//!   with skewed per-client rates, feeding the host front-end
+//!   (DESIGN.md §11).
 
 pub mod compress;
+pub mod multi_client;
 pub mod tpcc;
 pub mod tpcc_engine;
 pub mod trace_io;
 pub mod ycsb;
 pub mod zipf;
 
+pub use multi_client::{ClientBatch, MultiClientConfig};
 pub use tpcc::{PageWrite, TpccTrace, TpccTraceConfig};
 pub use tpcc_engine::{TpccEngine, TpccEngineConfig};
 pub use trace_io::{load_trace, read_trace, save_trace, write_trace};

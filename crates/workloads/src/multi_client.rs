@@ -1,0 +1,224 @@
+//! Deterministic multi-client submission schedules.
+//!
+//! Generates the arrival stream a host front-end consumes: N client
+//! streams, each an independent (seeded) process emitting variable-size
+//! page batches at skewed rates — client 0 is the fastest, client c's mean
+//! inter-arrival gap grows as `(c+1)^rate_skew`, so a 64-client schedule
+//! has a few chatty clients and a long tail of slow ones, like real
+//! multi-tenant traffic.
+//!
+//! Every client writes into its own disjoint LPID slice and page payloads
+//! are derived deterministically from `(client, seq, page)`, so
+//! differential oracles (crash sweep, chaos) can recompute the expected
+//! content of any page without storing the schedule.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one multi-client schedule.
+#[derive(Debug, Clone)]
+pub struct MultiClientConfig {
+    /// Number of client streams.
+    pub clients: usize,
+    /// Batches each client submits (the slowest clients still submit this
+    /// many — the schedule just stretches further in time).
+    pub batches_per_client: usize,
+    /// Pages per batch, drawn uniformly from this inclusive range.
+    pub pages_per_batch: (usize, usize),
+    /// Payload bytes per page, drawn uniformly from this inclusive range.
+    pub payload_bytes: (usize, usize),
+    /// Mean inter-arrival gap of client 0 (the fastest), in simulated ns.
+    pub mean_gap_ns: u64,
+    /// Rate skew exponent: client c's mean gap is
+    /// `mean_gap_ns * (c+1)^rate_skew`. 0 = uniform rates.
+    pub rate_skew: f64,
+    /// Width of each client's private LPID slice; client c writes LPIDs in
+    /// `[c * lpids_per_client, (c+1) * lpids_per_client)`.
+    pub lpids_per_client: u64,
+    /// RNG seed; the whole schedule is a pure function of the config.
+    pub seed: u64,
+}
+
+impl Default for MultiClientConfig {
+    fn default() -> Self {
+        MultiClientConfig {
+            clients: 4,
+            batches_per_client: 32,
+            pages_per_batch: (1, 4),
+            payload_bytes: (100, 1000),
+            mean_gap_ns: 20_000,
+            rate_skew: 0.5,
+            lpids_per_client: 64,
+            seed: 1,
+        }
+    }
+}
+
+/// One scheduled client submission.
+#[derive(Debug, Clone)]
+pub struct ClientBatch {
+    /// Submitting client stream.
+    pub client: usize,
+    /// Simulated arrival time.
+    pub at: u64,
+    /// Per-client submission ordinal (0-based).
+    pub seq: u64,
+    /// `(lpid, payload)` pages of the batch; LPIDs lie in the client's
+    /// private slice, duplicates within one batch are possible (later
+    /// wins).
+    pub pages: Vec<(u64, Vec<u8>)>,
+}
+
+/// The deterministic payload of page `page` of batch `seq` of `client`.
+/// Oracles recompute expected page content with this.
+pub fn page_payload(client: usize, seq: u64, page: usize, len: usize) -> Vec<u8> {
+    let tag = (client as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seq.wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+        .wrapping_add(page as u64);
+    let mut out = Vec::with_capacity(len);
+    let mut x = tag | 1;
+    while out.len() < len {
+        // xorshift64* keeps the fill cheap and position-dependent.
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let word = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        for b in word.to_le_bytes() {
+            if out.len() == len {
+                break;
+            }
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Generate the merged schedule, sorted by `(at, client, seq)`. Each
+/// client's batches appear in `seq` order (a client never reorders its own
+/// submissions).
+pub fn generate(cfg: &MultiClientConfig) -> Vec<ClientBatch> {
+    assert!(cfg.clients > 0);
+    assert!(cfg.pages_per_batch.0 >= 1 && cfg.pages_per_batch.0 <= cfg.pages_per_batch.1);
+    assert!(cfg.payload_bytes.0 <= cfg.payload_bytes.1);
+    assert!(cfg.lpids_per_client > 0);
+    let mut all = Vec::with_capacity(cfg.clients * cfg.batches_per_client);
+    for client in 0..cfg.clients {
+        let mut rng = StdRng::seed_from_u64(
+            cfg.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(client as u64),
+        );
+        let mean_gap = (cfg.mean_gap_ns as f64 * ((client + 1) as f64).powf(cfg.rate_skew))
+            .round()
+            .max(1.0) as u64;
+        let lpid_base = client as u64 * cfg.lpids_per_client;
+        let mut at = 0u64;
+        for seq in 0..cfg.batches_per_client as u64 {
+            // Uniform gap in [mean/2, 3*mean/2]: jittered but bounded, so
+            // the schedule length is predictable.
+            at += rng.gen_range(mean_gap / 2..=mean_gap + mean_gap / 2).max(1);
+            let pages = (0..rng.gen_range(cfg.pages_per_batch.0..=cfg.pages_per_batch.1))
+                .map(|page| {
+                    let lpid = lpid_base + rng.gen_range(0..cfg.lpids_per_client);
+                    let len = rng.gen_range(cfg.payload_bytes.0..=cfg.payload_bytes.1);
+                    (lpid, page_payload(client, seq, page, len))
+                })
+                .collect();
+            all.push(ClientBatch {
+                client,
+                at,
+                seq,
+                pages,
+            });
+        }
+    }
+    all.sort_by_key(|b| (b.at, b.client, b.seq));
+    all
+}
+
+/// Total pages across a schedule.
+pub fn total_pages(schedule: &[ClientBatch]) -> usize {
+    schedule.iter().map(|b| b.pages.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_sorted() {
+        let cfg = MultiClientConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), cfg.clients * cfg.batches_per_client);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.client, x.at, x.seq), (y.client, y.at, y.seq));
+            assert_eq!(x.pages, y.pages);
+        }
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn per_client_seq_order_is_preserved() {
+        let sched = generate(&MultiClientConfig::default());
+        let cfg = MultiClientConfig::default();
+        for c in 0..cfg.clients {
+            let seqs: Vec<u64> = sched.iter().filter(|b| b.client == c).map(|b| b.seq).collect();
+            assert_eq!(seqs, (0..cfg.batches_per_client as u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn lpid_slices_are_disjoint_per_client() {
+        let cfg = MultiClientConfig {
+            clients: 8,
+            ..MultiClientConfig::default()
+        };
+        for b in generate(&cfg) {
+            let base = b.client as u64 * cfg.lpids_per_client;
+            for (lpid, _) in &b.pages {
+                assert!((base..base + cfg.lpids_per_client).contains(lpid));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_skew_makes_low_clients_faster() {
+        let cfg = MultiClientConfig {
+            clients: 16,
+            batches_per_client: 50,
+            rate_skew: 0.7,
+            ..MultiClientConfig::default()
+        };
+        let sched = generate(&cfg);
+        let span = |c: usize| {
+            sched
+                .iter()
+                .filter(|b| b.client == c)
+                .map(|b| b.at)
+                .max()
+                .unwrap()
+        };
+        // The slowest client's schedule stretches several times further
+        // than the fastest client's.
+        assert!(span(15) > 2 * span(0), "{} vs {}", span(15), span(0));
+    }
+
+    #[test]
+    fn payloads_recomputable_and_bounded() {
+        let cfg = MultiClientConfig::default();
+        for b in generate(&cfg) {
+            assert!(!b.pages.is_empty() && b.pages.len() <= cfg.pages_per_batch.1);
+            for (page, (_, payload)) in b.pages.iter().enumerate() {
+                assert!(payload.len() >= cfg.payload_bytes.0);
+                assert!(payload.len() <= cfg.payload_bytes.1);
+                assert_eq!(
+                    *payload,
+                    page_payload(b.client, b.seq, page, payload.len())
+                );
+            }
+        }
+    }
+}

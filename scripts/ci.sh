@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate, in dependency order: release build, the full workspace
 # test suite (the bare root package alone runs only 3 tests — --workspace
-# is what exercises every crate), lint-clean at -D warnings, a bounded
-# chaos-soak smoke (fault-injected differential oracle), then the
-# wall-clock perf smoke gate against the committed BENCH_controller.json.
+# is what exercises every crate), lint-clean at -D warnings, the host
+# front-end gates (exhaustive crash-point sweep + frontend bench tests),
+# bounded chaos-soak smokes (fault-injected differential oracle, single-
+# and multi-client), then the wall-clock perf smoke gate against the
+# committed BENCH_controller.json.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -19,8 +21,20 @@ cargo test -q --workspace
 echo "== cargo clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== crash sweep (every flash-command ordinal, shadow oracle) =="
+# Bounded: the scripted multi-client run issues a few hundred mutating
+# commands; the sweep crashes after each one (~seconds in release).
+cargo test -q --release -p eleos --test crash_sweep
+
+echo "== front-end gate (group commit vs serial, refinement proptest) =="
+cargo test -q --release -p eleos-bench frontend
+cargo test -q --release -p eleos --test frontend_permutations
+
 echo "== chaos smoke (differential oracle, 5 seeds) =="
 cargo run --release -p eleos-bench --bin chaos -- --seeds 5
+
+echo "== multi-client chaos smoke (group-commit front-end, 5 seeds) =="
+cargo run --release -p eleos-bench --bin chaos -- --seeds 5 --clients 4
 
 echo "== telemetry gate (snapshot schema + conservation) =="
 # perfbench --telemetry-out runs a small mixed scenario, enforces the
@@ -31,8 +45,8 @@ trap 'rm -f "$telemetry_json"' EXIT
 cargo run --release -p eleos-bench --bin perfbench -- --telemetry-out "$telemetry_json"
 for key in now_ns cpu_busy_ns total_busy_ns unattributed_cpu_ns \
            mapping_cached_pages flash cpu_attr_ns flash_attr_ns spans \
-           user_write gc ckpt wal recovery write_batch p99_ns \
-           conservation_ok; do
+           user_write gc ckpt wal recovery frontend group_flush \
+           write_batch p99_ns conservation_ok; do
   grep -q "\"$key\"" "$telemetry_json" \
     || { echo "telemetry gate: missing key \"$key\"" >&2; exit 1; }
 done
