@@ -23,6 +23,11 @@ pub struct BenchEntry {
     /// p99 of the write-batch latency span, simulated ns (0 when the bench
     /// records no write spans, and in pre-telemetry committed entries).
     pub write_p99_ns: u64,
+    /// Host worker threads executing batched flash commands (`--threads`):
+    /// 1 for serial runs and for entries committed before the execution
+    /// mode existed. Simulated results are identical across thread counts;
+    /// this key only labels the wall-clock measurement.
+    pub host_threads: u32,
 }
 
 /// Serialize one entry as a flat JSON object (no trailing newline).
@@ -32,7 +37,7 @@ pub fn render_entry(e: &BenchEntry, out: &mut String) {
         "  {{\"label\": \"{}\", \"bench\": \"{}\", \"scale\": \"{}\", \"ops\": {}, \
          \"host_seconds\": {:.4}, \"sim_ops_per_host_sec\": {:.1}, \
          \"bytes_programmed\": {}, \"bytes_read\": {}, \"cpu_busy_ns\": {}, \
-         \"flash_busy_ns\": {}, \"write_p99_ns\": {}}}",
+         \"flash_busy_ns\": {}, \"write_p99_ns\": {}, \"host_threads\": {}}}",
         e.label,
         e.bench,
         e.scale,
@@ -43,7 +48,8 @@ pub fn render_entry(e: &BenchEntry, out: &mut String) {
         e.bytes_read,
         e.cpu_busy_ns,
         e.flash_busy_ns,
-        e.write_p99_ns
+        e.write_p99_ns,
+        e.host_threads
     );
 }
 
@@ -89,6 +95,11 @@ pub fn parse_entries(text: &str) -> Vec<BenchEntry> {
             cpu_busy_ns: num("cpu_busy_ns") as u64,
             flash_busy_ns: num("flash_busy_ns") as u64,
             write_p99_ns: num("write_p99_ns") as u64,
+            // Entries committed before execution modes existed were all
+            // single-threaded.
+            host_threads: field("host_threads")
+                .and_then(|v| v.parse::<u32>().ok())
+                .unwrap_or(1),
         });
     }
     out
@@ -131,6 +142,7 @@ mod tests {
             cpu_busy_ns: 777,
             flash_busy_ns: 888,
             write_p99_ns: 999,
+            host_threads: 8,
         };
         let mut s = String::new();
         render_entry(&e, &mut s);
@@ -142,6 +154,7 @@ mod tests {
         assert_eq!(back[0].cpu_busy_ns, 777);
         assert_eq!(back[0].flash_busy_ns, 888);
         assert_eq!(back[0].write_p99_ns, 999);
+        assert_eq!(back[0].host_threads, 8);
     }
 
     #[test]
@@ -154,6 +167,8 @@ mod tests {
         assert_eq!(back[0].cpu_busy_ns, 0);
         assert_eq!(back[0].flash_busy_ns, 0);
         assert_eq!(back[0].write_p99_ns, 0);
+        // Pre-execution-mode entries were single-threaded, not 0-threaded.
+        assert_eq!(back[0].host_threads, 1);
     }
 
     #[test]
@@ -170,6 +185,7 @@ mod tests {
             cpu_busy_ns: 0,
             flash_busy_ns: 0,
             write_p99_ns: 0,
+            host_threads: 1,
         };
         let t = trajectory_table(&[mk("full"), mk("small"), mk("full")]);
         assert_eq!(t.rows.len(), 2);

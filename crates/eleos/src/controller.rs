@@ -179,6 +179,7 @@ impl Eleos {
     /// log EBLOCK, build free lists, and take the initial checkpoint.
     pub fn format(mut dev: FlashDevice, cfg: EleosConfig) -> Result<Eleos> {
         dev.telemetry_mut().set_enabled(cfg.telemetry);
+        dev.set_exec_mode(cfg.execution);
         let geo = *dev.geometry();
         assert!(geo.channels <= 64, "PhysAddr packs 6 channel bits");
         assert!(geo.eblocks_per_channel <= 1 << 18, "PhysAddr packs 18 eblock bits");
@@ -913,11 +914,13 @@ impl Eleos {
         }
 
         // ---- execution: transfer data to the storage media ----
+        // One batched submission: the device pre-resolves ordering, power
+        // and fault decisions in input order, then executes per channel —
+        // on worker threads under `ExecMode::Parallel`. The plan's buffers
+        // are refcount clones of the batch transport's, no byte copies.
         let mut max_done = 0;
-        for (at, data) in &plan.ios {
-            // Refcount clone: the device adopts the same buffer the batch
-            // transport filled; no byte copy on the program path.
-            match self.dev.program(*at, data.clone(), &[]) {
+        for r in self.dev.program_batch(&plan.ios) {
+            match r {
                 Ok(t) => max_done = max_done.max(t),
                 Err(FlashError::ProgramFailed(addr)) => {
                     return self.handle_write_failure(id, &plan, addr, 0);
@@ -1628,24 +1631,12 @@ impl Eleos {
         self.retire_erased(eb)
     }
 
-    /// Deferred-completion variant of [`Eleos::erase_and_free`]: the erase
-    /// is submitted but not waited on, so erases on distinct channels in
-    /// one GC round overlap. The caller retires the returned ticket.
-    pub(crate) fn erase_and_free_submit(&mut self, eb: EblockAddr) -> Result<IoTicket> {
-        let t = self.dev.erase(eb)?;
-        self.retire_erased(eb)?;
-        Ok(IoTicket {
-            channel: eb.channel,
-            done_at: t,
-        })
-    }
-
-    /// Post-erase bookkeeping shared by the blocking and deferred erase
+    /// Post-erase bookkeeping shared by the blocking and batched erase
     /// paths: log the erase, reset the descriptor, drop the EBLOCK from the
     /// log-reclaim index and return it to the free list — unless the block
     /// has crossed the lifetime program-failure threshold, in which case it
     /// is permanently retired instead of being re-provisioned.
-    fn retire_erased(&mut self, eb: EblockAddr) -> Result<()> {
+    pub(crate) fn retire_erased(&mut self, eb: EblockAddr) -> Result<()> {
         self.trace_eb(eb, "erase_and_free");
         let lsn = self.log_append(&LogRecord::EraseEblock {
             channel: eb.channel,

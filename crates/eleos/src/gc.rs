@@ -177,17 +177,40 @@ impl Eleos {
     /// erases on distinct channels. A single EBLOCK takes the blocking
     /// [`Eleos::erase_and_free`] path so the degenerate case is
     /// schedule-identical to the legacy code.
+    ///
+    /// Multi-victim rounds go through [`FlashDevice::erase_batch`]: all
+    /// erases are submitted in one device batch (executing on the worker
+    /// pool under `ExecMode::Parallel`), then each successfully erased
+    /// block is retired in victim order. An error mid-batch still retires
+    /// the successfully erased prefix — those blocks are physically erased,
+    /// so their descriptors must not go stale — before propagating.
     pub(crate) fn erase_batch(&mut self, ebs: &[EblockAddr]) -> Result<()> {
         match ebs {
             [] => Ok(()),
             [eb] => self.erase_and_free(*eb),
             _ => {
                 let mut tickets: Vec<IoTicket> = Vec::with_capacity(ebs.len());
-                for &eb in ebs {
-                    tickets.push(self.erase_and_free_submit(eb)?);
+                let mut first_err = None;
+                for (i, r) in self.dev.erase_batch(ebs).into_iter().enumerate() {
+                    match r {
+                        Ok(done_at) => {
+                            tickets.push(IoTicket {
+                                channel: ebs[i].channel,
+                                done_at,
+                            });
+                            self.retire_erased(ebs[i])?;
+                        }
+                        Err(e) => {
+                            first_err = Some(e);
+                            break;
+                        }
+                    }
                 }
                 self.dev.clock_mut().wait_all(&tickets);
-                Ok(())
+                match first_err {
+                    Some(e) => Err(e.into()),
+                    None => Ok(()),
+                }
             }
         }
     }

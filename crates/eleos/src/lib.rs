@@ -83,6 +83,7 @@ pub mod wal;
 
 pub use batch::WriteBatch;
 pub use config::{EleosConfig, GcSelection, PageMode};
+pub use eleos_flash::ExecMode;
 pub use controller::{BatchAck, Eleos, WriteOpts};
 pub use error::{EleosError, Result};
 pub use frontend::{Frontend, GroupAck, GroupCommitPolicy};

@@ -48,6 +48,7 @@ impl Eleos {
     /// Rebuild a controller from the durable state on `dev`.
     pub fn recover(mut dev: FlashDevice, cfg: EleosConfig) -> Result<Eleos> {
         dev.telemetry_mut().set_enabled(cfg.telemetry);
+        dev.set_exec_mode(cfg.execution);
         // Everything until the controller is handed back — checkpoint
         // probes, log scan, table loads, replay, fixups — is recovery work.
         // The activity is set on the *device* because most of it happens

@@ -25,10 +25,22 @@ use eleos_workloads::multi_client::{generate, ClientBatch, MultiClientConfig};
 use std::collections::BTreeMap;
 
 fn cfg() -> EleosConfig {
+    // `scripts/ci.sh` runs the sweep twice: once serial, once with
+    // ELEOS_EXEC_THREADS=4 so every cut point also lands under parallel
+    // flash execution (DESIGN.md §12) — power cuts must truncate the
+    // command stream identically regardless of host thread count.
+    let execution = match std::env::var("ELEOS_EXEC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(threads) if threads > 1 => eleos::ExecMode::Parallel { threads },
+        _ => eleos::ExecMode::Serial,
+    };
     EleosConfig {
         // Small enough that the script crosses several automatic
         // checkpoints, so cut points land inside ckpt flushes too.
         ckpt_log_bytes: 192 * 1024,
+        execution,
         ..EleosConfig::test_small()
     }
 }

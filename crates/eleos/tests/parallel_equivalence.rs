@@ -1,0 +1,195 @@
+//! Parallel-vs-serial execution equivalence (DESIGN.md §12).
+//!
+//! `ExecMode::Parallel { threads }` moves batched flash command execution
+//! onto per-channel worker threads; this harness pins the determinism
+//! contract: for arbitrary scripts of batched writes, checkpoints, reads,
+//! GC-forcing maintenance and power-cut crash/recover cycles, a parallel
+//! run produces **byte-identical** simulated results to the serial run —
+//! the same per-op outcomes, the same `Eleos::snapshot()` JSON (stats,
+//! ledger, histograms, per-channel busy time), and a conservation check
+//! that still closes exactly.
+//!
+//! This mirrors PR 1's single-channel serial/deferred equivalence pin: any
+//! host-thread race that leaks into simulated state shows up here as a
+//! snapshot diff.
+
+use eleos::{Eleos, EleosConfig, EleosError, ExecMode, PageMode, WriteBatch, WriteOpts};
+use eleos_flash::{CostProfile, FaultInjector, FlashDevice, Geometry};
+use proptest::prelude::*;
+
+fn cfg(mode: ExecMode) -> EleosConfig {
+    EleosConfig {
+        ckpt_log_bytes: 256 * 1024,
+        execution: mode,
+        ..EleosConfig::test_small()
+    }
+}
+
+fn dev(fault_ordinals: &[u64]) -> FlashDevice {
+    let d = FlashDevice::new(Geometry::tiny(), CostProfile::unit());
+    if fault_ordinals.is_empty() {
+        d
+    } else {
+        d.with_faults(FaultInjector::script(fault_ordinals.iter().copied()))
+    }
+}
+
+/// One scripted operation. Every variant is deterministic given the
+/// script, so serial and parallel runs see identical inputs.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write a batch of (lpid, seed, len) pages.
+    Batch(Vec<(u64, u8, u16)>),
+    Checkpoint,
+    Read(u64),
+    /// Force a GC round regardless of the watermark.
+    Maintenance,
+    /// Power-cut after `n` further flash commands, crash, recover.
+    CrashRecover(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => prop::collection::vec((0u64..96, any::<u8>(), 1u16..1500), 1..12).prop_map(Op::Batch),
+        1 => Just(Op::Checkpoint),
+        2 => (0u64..96).prop_map(Op::Read),
+        1 => Just(Op::Maintenance),
+        1 => (0u64..40).prop_map(Op::CrashRecover),
+    ]
+}
+
+fn page_bytes(lpid: u64, seed: u8, len: u16) -> Vec<u8> {
+    (0..len as usize)
+        .map(|i| (lpid as u8) ^ seed ^ (i as u8).wrapping_mul(31))
+        .collect()
+}
+
+/// Run one script under `mode` and reduce the entire observable outcome —
+/// per-op results and the final telemetry snapshot — to strings for exact
+/// comparison.
+fn run_script(ops: &[Op], faults: &[u64], mode: ExecMode) -> (Vec<String>, String) {
+    let mut ssd = Eleos::format(dev(faults), cfg(mode)).unwrap();
+    let mut log: Vec<String> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Batch(pages) => {
+                let mut b = WriteBatch::new(PageMode::Variable);
+                for &(lpid, seed, len) in pages {
+                    b.put(lpid, &page_bytes(lpid, seed, len)).unwrap();
+                }
+                match ssd.write(&b, WriteOpts::default()) {
+                    Ok(ack) => log.push(format!("write:{:?}", ack)),
+                    Err(e) => log.push(format!("write-err:{e:?}")),
+                }
+            }
+            Op::Checkpoint => match ssd.checkpoint() {
+                Ok(()) => log.push("ckpt".into()),
+                Err(e) => log.push(format!("ckpt-err:{e:?}")),
+            },
+            Op::Read(lpid) => match ssd.read(*lpid) {
+                Ok(bytes) => log.push(format!(
+                    "read:{}:{:x}",
+                    bytes.len(),
+                    bytes
+                        .iter()
+                        .fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(b as u64))
+                )),
+                Err(EleosError::NotFound(l)) => log.push(format!("read-miss:{l}")),
+                Err(e) => log.push(format!("read-err:{e:?}")),
+            },
+            Op::Maintenance => match ssd.maintenance() {
+                Ok(()) => log.push("gc".into()),
+                Err(e) => log.push(format!("gc-err:{e:?}")),
+            },
+            Op::CrashRecover(n) => {
+                ssd.device_mut().set_power_cut_after(*n);
+                // Drive writes into the cut; errors (PowerLost surfacing
+                // as aborted actions) are part of the observable log.
+                let mut b = WriteBatch::new(PageMode::Variable);
+                for lpid in 0..6u64 {
+                    b.put(lpid, &page_bytes(lpid, *n as u8, 900)).unwrap();
+                }
+                match ssd.write(&b, WriteOpts::default()) {
+                    Ok(ack) => log.push(format!("cutwrite:{:?}", ack)),
+                    Err(e) => log.push(format!("cutwrite-err:{e:?}")),
+                }
+                let mut flash = ssd.crash();
+                flash.clear_power_cut();
+                ssd = Eleos::recover(flash, cfg(mode)).unwrap();
+                log.push("recovered".into());
+            }
+        }
+    }
+    let snap = ssd.snapshot();
+    assert_eq!(snap.conservation_error(), None, "mode {mode:?}");
+    (log, snap.to_json())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The determinism contract: 2-, 4- and 8-thread parallel runs are
+    /// byte-identical to the serial run on arbitrary scripts, including
+    /// injected program failures.
+    #[test]
+    fn parallel_runs_are_byte_identical_to_serial(
+        ops in prop::collection::vec(op_strategy(), 1..30),
+        fault in fault_strategy(),
+    ) {
+        let faults: Vec<u64> = fault.into_iter().flatten().collect();
+        let (serial_log, serial_snap) = run_script(&ops, &faults, ExecMode::Serial);
+        for threads in [2usize, 4, 8] {
+            let (par_log, par_snap) =
+                run_script(&ops, &faults, ExecMode::Parallel { threads });
+            prop_assert_eq!(&serial_log, &par_log, "op results, {} threads", threads);
+            prop_assert_eq!(&serial_snap, &par_snap, "snapshot JSON, {} threads", threads);
+        }
+    }
+}
+
+fn fault_strategy() -> impl Strategy<Value = Option<Vec<u64>>> {
+    prop_oneof![
+        2 => Just(None),
+        1 => prop::collection::vec(5u64..400, 1..3).prop_map(|mut v| {
+            v.sort_unstable();
+            v.dedup();
+            Some(v)
+        }),
+    ]
+}
+
+/// Fixed-seed equivalence smoke for `scripts/ci.sh`: one deterministic
+/// script, serial vs 4 worker threads, byte-identical snapshot required.
+#[test]
+fn equivalence_smoke_serial_vs_4_threads() {
+    let mut ops = Vec::new();
+    let mut x = 0x5EED_F00Du64;
+    let mut next = move || {
+        // xorshift64 — deterministic script generation, no RNG dependency.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for i in 0..40 {
+        match i % 8 {
+            7 => ops.push(Op::Checkpoint),
+            5 => ops.push(Op::Read(next() % 96)),
+            3 if i > 20 => ops.push(Op::Maintenance),
+            _ => ops.push(Op::Batch(
+                (0..1 + (next() % 8))
+                    .map(|_| (next() % 96, next() as u8, 64 + (next() % 1200) as u16))
+                    .collect(),
+            )),
+        }
+    }
+    ops.push(Op::CrashRecover(25));
+    ops.push(Op::Batch(vec![(1, 0xAB, 500), (2, 0xCD, 900)]));
+    ops.push(Op::Checkpoint);
+
+    let (serial_log, serial_snap) = run_script(&ops, &[60, 200], ExecMode::Serial);
+    let (par_log, par_snap) = run_script(&ops, &[60, 200], ExecMode::Parallel { threads: 4 });
+    assert_eq!(serial_log, par_log);
+    assert_eq!(serial_snap, par_snap);
+    assert!(serial_snap.contains("\"conservation_ok\":true"));
+}

@@ -9,13 +9,15 @@
 use crate::addr::{ByteExtent, EblockAddr, WblockAddr};
 use crate::clock::{IoTicket, Nanos, SimClock};
 use crate::cost::CostProfile;
-use crate::eblock::EblockSim;
+use crate::eblock::{check_program_rules, EblockSim};
 use crate::error::{FlashError, Result};
+use crate::exec::{ChannelCmd, ChannelDelta, ChannelShard, Exec, ExecMode};
 use crate::fault::FaultInjector;
 use crate::geometry::Geometry;
 use crate::stats::FlashStats;
 use bytes::Bytes;
 use eleos_telemetry::{FlashOp, Telemetry};
+use std::collections::HashMap;
 
 /// The emulated flash array plus its clock, cost model and fault injector.
 ///
@@ -46,6 +48,10 @@ pub struct FlashDevice {
     /// mutating command fails with [`FlashError::PowerLost`] without
     /// touching media, stats or the clock. `None` = mains power.
     power_budget: Option<u64>,
+    /// Batch execution backend: serial on the calling thread, or a
+    /// persistent per-channel worker pool (DESIGN.md §12). Only the batch
+    /// entry points route through it; single-command APIs stay serial.
+    exec: Exec,
 }
 
 impl FlashDevice {
@@ -72,7 +78,22 @@ impl FlashDevice {
             },
             endurance: u32::MAX,
             power_budget: None,
+            exec: Exec::Serial,
         }
+    }
+
+    /// Switch the host execution mode for batch entry points. Simulated
+    /// outcomes are unaffected — `Parallel` runs are byte-identical to
+    /// `Serial` ones — so this can be flipped at any quiescence point.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        if self.exec.mode() != mode {
+            self.exec = Exec::from_mode(mode);
+        }
+    }
+
+    /// Current host execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec.mode()
     }
 
     /// Arm a simulated power cut: the next `n` mutating commands (programs
@@ -301,29 +322,235 @@ impl FlashDevice {
                 }
             }
         }
-        // Channel-major submission order (stable within a channel).
-        let mut order: Vec<usize> = (0..exts.len()).collect();
-        order.sort_by_key(|&i| exts[i].eblock.channel);
-        let mut out: Vec<Option<(Bytes, IoTicket)>> = vec![None; exts.len()];
-        for i in order {
-            let ext = exts[i];
-            let count = ext.rblock_count(&geo);
-            let duration = self.profile.read_duration(count, geo.rblock_bytes);
-            let done = self.submit(ext.eblock.channel, FlashOp::Read, duration);
-            let bytes = self
-                .eb(ext.eblock)?
-                .read_bytes(&geo, ext.offset as usize, ext.len as usize);
-            self.stats.rblock_reads += count as u64;
-            self.stats.bytes_read += count as u64 * geo.rblock_bytes as u64;
-            out[i] = Some((
+        // A lone extent takes the per-op path (identical semantics, no
+        // batch bookkeeping).
+        if let [ext] = exts {
+            let (bytes, done) = self.read_extent(*ext)?;
+            return Ok(vec![(
                 bytes,
                 IoTicket {
                     channel: ext.eblock.channel,
                     done_at: done,
                 },
-            ));
+            )]);
         }
-        Ok(out.into_iter().map(|o| o.unwrap()).collect())
+        // Channel-major execution: each channel's extents keep input order,
+        // extents on distinct channels overlap (and, under
+        // [`ExecMode::Parallel`], execute on distinct host threads).
+        let mut per_ch: Vec<Vec<ChannelCmd>> = vec![Vec::new(); geo.channels as usize];
+        for (i, ext) in exts.iter().enumerate() {
+            per_ch[ext.eblock.channel as usize].push(ChannelCmd::Read { idx: i, ext: *ext });
+        }
+        let outs = self.run_batch(&per_ch, exts.len());
+        Ok(exts
+            .iter()
+            .zip(outs)
+            .map(|(ext, out)| {
+                (
+                    out.bytes.expect("read command produced bytes"),
+                    IoTicket {
+                        channel: ext.eblock.channel,
+                        done_at: out.done_at,
+                    },
+                )
+            })
+            .collect())
+    }
+
+    /// Program a batch of WBLOCKs with deferred completion. Commands are
+    /// validated, power-budgeted and fault-adjudicated on the calling
+    /// thread in exact input order — replicating [`FlashDevice::program`]'s
+    /// control flow, including that a caller loop stops at the first error
+    /// — then executed per channel under the configured [`ExecMode`].
+    ///
+    /// Returns one result per *processed* command: `results.len()` is less
+    /// than `cmds.len()` exactly when an error truncated the batch. A
+    /// command that fails by fault injection is still executed (it occupies
+    /// its channel and poisons the EBLOCK) and reports
+    /// [`FlashError::ProgramFailed`]; a command rejected by validation or
+    /// power loss leaves media, stats and the clock untouched. Completion
+    /// times are channel-timeline; the CPU is not blocked.
+    pub fn program_batch(&mut self, cmds: &[(WblockAddr, Bytes)]) -> Vec<Result<Nanos>> {
+        match cmds {
+            [] => Vec::new(),
+            [(addr, data)] => vec![self.program(*addr, data.clone(), &[])],
+            _ => self.program_batch_inner(cmds),
+        }
+    }
+
+    fn program_batch_inner(&mut self, cmds: &[(WblockAddr, Bytes)]) -> Vec<Result<Nanos>> {
+        let geo = self.geo;
+        let mut per_ch: Vec<Vec<ChannelCmd>> = vec![Vec::new(); geo.channels as usize];
+        // Virtual write frontiers: programs earlier in the batch advance
+        // the frontier later commands validate against, before any of them
+        // has been applied to the media.
+        let mut frontier: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut stop_err: Option<FlashError> = None;
+        let mut attempted = 0usize;
+        for (i, (addr, data)) in cmds.iter().enumerate() {
+            if !addr.in_bounds(&geo) {
+                stop_err = Some(FlashError::OutOfBounds);
+                break;
+            }
+            if data.len() != geo.wblock_bytes as usize {
+                stop_err = Some(FlashError::BadLength {
+                    expected: geo.wblock_bytes as usize,
+                    got: data.len(),
+                });
+                break;
+            }
+            let key = (addr.channel(), addr.eblock.eblock);
+            let eb = &self.blocks[key.0 as usize][key.1 as usize];
+            let programmed =
+                eb.programmed_wblocks() + frontier.get(&key).copied().unwrap_or(0);
+            if let Err(check) = check_program_rules(eb.is_poisoned(), programmed, &geo, addr.wblock)
+            {
+                stop_err = Some(check.into_error(*addr));
+                break;
+            }
+            if let Err(e) = self.tick_power_budget() {
+                stop_err = Some(e);
+                break;
+            }
+            let fail = self.faults.should_fail(*addr);
+            per_ch[key.0 as usize].push(ChannelCmd::Program {
+                idx: i,
+                at: *addr,
+                data: data.clone(),
+                tag: Bytes::new(),
+                fail,
+            });
+            attempted = i + 1;
+            if fail {
+                // The failing program executes (charges time, poisons) but
+                // nothing after it is attempted — and no further fault
+                // ordinals are consumed — exactly like a serial caller
+                // stopping at ProgramFailed.
+                stop_err = Some(FlashError::ProgramFailed(*addr));
+                break;
+            }
+            *frontier.entry(key).or_insert(0) += 1;
+        }
+        let outs = self.run_batch(&per_ch, attempted);
+        let mut results = Vec::with_capacity(attempted + 1);
+        let failed_last = matches!(stop_err, Some(FlashError::ProgramFailed(_)));
+        for (i, out) in outs.iter().enumerate().take(attempted) {
+            if failed_last && i + 1 == attempted {
+                results.push(Err(stop_err.take().expect("program failure recorded")));
+            } else {
+                results.push(Ok(out.done_at));
+            }
+        }
+        if let Some(e) = stop_err {
+            results.push(Err(e));
+        }
+        results
+    }
+
+    /// Erase a batch of EBLOCKs with deferred completion. Endurance and
+    /// the power budget are checked on the calling thread in input order
+    /// with first-error truncation (like [`FlashDevice::erase`] in a loop
+    /// that stops on error); the erases then execute per channel under the
+    /// configured [`ExecMode`]. Returns one result per processed command.
+    pub fn erase_batch(&mut self, addrs: &[EblockAddr]) -> Vec<Result<Nanos>> {
+        match addrs {
+            [] => Vec::new(),
+            [a] => vec![self.erase(*a)],
+            _ => self.erase_batch_inner(addrs),
+        }
+    }
+
+    fn erase_batch_inner(&mut self, addrs: &[EblockAddr]) -> Vec<Result<Nanos>> {
+        let geo = self.geo;
+        let mut per_ch: Vec<Vec<ChannelCmd>> = vec![Vec::new(); geo.channels as usize];
+        // Virtual erase counts: earlier erases of the same EBLOCK in this
+        // batch count against the endurance limit of later ones.
+        let mut extra: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut stop_err: Option<FlashError> = None;
+        let mut attempted = 0usize;
+        for (i, a) in addrs.iter().enumerate() {
+            if !a.in_bounds(&geo) {
+                stop_err = Some(FlashError::OutOfBounds);
+                break;
+            }
+            let key = (a.channel, a.eblock);
+            let count = self.blocks[key.0 as usize][key.1 as usize].erase_count()
+                + extra.get(&key).copied().unwrap_or(0);
+            if count >= self.endurance {
+                stop_err = Some(FlashError::WornOut(*a));
+                break;
+            }
+            if let Err(e) = self.tick_power_budget() {
+                stop_err = Some(e);
+                break;
+            }
+            per_ch[key.0 as usize].push(ChannelCmd::Erase {
+                idx: i,
+                eblock: a.eblock,
+            });
+            *extra.entry(key).or_insert(0) += 1;
+            attempted = i + 1;
+        }
+        let outs = self.run_batch(&per_ch, attempted);
+        let mut results: Vec<Result<Nanos>> = outs
+            .iter()
+            .take(attempted)
+            .map(|o| Ok(o.done_at))
+            .collect();
+        if let Some(e) = stop_err {
+            results.push(Err(e));
+        }
+        results
+    }
+
+    /// Execute pre-resolved per-channel command lists on the configured
+    /// engine and merge the per-channel deltas back — ascending channel
+    /// order, order-independent sums — so the global stats, ledger and
+    /// clock end up byte-identical to per-op serial accounting. Ledger
+    /// charges are batched: one `charge_flash` per (channel, op) per batch
+    /// instead of one per command.
+    fn run_batch(&mut self, per_ch: &[Vec<ChannelCmd>], n_outs: usize) -> Vec<crate::exec::CmdOut> {
+        let epc = self.geo.eblocks_per_channel as usize;
+        let mut shards = Vec::with_capacity(per_ch.len());
+        for ch in 0..per_ch.len() {
+            let wear = &mut self.wear[ch * epc..(ch + 1) * epc];
+            shards.push(ChannelShard {
+                eblocks: self.blocks[ch].as_mut_ptr(),
+                n_eblocks: self.blocks[ch].len(),
+                wear: wear.as_mut_ptr(),
+                free_at: self.clock.channel_free_raw(ch as u32),
+                delta: ChannelDelta::default(),
+            });
+        }
+        let (shards, outs) = self.exec.run(
+            self.geo,
+            self.profile,
+            self.clock.now(),
+            per_ch,
+            shards,
+            n_outs,
+        );
+        for (ch, shard) in shards.iter().enumerate() {
+            if per_ch[ch].is_empty() {
+                continue;
+            }
+            let d = &shard.delta;
+            self.stats.channel_busy_ns[ch] += d.busy_ns;
+            for op in FlashOp::ALL {
+                let ns = d.op_ns[op.index()];
+                if ns > 0 {
+                    self.telemetry.charge_flash(ch as u32, op, ns);
+                }
+            }
+            self.clock.set_channel_free(ch as u32, shard.free_at);
+            self.stats.programs += d.programs;
+            self.stats.program_failures += d.program_failures;
+            self.stats.bytes_programmed += d.bytes_programmed;
+            self.stats.rblock_reads += d.rblock_reads;
+            self.stats.bytes_read += d.bytes_read;
+            self.stats.erases += d.erases;
+        }
+        outs
     }
 
     /// Read whole WBLOCKs `[first, first + count)` of an EBLOCK. A
@@ -696,6 +923,251 @@ mod tests {
         // Power restored: mutations succeed again.
         d.clear_power_cut();
         d.program(WblockAddr::new(0, 0, 1), wb(&geo, 2), &[]).unwrap();
+    }
+
+    /// Assert two devices are in byte-identical simulated state: media,
+    /// stats, wear, clock timelines and the telemetry ledger.
+    fn assert_devices_identical(a: &FlashDevice, b: &FlashDevice) {
+        let geo = *a.geometry();
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.wear_map(), b.wear_map());
+        assert_eq!(a.clock().now(), b.clock().now());
+        assert_eq!(a.clock().cpu_busy_ns(), b.clock().cpu_busy_ns());
+        for ch in 0..geo.channels {
+            assert_eq!(
+                a.clock().channel_free_at(ch),
+                b.clock().channel_free_at(ch),
+                "channel {ch} horizon"
+            );
+        }
+        assert_eq!(
+            format!("{:?}", a.telemetry().ledger),
+            format!("{:?}", b.telemetry().ledger)
+        );
+        for ch in 0..geo.channels {
+            for eb in 0..geo.eblocks_per_channel {
+                let at = EblockAddr::new(ch, eb);
+                assert_eq!(a.programmed_wblocks(at), b.programmed_wblocks(at));
+                assert_eq!(a.is_poisoned(at).unwrap(), b.is_poisoned(at).unwrap());
+                let n = a.programmed_wblocks(at).unwrap();
+                if n > 0 {
+                    let len = n as u64 * geo.wblock_bytes as u64;
+                    let (da, _) = a.clone_for_read(at, len);
+                    let (db, _) = b.clone_for_read(at, len);
+                    assert_eq!(da, db, "media of {at:?}");
+                }
+            }
+        }
+    }
+
+    impl FlashDevice {
+        /// Test helper: read programmed bytes without disturbing shared
+        /// state comparisons (reads do charge time, so both sides call it).
+        fn clone_for_read(&self, at: EblockAddr, len: u64) -> (Vec<u8>, u64) {
+            let eb = self.eb(at).unwrap();
+            let geo = self.geometry();
+            (eb.read_bytes(geo, 0, len as usize).to_vec(), len)
+        }
+    }
+
+    /// A mixed workload driven through the batch APIs, used to compare
+    /// execution modes: programs across channels, overlapped reads, a
+    /// couple of erases, with interleaved CPU charges.
+    fn drive_batches(d: &mut FlashDevice) -> Vec<String> {
+        let geo = *d.geometry();
+        let mut log = Vec::new();
+        // Round 1: program two WBLOCKs on every channel.
+        let mut cmds = Vec::new();
+        for ch in 0..geo.channels {
+            for w in 0..2 {
+                cmds.push((
+                    WblockAddr::new(ch, ch % geo.eblocks_per_channel, w),
+                    Bytes::from(vec![(ch as u8) ^ (w as u8) | 1; geo.wblock_bytes as usize]),
+                ));
+            }
+        }
+        for r in d.program_batch(&cmds) {
+            log.push(format!("{r:?}"));
+        }
+        d.cpu(100);
+        // Round 2: batched reads back, input order channel-descending.
+        let exts: Vec<ByteExtent> = (0..geo.channels)
+            .rev()
+            .map(|ch| {
+                ByteExtent::new(
+                    EblockAddr::new(ch, ch % geo.eblocks_per_channel),
+                    8,
+                    geo.wblock_bytes as u64,
+                )
+            })
+            .collect();
+        let res = d.read_extents_async(&exts).unwrap();
+        let tickets: Vec<IoTicket> = res.iter().map(|r| r.1).collect();
+        for (bytes, t) in &res {
+            log.push(format!("{:x}:{}:{}", bytes.iter().fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(b as u64)), t.channel, t.done_at));
+        }
+        d.clock_mut().wait_all(&tickets);
+        // Round 3: erase half the touched EBLOCKs.
+        let victims: Vec<EblockAddr> = (0..geo.channels)
+            .step_by(2)
+            .map(|ch| EblockAddr::new(ch, ch % geo.eblocks_per_channel))
+            .collect();
+        for r in d.erase_batch(&victims) {
+            log.push(format!("{r:?}"));
+        }
+        d.clock_mut().drain();
+        log
+    }
+
+    #[test]
+    fn batch_apis_match_per_op_serial_path() {
+        // Reference: the same logical workload issued through the per-op
+        // APIs in the batch's input order.
+        let mut per_op = dev();
+        let geo = *per_op.geometry();
+        for ch in 0..geo.channels {
+            for w in 0..2 {
+                per_op
+                    .program(
+                        WblockAddr::new(ch, ch % geo.eblocks_per_channel, w),
+                        vec![(ch as u8) ^ (w as u8) | 1; geo.wblock_bytes as usize],
+                        &[],
+                    )
+                    .unwrap();
+            }
+        }
+        per_op.cpu(100);
+        let mut tickets = Vec::new();
+        for ch in (0..geo.channels).rev() {
+            let ext = ByteExtent::new(
+                EblockAddr::new(ch, ch % geo.eblocks_per_channel),
+                8,
+                geo.wblock_bytes as u64,
+            );
+            let (_, done) = per_op.read_extent(ext).unwrap();
+            tickets.push(IoTicket { channel: ch, done_at: done });
+        }
+        per_op.clock_mut().wait_all(&tickets);
+        for ch in (0..geo.channels).step_by(2) {
+            per_op
+                .erase(EblockAddr::new(ch, ch % geo.eblocks_per_channel))
+                .unwrap();
+        }
+        per_op.clock_mut().drain();
+
+        let mut batched = dev();
+        drive_batches(&mut batched);
+        assert_devices_identical(&per_op, &batched);
+    }
+
+    #[test]
+    fn parallel_exec_is_byte_identical_to_serial() {
+        for threads in [1, 2, 3, 8] {
+            let mut serial = dev();
+            let serial_log = drive_batches(&mut serial);
+            let mut parallel = dev();
+            parallel.set_exec_mode(ExecMode::Parallel { threads });
+            let parallel_log = drive_batches(&mut parallel);
+            assert_eq!(serial_log, parallel_log, "{threads} threads");
+            assert_devices_identical(&serial, &parallel);
+            assert_eq!(parallel.exec_mode(), ExecMode::Parallel { threads: threads.max(1) });
+        }
+    }
+
+    #[test]
+    fn program_batch_fault_truncates_like_serial_caller() {
+        for mode in [ExecMode::Serial, ExecMode::Parallel { threads: 4 }] {
+            let mut d = FlashDevice::new(Geometry::tiny(), CostProfile::unit())
+                .with_faults(FaultInjector::script([3]));
+            d.set_exec_mode(mode);
+            let geo = *d.geometry();
+            // Five programs across two channels; fault ordinal 3 (the
+            // fourth attempted program, ordinals are 0-based) fails and
+            // truncates the batch.
+            let cmds: Vec<(WblockAddr, Bytes)> = (0..5)
+                .map(|i| {
+                    (
+                        WblockAddr::new(i % 2, 0, i / 2),
+                        Bytes::from(wb(&geo, i as u8 + 1)),
+                    )
+                })
+                .collect();
+            let rs = d.program_batch(&cmds);
+            assert_eq!(rs.len(), 4, "{mode:?}");
+            assert!(rs[..3].iter().all(|r| r.is_ok()));
+            assert!(matches!(rs[3], Err(FlashError::ProgramFailed(a)) if a == cmds[3].0));
+            // The failed program poisoned its EBLOCK and charged time; the
+            // command after it was never attempted.
+            assert!(d.is_poisoned(EblockAddr::new(1, 0)).unwrap());
+            assert_eq!(d.stats().programs, 3);
+            assert_eq!(d.stats().program_failures, 1);
+            assert_eq!(d.programmed_wblocks(EblockAddr::new(0, 0)).unwrap(), 2);
+            assert_eq!(d.programmed_wblocks(EblockAddr::new(1, 0)).unwrap(), 1);
+            // Fault ordinals after the failure were not consumed: the next
+            // program is ordinal 4 and succeeds.
+            d.erase(EblockAddr::new(1, 0)).unwrap();
+            d.program(WblockAddr::new(1, 0, 0), wb(&geo, 9), &[]).unwrap();
+        }
+    }
+
+    #[test]
+    fn program_batch_validates_against_virtual_frontier() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        // Two sequential WBLOCKs of one EBLOCK in one batch: the second is
+        // only valid because the first precedes it in the same batch.
+        let rs = d.program_batch(&[
+            (WblockAddr::new(0, 0, 0), Bytes::from(wb(&geo, 1))),
+            (WblockAddr::new(0, 0, 1), Bytes::from(wb(&geo, 2))),
+        ]);
+        assert!(rs.iter().all(|r| r.is_ok()));
+        // An out-of-order jump inside a batch is rejected without touching
+        // anything after it.
+        let rs = d.program_batch(&[
+            (WblockAddr::new(1, 0, 0), Bytes::from(wb(&geo, 1))),
+            (WblockAddr::new(1, 0, 3), Bytes::from(wb(&geo, 2))),
+            (WblockAddr::new(2, 0, 0), Bytes::from(wb(&geo, 3))),
+        ]);
+        assert_eq!(rs.len(), 2);
+        assert!(rs[0].is_ok());
+        assert!(matches!(
+            rs[1],
+            Err(FlashError::OutOfOrderProgram { expected_next: 1, .. })
+        ));
+        assert_eq!(d.programmed_wblocks(EblockAddr::new(2, 0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn program_batch_power_cut_truncates_without_side_effects() {
+        let mut d = dev();
+        let geo = *d.geometry();
+        d.set_power_cut_after(2);
+        let cmds: Vec<(WblockAddr, Bytes)> = (0..4)
+            .map(|ch| (WblockAddr::new(ch, 0, 0), Bytes::from(wb(&geo, 7))))
+            .collect();
+        let rs = d.program_batch(&cmds);
+        assert_eq!(rs.len(), 3);
+        assert!(rs[0].is_ok() && rs[1].is_ok());
+        assert!(matches!(rs[2], Err(FlashError::PowerLost)));
+        assert_eq!(d.stats().programs, 2);
+        // The dropped commands left their channels untouched.
+        assert_eq!(d.clock().channel_free_at(2), d.clock().now());
+        assert_eq!(d.programmed_wblocks(EblockAddr::new(2, 0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn erase_batch_respects_endurance_with_truncation() {
+        let mut d = FlashDevice::new(Geometry::tiny(), CostProfile::unit()).with_endurance(1);
+        let a0 = EblockAddr::new(0, 0);
+        let a1 = EblockAddr::new(1, 0);
+        // Same EBLOCK twice in one batch: the second hits the endurance
+        // limit through the virtual erase count and truncates the batch.
+        let rs = d.erase_batch(&[a0, a0, a1]);
+        assert_eq!(rs.len(), 2);
+        assert!(rs[0].is_ok());
+        assert!(matches!(rs[1], Err(FlashError::WornOut(a)) if a == a0));
+        assert_eq!(d.erase_count(a0).unwrap(), 1);
+        assert_eq!(d.erase_count(a1).unwrap(), 0);
     }
 
     #[test]

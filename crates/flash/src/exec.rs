@@ -1,0 +1,514 @@
+//! Per-channel batch execution engine: the host-parallel twin of the
+//! deferred-completion I/O scheduler (DESIGN.md §12).
+//!
+//! The device's batch entry points (`program_batch`, `read_extents_async`,
+//! `erase_batch`) funnel their per-channel work through one engine. The
+//! engine receives the commands already partitioned by channel, with every
+//! *globally ordered* decision — power-budget ticks, fault-injector
+//! verdicts, validation against the programming rules — pre-resolved on
+//! the calling thread in exact serial command order. What remains per
+//! channel is a pure function of
+//!
+//!   (that channel's media state, its command sublist, the frozen CPU
+//!    time, the pre-resolved verdicts)
+//!
+//! and therefore independent of host thread scheduling: channel `c`'s
+//! simulated evolution is the same whether the channels run one after
+//! another on the caller's thread ([`ExecMode::Serial`]) or concurrently
+//! on a worker pool ([`ExecMode::Parallel`]). Global aggregates (flash
+//! stats, ledger cells, clock horizons) are per-channel deltas merged in
+//! ascending channel order after a quiescence barrier, so parallel runs
+//! produce byte-identical simulated results, snapshots and telemetry to
+//! serial runs — host threads race only on wall-clock, never on simulated
+//! outcomes.
+//!
+//! The worker pool is persistent (spawned once per device, not per batch):
+//! workers park on a condvar between batches and are woken with a
+//! generation counter. Channel ownership is static — worker `w` of `t`
+//! executes exactly the channels `c` with `c % t == w` — so no two workers
+//! ever touch the same channel's state and the per-channel `&mut` handed
+//! out through [`ChannelShard`] raw pointers are disjoint by construction.
+
+use crate::addr::{ByteExtent, WblockAddr};
+use crate::clock::Nanos;
+use crate::cost::CostProfile;
+use crate::eblock::EblockSim;
+use crate::geometry::Geometry;
+use bytes::Bytes;
+use eleos_telemetry::FlashOp;
+use std::cell::UnsafeCell;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How the device executes batched channel work on the *host*.
+///
+/// Simulated time is unaffected by the choice: `Parallel` runs are
+/// byte-identical to `Serial` runs in results, snapshots and telemetry
+/// (enforced by the `parallel_equivalence` proptest in the `eleos` crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Execute channel sublists one after another on the calling thread.
+    #[default]
+    Serial,
+    /// Execute channel sublists on a persistent pool of `threads` worker
+    /// threads, channels statically partitioned `channel % threads`.
+    Parallel {
+        /// Worker count (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+/// One command of a channel's sublist. Indices refer to the batch's
+/// original (input-order) command list so outputs land in input order.
+#[derive(Debug, Clone)]
+pub(crate) enum ChannelCmd {
+    /// Program one WBLOCK. `fail` is the pre-resolved fault-injector
+    /// verdict: a failing program still occupies the channel and poisons
+    /// the EBLOCK but stores nothing.
+    Program {
+        idx: usize,
+        at: WblockAddr,
+        data: Bytes,
+        tag: Bytes,
+        fail: bool,
+    },
+    /// Read a byte extent (already validated).
+    Read { idx: usize, ext: ByteExtent },
+    /// Erase one EBLOCK (endurance and power already checked).
+    Erase { idx: usize, eblock: u32 },
+}
+
+/// Per-command output slot, written by exactly one channel's executor.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CmdOut {
+    pub done_at: Nanos,
+    pub bytes: Option<Bytes>,
+}
+
+/// Per-channel aggregate deltas, merged into the device's global stats,
+/// ledger and clock in ascending channel order after the barrier. All
+/// fields are order-independent sums, so the merge is byte-identical to
+/// the serial per-op accumulation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChannelDelta {
+    pub programs: u64,
+    pub program_failures: u64,
+    pub bytes_programmed: u64,
+    pub rblock_reads: u64,
+    pub bytes_read: u64,
+    pub erases: u64,
+    /// Channel busy time added by this batch.
+    pub busy_ns: Nanos,
+    /// Busy time split by flash op — the batched ledger charge (one merge
+    /// per batch instead of one ledger indexing per command).
+    pub op_ns: [Nanos; FlashOp::COUNT],
+}
+
+/// Mutable per-channel state handed to exactly one executor: raw pointers
+/// to the channel's EBLOCK array and wear slice, the seeded clock horizon,
+/// and the output delta. Disjointness across executors is guaranteed by
+/// the static `channel % threads` ownership map.
+pub(crate) struct ChannelShard {
+    pub eblocks: *mut EblockSim,
+    pub n_eblocks: usize,
+    pub wear: *mut u32,
+    /// Seeded from `SimClock::channel_free_raw`; holds the channel's final
+    /// busy horizon after execution.
+    pub free_at: Nanos,
+    pub delta: ChannelDelta,
+}
+
+/// Interior-mutability cell that one (and only one) worker touches.
+struct RacyCell<T>(UnsafeCell<T>);
+
+// SAFETY: access discipline is external — each cell is read/written by
+// exactly one thread during a batch (channel ownership for shards, the
+// owning channel's executor for output slots), with the dispatch and
+// completion barriers providing the necessary happens-before edges.
+unsafe impl<T> Sync for RacyCell<T> {}
+
+/// Everything a batch needs, shared read-only across workers; the per-cell
+/// mutation discipline is documented on [`RacyCell`].
+struct Batch<'a> {
+    geo: Geometry,
+    profile: CostProfile,
+    cpu_now: Nanos,
+    cmds: &'a [Vec<ChannelCmd>],
+    shards: &'a [RacyCell<ChannelShard>],
+    outs: &'a [RacyCell<CmdOut>],
+}
+
+// SAFETY: raw pointers inside ChannelShard are only dereferenced by the
+// owning worker; see RacyCell.
+unsafe impl Sync for Batch<'_> {}
+
+/// Execute one channel's command sublist. This is THE single execution
+/// path — serial mode calls it for every channel on the caller's thread,
+/// parallel mode calls it from the owning worker — so both modes are the
+/// same code and differ only in host scheduling.
+///
+/// # Safety
+/// The caller must be the unique owner of channel `ch` for this batch.
+unsafe fn run_channel(b: &Batch<'_>, ch: usize) {
+    let shard = &mut *b.shards[ch].0.get();
+    let geo = &b.geo;
+    for cmd in &b.cmds[ch] {
+        match cmd {
+            ChannelCmd::Program {
+                idx,
+                at,
+                data,
+                tag,
+                fail,
+            } => {
+                let duration = b.profile.program_duration(geo.wblock_bytes);
+                let start = shard.free_at.max(b.cpu_now);
+                let done = start + duration;
+                shard.free_at = done;
+                shard.delta.busy_ns += duration;
+                shard.delta.op_ns[FlashOp::Program.index()] += duration;
+                debug_assert!((at.eblock.eblock as usize) < shard.n_eblocks);
+                let eb = &mut *shard.eblocks.add(at.eblock.eblock as usize);
+                if *fail {
+                    shard.delta.program_failures += 1;
+                    eb.poison();
+                } else {
+                    eb.apply_program(geo, at.wblock, data.clone(), tag);
+                    shard.delta.programs += 1;
+                    shard.delta.bytes_programmed += geo.wblock_bytes as u64;
+                }
+                (*b.outs[*idx].0.get()).done_at = done;
+            }
+            ChannelCmd::Read { idx, ext } => {
+                let count = ext.rblock_count(geo);
+                let duration = b.profile.read_duration(count, geo.rblock_bytes);
+                let start = shard.free_at.max(b.cpu_now);
+                let done = start + duration;
+                shard.free_at = done;
+                shard.delta.busy_ns += duration;
+                shard.delta.op_ns[FlashOp::Read.index()] += duration;
+                debug_assert!((ext.eblock.eblock as usize) < shard.n_eblocks);
+                let eb = &*shard.eblocks.add(ext.eblock.eblock as usize);
+                let bytes = eb.read_bytes(geo, ext.offset as usize, ext.len as usize);
+                shard.delta.rblock_reads += count as u64;
+                shard.delta.bytes_read += count as u64 * geo.rblock_bytes as u64;
+                let out = &mut *b.outs[*idx].0.get();
+                out.done_at = done;
+                out.bytes = Some(bytes);
+            }
+            ChannelCmd::Erase { idx, eblock } => {
+                debug_assert!((*eblock as usize) < shard.n_eblocks);
+                let eb = &mut *shard.eblocks.add(*eblock as usize);
+                eb.erase();
+                *shard.wear.add(*eblock as usize) += 1;
+                shard.delta.erases += 1;
+                let duration = b.profile.erase_eblock_ns;
+                let start = shard.free_at.max(b.cpu_now);
+                let done = start + duration;
+                shard.free_at = done;
+                shard.delta.busy_ns += duration;
+                shard.delta.op_ns[FlashOp::Erase.index()] += duration;
+                (*b.outs[*idx].0.get()).done_at = done;
+            }
+        }
+    }
+}
+
+/// A type-erased pointer to the closure a batch dispatch hands the
+/// workers; valid only while the dispatching call keeps the closure alive
+/// (it blocks until every worker has finished the generation).
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is Sync and outlives the dispatch (the dispatcher
+// blocks on the completion barrier before dropping the closure).
+unsafe impl Send for JobPtr {}
+
+struct PoolCtl {
+    /// Bumped per dispatch; workers run when they see a new generation.
+    generation: u64,
+    job: Option<JobPtr>,
+    /// Workers still executing the current generation.
+    active: usize,
+    /// A worker's job panicked (re-raised on the dispatching thread).
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    ctl: Mutex<PoolCtl>,
+    /// Wakes workers for a new generation (or shutdown).
+    go: Condvar,
+    /// Wakes the dispatcher when the last worker finishes.
+    done: Condvar,
+}
+
+/// Persistent channel worker pool: spawned once, woken per batch.
+pub(crate) struct WorkerPool {
+    threads: usize,
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    pub(crate) fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            ctl: Mutex::new(PoolCtl {
+                generation: 0,
+                job: None,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("flash-ch-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn channel worker")
+            })
+            .collect();
+        WorkerPool {
+            threads,
+            shared,
+            handles,
+        }
+    }
+
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `job(worker_index)` on every worker and block until all finish.
+    fn dispatch(&self, job: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: pure lifetime erasure on the pointer type — the pointee
+        // stays alive for the whole dispatch because this function blocks
+        // below until every worker has finished the generation.
+        let raw = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(job)
+        };
+        let mut ctl = self.shared.ctl.lock().unwrap();
+        ctl.job = Some(JobPtr(raw));
+        ctl.generation += 1;
+        ctl.active = self.threads;
+        self.shared.go.notify_all();
+        while ctl.active > 0 {
+            ctl = self.shared.done.wait(ctl).unwrap();
+        }
+        ctl.job = None;
+        if ctl.panicked {
+            ctl.panicked = false;
+            drop(ctl);
+            panic!("channel worker panicked during batch execution");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut ctl = self.shared.ctl.lock().unwrap();
+            ctl.shutdown = true;
+            self.shared.go.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, worker: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut ctl = shared.ctl.lock().unwrap();
+            loop {
+                if ctl.shutdown {
+                    return;
+                }
+                if ctl.generation != seen {
+                    seen = ctl.generation;
+                    break ctl.job.expect("generation bumped without a job");
+                }
+                ctl = shared.go.wait(ctl).unwrap();
+            }
+        };
+        // SAFETY: the dispatcher keeps the closure alive until `active`
+        // drops to zero, which happens strictly after this call returns.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            (*job.0)(worker)
+        }));
+        let mut ctl = shared.ctl.lock().unwrap();
+        if result.is_err() {
+            ctl.panicked = true;
+        }
+        ctl.active -= 1;
+        if ctl.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// The device's execution backend: mode plus (for `Parallel`) the pool.
+#[derive(Debug, Default)]
+pub(crate) enum Exec {
+    #[default]
+    Serial,
+    Pool(WorkerPool),
+}
+
+impl Exec {
+    pub(crate) fn from_mode(mode: ExecMode) -> Self {
+        match mode {
+            ExecMode::Serial => Exec::Serial,
+            ExecMode::Parallel { threads } => Exec::Pool(WorkerPool::new(threads)),
+        }
+    }
+
+    pub(crate) fn mode(&self) -> ExecMode {
+        match self {
+            Exec::Serial => ExecMode::Serial,
+            Exec::Pool(p) => ExecMode::Parallel {
+                threads: p.threads(),
+            },
+        }
+    }
+
+    /// Execute a batch of per-channel command sublists.
+    ///
+    /// `shards[ch]` must describe channel `ch`'s state for every channel
+    /// with a non-empty sublist; outputs land in `outs` at each command's
+    /// input index. Channels execute ascending on the caller's thread in
+    /// serial mode, on their owning workers in parallel mode; either way
+    /// the per-channel results are identical (see module docs).
+    pub(crate) fn run(
+        &self,
+        geo: Geometry,
+        profile: CostProfile,
+        cpu_now: Nanos,
+        cmds: &[Vec<ChannelCmd>],
+        shards: Vec<ChannelShard>,
+        n_outs: usize,
+    ) -> (Vec<ChannelShard>, Vec<CmdOut>) {
+        let shards: Vec<RacyCell<ChannelShard>> =
+            shards.into_iter().map(|s| RacyCell(UnsafeCell::new(s))).collect();
+        let outs: Vec<RacyCell<CmdOut>> = (0..n_outs)
+            .map(|_| RacyCell(UnsafeCell::new(CmdOut::default())))
+            .collect();
+        let batch = Batch {
+            geo,
+            profile,
+            cpu_now,
+            cmds,
+            shards: &shards,
+            outs: &outs,
+        };
+        let busy_channels = cmds.iter().filter(|c| !c.is_empty()).count();
+        match self {
+            // Single-channel batches gain nothing from the pool; running
+            // them inline also keeps the degenerate case cheap. The math
+            // is the same either way.
+            Exec::Pool(pool) if busy_channels > 1 => {
+                let threads = pool.threads();
+                pool.dispatch(&|worker: usize| {
+                    for ch in (worker..batch.cmds.len()).step_by(threads) {
+                        if !batch.cmds[ch].is_empty() {
+                            // SAFETY: static ownership — only worker
+                            // `ch % threads` reaches channel `ch`.
+                            unsafe { run_channel(&batch, ch) };
+                        }
+                    }
+                });
+            }
+            _ => {
+                for (ch, sub) in cmds.iter().enumerate() {
+                    if !sub.is_empty() {
+                        // SAFETY: serial — this thread owns every channel.
+                        unsafe { run_channel(&batch, ch) };
+                    }
+                }
+            }
+        }
+        (
+            shards.into_iter().map(|c| c.0.into_inner()).collect(),
+            outs.into_iter().map(|c| c.0.into_inner()).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_every_worker_per_dispatch() {
+        let pool = WorkerPool::new(4);
+        let hits = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.dispatch(&|_w| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn pool_partitions_workers_disjointly() {
+        let pool = WorkerPool::new(3);
+        let seen: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        pool.dispatch(&|w| {
+            for ch in (w..8).step_by(3) {
+                seen[ch].store(w, Ordering::Relaxed);
+            }
+        });
+        for (ch, cell) in seen.iter().enumerate() {
+            assert_eq!(cell.load(Ordering::Relaxed), ch % 3);
+        }
+    }
+
+    #[test]
+    fn pool_survives_worker_panic() {
+        let pool = WorkerPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.dispatch(&|w| {
+                if w == 1 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The pool is still usable after the propagated panic.
+        let hits = AtomicUsize::new(0);
+        pool.dispatch(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn exec_mode_roundtrips() {
+        assert_eq!(Exec::from_mode(ExecMode::Serial).mode(), ExecMode::Serial);
+        let e = Exec::from_mode(ExecMode::Parallel { threads: 3 });
+        assert_eq!(e.mode(), ExecMode::Parallel { threads: 3 });
+        // Zero threads clamps to one worker rather than a useless pool.
+        let e = Exec::from_mode(ExecMode::Parallel { threads: 0 });
+        assert_eq!(e.mode(), ExecMode::Parallel { threads: 1 });
+    }
+}

@@ -204,6 +204,10 @@ impl SpanKind {
 #[derive(Debug, Clone)]
 pub struct Telemetry {
     enabled: bool,
+    /// `!0` when enabled, `0` when disabled: the ledger charge paths mask
+    /// the nanosecond amount instead of branching, so the disabled path is
+    /// an unconditional add of zero — branch-free on the hot path.
+    mask: Nanos,
     activity: Activity,
     pub ledger: AttributionLedger,
     spans: Vec<LatencyHistogram>,
@@ -217,6 +221,7 @@ impl Telemetry {
     pub fn new(channels: usize, enabled: bool) -> Self {
         Telemetry {
             enabled,
+            mask: if enabled { !0 } else { 0 },
             activity: Activity::Host,
             ledger: AttributionLedger::new(channels),
             spans: vec![LatencyHistogram::new(); SpanKind::COUNT],
@@ -231,6 +236,7 @@ impl Telemetry {
 
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
+        self.mask = if enabled { !0 } else { 0 };
     }
 
     #[inline]
@@ -246,19 +252,19 @@ impl Telemetry {
     }
 
     /// Attribute `ns` of controller CPU to the current activity.
+    /// Branch-free: with telemetry disabled the masked amount is zero and
+    /// the add is a no-op, so the write hot path never branches here.
     #[inline]
     pub fn charge_cpu(&mut self, ns: Nanos) {
-        if self.enabled {
-            self.ledger.charge_cpu(self.activity, ns);
-        }
+        self.ledger.charge_cpu(self.activity, ns & self.mask);
     }
 
     /// Attribute `ns` of channel time to (channel, op, current activity).
+    /// Branch-free like [`Telemetry::charge_cpu`].
     #[inline]
     pub fn charge_flash(&mut self, channel: u32, op: FlashOp, ns: Nanos) {
-        if self.enabled {
-            self.ledger.charge_flash(channel, op, self.activity, ns);
-        }
+        self.ledger
+            .charge_flash(channel, op, self.activity, ns & self.mask);
     }
 
     /// Record a completed span of simulated time `[start, end]`.

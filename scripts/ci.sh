@@ -26,6 +26,16 @@ echo "== crash sweep (every flash-command ordinal, shadow oracle) =="
 # commands; the sweep crashes after each one (~seconds in release).
 cargo test -q --release -p eleos --test crash_sweep
 
+echo "== crash sweep under parallel execution (4 worker threads) =="
+# Same sweep, batched flash commands on 4 per-channel workers: a power
+# cut must truncate the command stream identically in both modes.
+ELEOS_EXEC_THREADS=4 cargo test -q --release -p eleos --test crash_sweep
+
+echo "== parallel-vs-serial equivalence (byte-identical snapshots) =="
+# Fixed-seed smoke plus the 12-case proptest: ExecMode::Parallel runs
+# must produce byte-identical op results and snapshot JSON vs Serial.
+cargo test -q --release -p eleos --test parallel_equivalence
+
 echo "== front-end gate (group commit vs serial, refinement proptest) =="
 cargo test -q --release -p eleos-bench frontend
 cargo test -q --release -p eleos --test frontend_permutations
@@ -52,6 +62,13 @@ for key in now_ns cpu_busy_ns total_busy_ns unattributed_cpu_ns \
 done
 grep -q '"conservation_ok":true' "$telemetry_json" \
   || { echo "telemetry gate: conservation_ok is not true" >&2; exit 1; }
+
+echo "== bench schema gate (host_threads key) =="
+# Every committed trajectory entry written since execution modes exist
+# labels its wall-clock measurement with the worker-thread count; the
+# parser defaults pre-existing entries to 1.
+grep -q '"host_threads"' BENCH_controller.json \
+  || { echo "bench schema gate: BENCH_controller.json has no host_threads key" >&2; exit 1; }
 
 echo "== perf smoke =="
 scripts/perf_smoke.sh
