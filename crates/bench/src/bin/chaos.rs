@@ -34,7 +34,8 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: chaos [--seed N | --seeds N] [--cycles N] [--steps N] \
-             [--fail-p P] [--bad-eblock CH/EB | --no-bad-region] [--clients N]"
+             [--fail-p P] [--bad-eblock CH/EB | --no-bad-region] [--clients N] \
+             [--shards N]"
         );
         return;
     }
@@ -45,6 +46,13 @@ fn main() {
     }
     if let Some(c) = parse(&args, "--clients") {
         base.clients = c;
+    }
+    if let Some(s) = parse(&args, "--shards") {
+        if s < 1 {
+            eprintln!("chaos: --shards wants N >= 1");
+            std::process::exit(2);
+        }
+        base.shards = s;
     }
     if let Some(s) = parse(&args, "--steps") {
         base.steps_per_cycle = s;
@@ -77,7 +85,7 @@ fn main() {
 
     println!(
         "chaos soak: {} seed(s), {} cycles x ~{} steps, fail-p {}, bad region {:?}, \
-         {} client(s){}",
+         {} client(s){}, {} shard(s)",
         seeds.len(),
         base.cycles,
         base.steps_per_cycle,
@@ -88,7 +96,8 @@ fn main() {
             " via group-commit front-end"
         } else {
             ""
-        }
+        },
+        base.shards
     );
 
     let mut divergences = 0u32;

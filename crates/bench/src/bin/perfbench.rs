@@ -13,7 +13,7 @@
 //! Usage:
 //!   perfbench [--label NAME] [--scale full|small] [--out FILE]
 //!             [--compare FILE] [--max-regression X.Y]
-//!             [--threads N | --serial]
+//!             [--threads N | --serial] [--shards N]
 //!   perfbench --telemetry-out FILE
 //!
 //! `--threads N` runs the batched flash command paths on N per-channel
@@ -22,6 +22,10 @@
 //! way — the `parallel_equivalence` proptest enforces that — so the two
 //! modes differ only in host wall-clock, recorded per entry under the
 //! `host_threads` key.
+//!
+//! `--shards N` (default 8; must divide the 8-channel array) sizes the
+//! sharded router the `shard_scale_64c` entry runs against, recorded per
+//! entry under the `shards` key (1 for the unsharded benches).
 //!
 //! `--telemetry-out` skips the benches, runs a small mixed scenario, checks
 //! the telemetry conservation invariant (attribution buckets must sum to
@@ -113,6 +117,7 @@ fn bench_tpcc_write(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         flash_busy_ns: flash_busy,
         write_p99_ns: write_p99,
         host_threads: threads_of(exec),
+        shards: 1,
     }
 }
 
@@ -176,6 +181,7 @@ fn bench_ycsb_read(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         flash_busy_ns: snap.flash.total_busy_ns() - snap0.flash.total_busy_ns(),
         write_p99_ns: 0, // read bench: the measured window records no write spans
         host_threads: threads_of(exec),
+        shards: 1,
     }
 }
 
@@ -266,6 +272,7 @@ fn bench_gc_heavy(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         flash_busy_ns: snap.flash.total_busy_ns(),
         write_p99_ns: snap.span(SpanKind::WriteBatch).p99(),
         host_threads: threads_of(exec),
+        shards: 1,
     }
 }
 
@@ -331,6 +338,7 @@ fn bench_read_batch(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         flash_busy_ns: snap.flash.total_busy_ns(),
         write_p99_ns: 0, // read bench: the timed window issues no writes
         host_threads: threads_of(exec),
+        shards: 1,
     }
 }
 
@@ -424,9 +432,15 @@ fn main() {
         }
         _ => ExecMode::Serial,
     };
+    // `--shards N` sizes the shard_scale entry's router (8 must divide
+    // evenly); the other benches always run the unsharded path.
+    let shards = get_flag("--shards")
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1 && 8 % n == 0)
+        .unwrap_or(8);
 
     eprintln!(
-        "perfbench: label={label} scale={scale} host_threads={}",
+        "perfbench: label={label} scale={scale} host_threads={} shards={shards}",
         threads_of(exec)
     );
     let entries = vec![
@@ -435,6 +449,7 @@ fn main() {
         bench_gc_heavy(&scale, &label, exec),
         bench_read_batch(&scale, &label, exec),
         eleos_bench::frontend_scale::bench_frontend_scale(&scale, &label, exec),
+        eleos_bench::shard_scale::bench_shard_scale(&scale, &label, exec, shards),
     ];
     for e in &entries {
         eprintln!(

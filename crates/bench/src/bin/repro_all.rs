@@ -165,6 +165,10 @@ fn jobs() -> Vec<Job> {
             vec![(t, notes)]
         }),
         Box::new(|| {
+            let (t, notes) = eleos_bench::shard_scale::shard_scale_table();
+            vec![(t, notes)]
+        }),
+        Box::new(|| {
             let (t, notes) = eleos_bench::chaos::fault_handling_table(6);
             vec![(t, notes)]
         }),

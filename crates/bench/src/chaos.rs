@@ -14,13 +14,23 @@
 //!   (until rewritten), surviving crashes;
 //! * reads always return exactly the last acknowledged content.
 //!
+//! The soak drives the sharded router (DESIGN.md §14): at `--shards 1`
+//! (the default) it takes the exact unsharded path; at `--shards N` every
+//! batch that straddles shards commits through the two-phase group commit
+//! and the oracle additionally covers the 2PC decision window — a group
+//! whose call returned `ShutDown` mid-commit is *undecided* at the host,
+//! so after recovery the oracle accepts exactly all-new (coordinator
+//! decision was durable, recovery redid it on every shard) or all-old
+//! (rolled back everywhere); anything torn is a divergence.
+//!
 //! Every run is fully determined by its [`ChaosConfig`] (the seed drives
 //! both the workload RNG and the fault injector), so a divergence dumps a
 //! one-line repro command that replays the exact fault script.
 
 use crate::report::Table;
-use eleos::frontend::{Frontend, GroupCommitPolicy};
-use eleos::{Eleos, EleosConfig, EleosError, WriteBatch, WriteOpts};
+use eleos::frontend::GroupCommitPolicy;
+use eleos::sharded::{ShardedEleos, ShardedFrontend};
+use eleos::{EleosConfig, EleosError, WriteBatch};
 use eleos_flash::{CostProfile, FaultInjector, FlashDevice, Geometry, WblockAddr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,7 +42,8 @@ use std::fmt;
 /// script.
 #[derive(Debug, Clone)]
 pub struct ChaosConfig {
-    /// Seeds the workload RNG (the fault injector uses `seed ^ 0xFA17`).
+    /// Seeds the workload RNG (shard `s`'s fault injector uses
+    /// `seed ^ 0xFA17 ^ (s << 32)`).
     pub seed: u64,
     /// Crash/recover cycles to run.
     pub cycles: usize,
@@ -43,15 +54,19 @@ pub struct ChaosConfig {
     /// (suppressed during recovery itself; the bad region stays active).
     pub fail_p: f64,
     /// Persistent bad region: every WBLOCK of this `(channel, eblock)`
-    /// fails all programs forever. `None` disables the region.
+    /// fails all programs forever — on *every* shard's device. `None`
+    /// disables the region.
     pub bad_eblock: Option<(u32, u32)>,
     /// LPID key space.
     pub max_lpid: u64,
     /// Concurrent client streams. `1` drives the controller directly
     /// (the classic single-writer soak); `> 1` drives it through the
-    /// group-commit [`Frontend`] with one shadow map per client, each
-    /// client confined to its private `max_lpid / clients` LPID slice.
+    /// group-commit [`ShardedFrontend`] with one shadow map per client,
+    /// each client confined to its private `max_lpid / clients` slice.
     pub clients: usize,
+    /// Controller shards. `1` is the unsharded path; `> 1` hash-routes
+    /// LPIDs across shards so batches straddle them and commit via 2PC.
+    pub shards: usize,
 }
 
 impl Default for ChaosConfig {
@@ -64,6 +79,7 @@ impl Default for ChaosConfig {
             bad_eblock: Some((2, 7)),
             max_lpid: 512,
             clients: 1,
+            shards: 1,
         }
     }
 }
@@ -86,15 +102,15 @@ pub struct ChaosReport {
     pub deletes: u64,
     /// Read audits performed (individual page comparisons).
     pub audited_pages: u64,
-    /// Program failures the controller handled, summed across lives
-    /// (the in-controller counter resets on recovery).
+    /// Program failures the controller handled, summed across lives and
+    /// shards (the in-controller counter resets on recovery).
     pub program_failures: u64,
-    /// Internal bounded retries, summed across lives.
+    /// Internal bounded retries, summed across lives and shards.
     pub action_retries: u64,
-    /// EBLOCKs permanently retired by the end of the run (from the
-    /// summary, so it survives recovery).
+    /// EBLOCKs permanently retired by the end of the run, summed across
+    /// shards (from the summary, so it survives recovery).
     pub retired_eblocks: u64,
-    /// Checkpoints taken, summed across lives.
+    /// Checkpoints taken, summed across lives and shards.
     pub checkpoints: u64,
     /// Distinct live pages at the end.
     pub live_pages: u64,
@@ -105,8 +121,8 @@ pub struct ChaosReport {
 
 /// A divergence between the device and the oracle (or an invariant
 /// violation). Carries everything needed to replay the failing run, plus
-/// the tail of the controller's structured event ring — the last thing
-/// the controller was doing when the oracle caught it.
+/// the tail of each shard's structured event ring — the last thing the
+/// controllers were doing when the oracle caught them.
 #[derive(Debug, Clone)]
 pub struct ChaosFailure {
     pub seed: u64,
@@ -115,8 +131,8 @@ pub struct ChaosFailure {
     pub what: String,
     pub config: ChaosConfig,
     /// Most recent structured telemetry events at the divergence, oldest
-    /// first (empty when the controller no longer exists, e.g. a failed
-    /// format or recovery).
+    /// first, each prefixed by its shard (empty when the controller no
+    /// longer exists, e.g. a failed format or recovery).
     pub events: Vec<String>,
 }
 
@@ -133,9 +149,14 @@ impl ChaosFailure {
         } else {
             String::new()
         };
+        let shards = if self.config.shards > 1 {
+            format!(" --shards {}", self.config.shards)
+        } else {
+            String::new()
+        };
         format!(
             "cargo run --release -p eleos-bench --bin chaos -- --seed {} --cycles {} \
-             --steps {} --fail-p {} {bad}{clients}",
+             --steps {} --fail-p {} {bad}{clients}{shards}",
             self.seed, self.config.cycles, self.config.steps_per_cycle, self.config.fail_p
         )
     }
@@ -168,15 +189,22 @@ fn controller_cfg(max_lpid: u64) -> EleosConfig {
     }
 }
 
-fn make_device(cfg: &ChaosConfig) -> FlashDevice {
-    let geo = Geometry::tiny();
-    let mut faults = FaultInjector::probabilistic(cfg.fail_p, cfg.seed ^ 0xFA17);
-    if let Some((ch, eb)) = cfg.bad_eblock {
-        for w in 0..geo.wblocks_per_eblock {
-            faults.add_bad_wblock(WblockAddr::new(ch, eb, w));
-        }
-    }
-    FlashDevice::new(geo, CostProfile::unit()).with_faults(faults)
+/// One `tiny` device per shard, each with its own fault injector (distinct
+/// probabilistic stream per shard, same bad region).
+fn make_devices(cfg: &ChaosConfig) -> Vec<FlashDevice> {
+    (0..cfg.shards)
+        .map(|s| {
+            let geo = Geometry::tiny();
+            let mut faults =
+                FaultInjector::probabilistic(cfg.fail_p, cfg.seed ^ 0xFA17 ^ ((s as u64) << 32));
+            if let Some((ch, eb)) = cfg.bad_eblock {
+                for w in 0..geo.wblocks_per_eblock {
+                    faults.add_bad_wblock(WblockAddr::new(ch, eb, w));
+                }
+            }
+            FlashDevice::new(geo, CostProfile::unit()).with_faults(faults)
+        })
+        .collect()
 }
 
 /// Deterministic page content: recomputable from `(lpid, version)` so the
@@ -187,8 +215,71 @@ fn page_content(lpid: u64, version: u64, len: usize) -> Vec<u8> {
         .collect()
 }
 
+/// Event-ring tails of every shard, each line prefixed with its shard id.
+fn recent_events(sh: &ShardedEleos, n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for s in 0..sh.n_shards() {
+        out.extend(
+            sh.shard(s)
+                .recent_events(n)
+                .into_iter()
+                .map(|e| format!("shard {s}: {e}")),
+        );
+    }
+    out
+}
+
+/// A write or delete whose call returned `ShutDown` mid-commit: the 2PC
+/// decision may or may not have reached the coordinator log, so after
+/// recovery it is either fully durable or fully rolled back.
+enum Undecided {
+    Write(Vec<(u64, Vec<u8>)>),
+    Delete(Vec<u64>),
+}
+
+/// Resolve an undecided operation after recovery: if *every* page reads
+/// back in the new state, the coordinator committed it — apply it to the
+/// oracle. If not, leave the oracle on the old state; the full
+/// differential audit right after catches any torn middle ground.
+fn resolve_undecided(
+    sh: &mut ShardedEleos,
+    undecided: Option<Undecided>,
+    shadow: &mut BTreeMap<u64, Vec<u8>>,
+    deleted: &mut BTreeSet<u64>,
+    report: &mut ChaosReport,
+) {
+    match undecided {
+        None => {}
+        Some(Undecided::Write(pages)) => {
+            let committed = pages
+                .iter()
+                .all(|(l, d)| matches!(sh.read(*l), Ok(got) if got.as_ref() == d.as_slice()));
+            if committed {
+                report.batches += 1;
+                for (l, d) in pages {
+                    deleted.remove(&l);
+                    shadow.insert(l, d);
+                }
+            }
+        }
+        Some(Undecided::Delete(lpids)) => {
+            let committed = lpids
+                .iter()
+                .all(|l| matches!(sh.read(*l), Err(EleosError::NotFound(_))));
+            if committed {
+                report.deletes += 1;
+                for l in lpids {
+                    shadow.remove(&l);
+                    deleted.insert(l);
+                }
+            }
+        }
+    }
+}
+
 /// Run one chaos soak to completion. `Ok` means zero divergences.
 pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
+    assert!(cfg.shards >= 1, "shards must be >= 1");
     if cfg.clients > 1 {
         return run_chaos_multi(cfg);
     }
@@ -202,7 +293,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
     };
 
     let ecfg = controller_cfg(cfg.max_lpid);
-    let mut ssd = Eleos::format(make_device(cfg), ecfg.clone()).map_err(|e| {
+    let mut sh = ShardedEleos::format(make_devices(cfg), &ecfg).map_err(|e| {
         Box::new(ChaosFailure {
             seed: cfg.seed,
             cycle: 0,
@@ -223,32 +314,34 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
             events: Vec::new(),
         })
     };
-    // Attach the event-ring tail once the failure is a value (the mutable
+    // Attach the event-ring tails once the failure is a value (the mutable
     // controller borrow that produced it has ended by then).
-    let with_events = |mut f: Box<ChaosFailure>, ssd: &Eleos| {
-        f.events = ssd.recent_events(16);
+    let with_events = |mut f: Box<ChaosFailure>, sh: &ShardedEleos| {
+        f.events = recent_events(sh, 16);
         f
     };
 
     for cycle in 0..cfg.cycles {
         let steps = rng.gen_range(cfg.steps_per_cycle / 2..=cfg.steps_per_cycle.max(2));
         let mut want_crash = false;
+        let mut undecided: Option<Undecided> = None;
         for step in 0..steps {
             // Accumulate volatile controller counters before any crash.
             let roll: u32 = rng.gen_range(0..100);
             let outcome: Result<(), Box<ChaosFailure>> = if roll < 55 {
                 chaos_write(
-                    cfg, &mut rng, &mut ssd, &mut shadow, &mut deleted, &mut version, &mut report,
+                    cfg, &mut rng, &mut sh, &mut shadow, &mut deleted, &mut version,
+                    &mut undecided, &mut report,
                 )
                 .map_err(|w| fail(cycle, step, w))
             } else if roll < 70 {
-                chaos_audit(&mut rng, &mut ssd, &shadow, &deleted, &mut report)
+                chaos_audit(&mut rng, &mut sh, &shadow, &deleted, &mut report)
                     .map_err(|w| fail(cycle, step, w))
             } else if roll < 80 {
-                chaos_delete(&mut rng, &mut ssd, &mut shadow, &mut deleted, &mut report)
+                chaos_delete(&mut rng, &mut sh, &mut shadow, &mut deleted, &mut undecided, &mut report)
                     .map_err(|w| fail(cycle, step, w))
             } else if roll < 90 {
-                match ssd.checkpoint() {
+                match sh.checkpoint() {
                     Ok(()) | Err(EleosError::ActionAborted) | Err(EleosError::DeviceFull) => Ok(()),
                     Err(EleosError::ShutDown) => {
                         want_crash = true;
@@ -257,7 +350,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
                     Err(e) => Err(fail(cycle, step, format!("checkpoint failed: {e}"))),
                 }
             } else {
-                match ssd.maintenance() {
+                match sh.maintenance() {
                     Ok(()) | Err(EleosError::ActionAborted) | Err(EleosError::DeviceFull) => Ok(()),
                     Err(EleosError::ShutDown) => {
                         want_crash = true;
@@ -266,76 +359,94 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
                     Err(e) => Err(fail(cycle, step, format!("maintenance failed: {e}"))),
                 }
             };
-            outcome.map_err(|f| with_events(f, &ssd))?;
-            if want_crash {
+            outcome.map_err(|f| with_events(f, &sh))?;
+            if want_crash || undecided.is_some() {
                 break;
             }
         }
-        if want_crash {
+        if want_crash || undecided.is_some() {
             report.shutdowns += 1;
         }
 
-        // CRASH: only the flash array (with its fault injector) survives.
-        accumulate(&mut report, &ssd);
+        // CRASH: only the flash arrays (with their fault injectors) survive.
+        accumulate(&mut report, &sh);
         report.crashes += 1;
-        let mut flash = ssd.crash();
+        let mut devs = sh.crash();
         // A real deployment would retry recovery until it sticks; for a
         // deterministic soak, quiesce the *probabilistic* faults during
         // recovery. The persistent bad region stays active — recovery must
         // handle it (and does, via migrate + retirement).
-        flash.faults_mut().set_probability(0.0);
-        ssd = match Eleos::recover(flash, ecfg.clone()) {
+        for d in &mut devs {
+            d.faults_mut().set_probability(0.0);
+        }
+        sh = match ShardedEleos::recover(devs, &ecfg) {
             Ok(s) => s,
             Err(e) => {
                 return Err(fail(cycle, 0, format!("recovery failed: {e}")));
             }
         };
-        ssd.device_mut().faults_mut().set_probability(cfg.fail_p);
+        for s in 0..cfg.shards {
+            sh.shard_mut(s).device_mut().faults_mut().set_probability(cfg.fail_p);
+        }
+
+        // A ShutDown mid-2PC left one group undecided at the host; recovery
+        // has now decided it. Sync the oracle before the audit.
+        resolve_undecided(&mut sh, undecided, &mut shadow, &mut deleted, &mut report);
 
         // Full differential audit against the oracle.
         for (lpid, expect) in &shadow {
-            match ssd.read(*lpid) {
+            match sh.read(*lpid) {
                 Ok(got) if got.as_ref() == expect.as_slice() => {}
                 Ok(got) => {
                     let what = format!(
-                        "post-recovery corruption: lpid {lpid} expected {} bytes, got {} \
-                         (content differs)",
+                        "post-recovery corruption: lpid {lpid} (shard {}) expected {} bytes, \
+                         got {} (content differs)",
+                        sh.shard_of(*lpid),
                         expect.len(),
                         got.len()
                     );
-                    return Err(with_events(fail(cycle, 0, what), &ssd));
+                    return Err(with_events(fail(cycle, 0, what), &sh));
                 }
                 Err(e) => {
-                    let what = format!("post-recovery loss: lpid {lpid} unreadable: {e}");
-                    return Err(with_events(fail(cycle, 0, what), &ssd));
+                    let what = format!(
+                        "post-recovery loss: lpid {lpid} (shard {}) unreadable: {e}",
+                        sh.shard_of(*lpid)
+                    );
+                    return Err(with_events(fail(cycle, 0, what), &sh));
                 }
             }
             report.audited_pages += 1;
         }
         for lpid in &deleted {
-            match ssd.read(*lpid) {
+            match sh.read(*lpid) {
                 Err(EleosError::NotFound(_)) => {}
                 Ok(_) => {
-                    let what = format!("post-recovery resurrection: deleted lpid {lpid} readable");
-                    return Err(with_events(fail(cycle, 0, what), &ssd));
+                    let what = format!(
+                        "post-recovery resurrection: deleted lpid {lpid} (shard {}) readable",
+                        sh.shard_of(*lpid)
+                    );
+                    return Err(with_events(fail(cycle, 0, what), &sh));
                 }
                 Err(e) => {
-                    let what = format!("post-recovery: deleted lpid {lpid} errored oddly: {e}");
-                    return Err(with_events(fail(cycle, 0, what), &ssd));
+                    let what = format!(
+                        "post-recovery: deleted lpid {lpid} (shard {}) errored oddly: {e}",
+                        sh.shard_of(*lpid)
+                    );
+                    return Err(with_events(fail(cycle, 0, what), &sh));
                 }
             }
         }
 
         // Capacity-accounting invariant: retired bytes in the space report
         // must exactly match the retired descriptors, and the partition
-        // must cover the device.
-        if let Some(what) = capacity_invariant(&ssd) {
-            return Err(with_events(fail(cycle, 0, what), &ssd));
+        // must cover the device — on every shard.
+        if let Some(what) = capacity_invariant(&sh) {
+            return Err(with_events(fail(cycle, 0, what), &sh));
         }
     }
 
-    accumulate(&mut report, &ssd);
-    report.retired_eblocks = retired_count(&ssd);
+    accumulate(&mut report, &sh);
+    report.retired_eblocks = retired_count(&sh);
     report.live_pages = shadow.len() as u64;
     Ok(report)
 }
@@ -378,7 +489,7 @@ fn absorb_frontend_result<T>(
 type StagedBatch = (u64, Vec<(u64, Vec<u8>)>);
 
 fn reconcile_acks(
-    fe: &Frontend,
+    fe: &ShardedFrontend,
     staged: &mut [std::collections::VecDeque<StagedBatch>],
     applied: &mut [u64],
     shadows: &mut [BTreeMap<u64, Vec<u8>>],
@@ -412,16 +523,73 @@ fn reconcile_acks(
     Ok(())
 }
 
-/// Multi-client soak: N client streams drive the controller through the
-/// group-commit [`Frontend`], each confined to a private LPID slice with
-/// its own shadow map and tombstone set. The oracle's contract sharpens
-/// the single-client one:
+/// After recovery, absorb the longest staged prefix of one client that is
+/// durably visible. A mid-flush `ShutDown` can leave the in-flight group
+/// coordinator-committed — recovery then *redoes* it on every shard even
+/// though no client saw an ACK — so "discard everything unACKed" would
+/// diverge from the durable state. Only LPIDs the staged batches touch are
+/// probed; the full differential audit afterwards re-verifies everything.
+fn absorb_staged_after_recovery(
+    sh: &mut ShardedEleos,
+    staged: &mut std::collections::VecDeque<StagedBatch>,
+    shadow: &mut BTreeMap<u64, Vec<u8>>,
+    deleted: &mut BTreeSet<u64>,
+    report: &mut ChaosReport,
+) {
+    let touched: BTreeSet<u64> = staged
+        .iter()
+        .flat_map(|(_, pages)| pages.iter().map(|(l, _)| *l))
+        .collect();
+    if touched.is_empty() {
+        return;
+    }
+    for p in (0..=staged.len()).rev() {
+        // Expected content of each touched LPID under "first p staged
+        // batches applied": `None` means NotFound.
+        let mut exp: BTreeMap<u64, Option<&[u8]>> = touched
+            .iter()
+            .map(|l| (*l, shadow.get(l).map(|v| v.as_slice())))
+            .collect();
+        for (_, pages) in staged.iter().take(p) {
+            for (l, d) in pages {
+                exp.insert(*l, Some(d.as_slice()));
+            }
+        }
+        let matches = exp.iter().all(|(l, want)| match (sh.read(*l), want) {
+            (Ok(got), Some(want)) => got.as_ref() == *want,
+            (Err(EleosError::NotFound(_)), None) => true,
+            _ => false,
+        });
+        drop(exp);
+        if matches {
+            report.batches += p as u64;
+            for (_, pages) in staged.iter().take(p) {
+                for (l, d) in pages {
+                    deleted.remove(l);
+                    shadow.insert(*l, d.clone());
+                }
+            }
+            break;
+        }
+        // p == 0 not matching either: leave the oracle on the acked state;
+        // the audit below reports the divergence with full detail.
+    }
+    staged.clear();
+}
+
+/// Multi-client soak: N client streams drive the sharded router through
+/// the group-commit [`ShardedFrontend`], each confined to a private LPID
+/// slice with its own shadow map and tombstone set. The oracle's contract
+/// sharpens the single-client one:
 ///
 /// * a client batch enters its shadow only when the front-end ACKs it
-///   (covering group durable) — never at submission;
-/// * batches queued but unACKed at a crash are discarded, exactly like a
-///   host losing its in-flight requests;
-/// * divergence dumps name the client and the group id in flight.
+///   (covering group durable on every shard it touched) — never at
+///   submission;
+/// * batches queued but unACKed at a crash are discarded — unless
+///   recovery proves the in-flight group's coordinator decision was
+///   already durable, in which case the redone prefix is absorbed;
+/// * divergence dumps name the client, the owning shard and the group id
+///   in flight.
 fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
     use std::collections::VecDeque;
     let clients = cfg.clients;
@@ -448,7 +616,7 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
     };
 
     let ecfg = controller_cfg(cfg.max_lpid);
-    let mut ssd = Eleos::format(make_device(cfg), ecfg.clone()).map_err(|e| {
+    let mut sh = ShardedEleos::format(make_devices(cfg), &ecfg).map_err(|e| {
         Box::new(ChaosFailure {
             seed: cfg.seed,
             cycle: 0,
@@ -458,7 +626,7 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
             events: Vec::new(),
         })
     })?;
-    let mut fe = Frontend::new(clients, policy.clone());
+    let mut fe = ShardedFrontend::new(clients, policy.clone());
 
     let fail = |cycle: usize, step: usize, what: String| {
         Box::new(ChaosFailure {
@@ -470,14 +638,18 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
             events: Vec::new(),
         })
     };
-    let with_events = |mut f: Box<ChaosFailure>, ssd: &Eleos| {
-        f.events = ssd.recent_events(16);
+    let with_events = |mut f: Box<ChaosFailure>, sh: &ShardedEleos| {
+        f.events = recent_events(sh, 16);
         f
     };
 
     for cycle in 0..cfg.cycles {
         let steps = rng.gen_range(cfg.steps_per_cycle / 2..=cfg.steps_per_cycle.max(2));
         let mut want_crash = false;
+        // A direct delete that returned ShutDown mid-2PC (undecided at the
+        // host; recovery decides it). Staged *writes* are handled by
+        // absorb_staged_after_recovery.
+        let mut undecided: Option<(usize, Undecided)> = None;
         for step in 0..steps {
             let roll: u32 = rng.gen_range(0..100);
             let outcome: Result<Disposition, String> = if roll < 55 {
@@ -497,12 +669,12 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
                     b.put(lpid, &data)
                         .map_err(|e| format!("put failed: {e}"))
                         .map_err(|w| fail(cycle, step, w))
-                        .map_err(|f| with_events(f, &ssd))?;
+                        .map_err(|f| with_events(f, &sh))?;
                     pages.push((lpid, data));
                 }
                 at += rng.gen_range(2_000..30_000);
                 let pre = fe.submitted_batches(client);
-                let res = fe.submit(&mut ssd, client, at, b);
+                let res = fe.submit(&mut sh, client, at, b);
                 if fe.submitted_batches(client) > pre {
                     // The batch made it into the queue (even if a flush
                     // attempt afterwards errored): stage it for its ACK.
@@ -518,13 +690,13 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
                 // invisible here by design: unACKed writes have no
                 // durability claim.
                 let client = rng.gen_range(0..clients);
-                chaos_audit(&mut rng, &mut ssd, &shadows[client], &deleteds[client], &mut report)
+                chaos_audit(&mut rng, &mut sh, &shadows[client], &deleteds[client], &mut report)
                     .map(|()| Disposition::Continue)
                     .map_err(|w| format!("client {client}: {w}"))
             } else if roll < 80 {
                 // Deletes bypass the front-end, so drain it first: a queued
                 // write of an LPID must not land after its delete.
-                let res = fe.flush(&mut ssd);
+                let res = fe.flush(&mut sh);
                 reconcile_acks(
                     &fe, &mut staged, &mut applied, &mut shadows, &mut deleteds,
                     &mut report,
@@ -533,22 +705,32 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
                 .and_then(|d| match d {
                     Disposition::Continue if fe.pending_batches() == 0 => {
                         let client = rng.gen_range(0..clients);
-                        chaos_delete(
+                        let mut und: Option<Undecided> = None;
+                        let r = chaos_delete(
                             &mut rng,
-                            &mut ssd,
+                            &mut sh,
                             &mut shadows[client],
                             &mut deleteds[client],
+                            &mut und,
                             &mut report,
                         )
                         .map(|()| Disposition::Continue)
-                        .map_err(|w| format!("client {client}: {w}"))
+                        .map_err(|w| format!("client {client}: {w}"));
+                        if let Some(u) = und {
+                            // Undecided mid-2PC delete: force the crash so
+                            // recovery decides it.
+                            undecided = Some((client, u));
+                            r.map(|_| Disposition::Crash)
+                        } else {
+                            r
+                        }
                     }
                     // Drain didn't complete (transient error): skip the
                     // delete this step rather than reorder around the queue.
                     d => Ok(d),
                 })
             } else if roll < 90 {
-                match ssd.checkpoint() {
+                match sh.checkpoint() {
                     Ok(()) | Err(EleosError::ActionAborted) | Err(EleosError::DeviceFull) => {
                         Ok(Disposition::Continue)
                     }
@@ -556,7 +738,7 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
                     Err(e) => Err(format!("checkpoint failed: {e}")),
                 }
             } else {
-                match ssd.maintenance() {
+                match sh.maintenance() {
                     Ok(()) | Err(EleosError::ActionAborted) | Err(EleosError::DeviceFull) => {
                         Ok(Disposition::Continue)
                     }
@@ -570,137 +752,176 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
                     want_crash = true;
                     break;
                 }
-                Err(w) => return Err(with_events(fail(cycle, step, w), &ssd)),
+                Err(w) => return Err(with_events(fail(cycle, step, w), &sh)),
             }
         }
         if want_crash {
             report.shutdowns += 1;
         }
 
-        // CRASH: queued-but-unACKed client batches die with the host side;
-        // the oracle forgets them the same way.
+        // CRASH: queued-but-unACKed client batches die with the host side
+        // unless recovery proves their covering group committed.
         let inflight_group = fe.next_group_id();
         report.groups += fe.groups_flushed();
-        for c in 0..clients {
-            staged[c].clear();
-            applied[c] = 0;
-        }
-        accumulate(&mut report, &ssd);
+        accumulate(&mut report, &sh);
         report.crashes += 1;
-        let mut flash = ssd.crash();
-        flash.faults_mut().set_probability(0.0);
-        ssd = match Eleos::recover(flash, ecfg.clone()) {
+        let mut devs = sh.crash();
+        for d in &mut devs {
+            d.faults_mut().set_probability(0.0);
+        }
+        sh = match ShardedEleos::recover(devs, &ecfg) {
             Ok(s) => s,
             Err(e) => {
                 return Err(fail(cycle, 0, format!("recovery failed: {e}")));
             }
         };
-        ssd.device_mut().faults_mut().set_probability(cfg.fail_p);
-        fe = Frontend::new(clients, policy.clone());
+        for s in 0..cfg.shards {
+            sh.shard_mut(s).device_mut().faults_mut().set_probability(cfg.fail_p);
+        }
+        fe = ShardedFrontend::new(clients, policy.clone());
+
+        if let Some((client, u)) = undecided.take() {
+            resolve_undecided(
+                &mut sh,
+                Some(u),
+                &mut shadows[client],
+                &mut deleteds[client],
+                &mut report,
+            );
+        }
+        for c in 0..clients {
+            absorb_staged_after_recovery(
+                &mut sh,
+                &mut staged[c],
+                &mut shadows[c],
+                &mut deleteds[c],
+                &mut report,
+            );
+            applied[c] = 0;
+        }
 
         // Full differential audit, client by client. Divergences name the
-        // client and the group that was in flight when power went out.
+        // client, the owning shard and the group that was in flight when
+        // power went out.
         for c in 0..clients {
             for (lpid, expect) in &shadows[c] {
-                match ssd.read(*lpid) {
+                match sh.read(*lpid) {
                     Ok(got) if got.as_ref() == expect.as_slice() => {}
                     Ok(got) => {
                         let what = format!(
-                            "client {c}: post-recovery corruption: lpid {lpid} expected \
-                             {} bytes, got {} (group {inflight_group} in flight at crash)",
+                            "client {c}: post-recovery corruption: lpid {lpid} (shard {}) \
+                             expected {} bytes, got {} (group {inflight_group} in flight \
+                             at crash)",
+                            sh.shard_of(*lpid),
                             expect.len(),
                             got.len()
                         );
-                        return Err(with_events(fail(cycle, 0, what), &ssd));
+                        return Err(with_events(fail(cycle, 0, what), &sh));
                     }
                     Err(e) => {
                         let what = format!(
-                            "client {c}: post-recovery loss: ACKed lpid {lpid} unreadable: \
-                             {e} (group {inflight_group} in flight at crash)"
+                            "client {c}: post-recovery loss: ACKed lpid {lpid} (shard {}) \
+                             unreadable: {e} (group {inflight_group} in flight at crash)",
+                            sh.shard_of(*lpid)
                         );
-                        return Err(with_events(fail(cycle, 0, what), &ssd));
+                        return Err(with_events(fail(cycle, 0, what), &sh));
                     }
                 }
                 report.audited_pages += 1;
             }
             for lpid in &deleteds[c] {
-                match ssd.read(*lpid) {
+                match sh.read(*lpid) {
                     Err(EleosError::NotFound(_)) => {}
                     Ok(_) => {
                         let what = format!(
                             "client {c}: post-recovery resurrection: deleted lpid {lpid} \
-                             readable (group {inflight_group} in flight at crash)"
+                             (shard {}) readable (group {inflight_group} in flight at crash)",
+                            sh.shard_of(*lpid)
                         );
-                        return Err(with_events(fail(cycle, 0, what), &ssd));
+                        return Err(with_events(fail(cycle, 0, what), &sh));
                     }
                     Err(e) => {
                         let what = format!(
-                            "client {c}: post-recovery: deleted lpid {lpid} errored \
-                             oddly: {e}"
+                            "client {c}: post-recovery: deleted lpid {lpid} (shard {}) \
+                             errored oddly: {e}",
+                            sh.shard_of(*lpid)
                         );
-                        return Err(with_events(fail(cycle, 0, what), &ssd));
+                        return Err(with_events(fail(cycle, 0, what), &sh));
                     }
                 }
             }
         }
 
-        if let Some(what) = capacity_invariant(&ssd) {
-            return Err(with_events(fail(cycle, 0, what), &ssd));
+        if let Some(what) = capacity_invariant(&sh) {
+            return Err(with_events(fail(cycle, 0, what), &sh));
         }
     }
 
-    accumulate(&mut report, &ssd);
+    accumulate(&mut report, &sh);
     report.groups += fe.groups_flushed();
-    report.retired_eblocks = retired_count(&ssd);
+    report.retired_eblocks = retired_count(&sh);
     report.live_pages = shadows.iter().map(|s| s.len() as u64).sum();
     Ok(report)
 }
 
-/// Check the space-accounting invariants; `Some(description)` on violation.
-fn capacity_invariant(ssd: &Eleos) -> Option<String> {
-    let geo = *ssd.device().geometry();
-    let r = ssd.space_report();
-    let retired = retired_count(ssd);
-    if r.retired_bytes != retired * geo.eblock_bytes() {
-        return Some(format!(
-            "space report counts {} retired bytes but the summary holds {} retired EBLOCKs \
-             ({} bytes each)",
-            r.retired_bytes,
-            retired,
-            geo.eblock_bytes()
-        ));
-    }
-    let covered = r.free_bytes + r.retired_bytes + r.overhead_bytes;
-    if covered > r.total_bytes {
-        return Some(format!(
-            "space report over-covers the device: free {} + retired {} + overhead {} > total {}",
-            r.free_bytes, r.retired_bytes, r.overhead_bytes, r.total_bytes
-        ));
+/// Check the space-accounting invariants on every shard; `Some(description)`
+/// on violation.
+fn capacity_invariant(sh: &ShardedEleos) -> Option<String> {
+    for s in 0..sh.n_shards() {
+        let ssd = sh.shard(s);
+        let geo = *ssd.device().geometry();
+        let r = ssd.space_report();
+        let retired = retired_on(ssd);
+        if r.retired_bytes != retired * geo.eblock_bytes() {
+            return Some(format!(
+                "shard {s}: space report counts {} retired bytes but the summary holds {} \
+                 retired EBLOCKs ({} bytes each)",
+                r.retired_bytes,
+                retired,
+                geo.eblock_bytes()
+            ));
+        }
+        let covered = r.free_bytes + r.retired_bytes + r.overhead_bytes;
+        if covered > r.total_bytes {
+            return Some(format!(
+                "shard {s}: space report over-covers the device: free {} + retired {} + \
+                 overhead {} > total {}",
+                r.free_bytes, r.retired_bytes, r.overhead_bytes, r.total_bytes
+            ));
+        }
     }
     None
 }
 
-fn retired_count(ssd: &Eleos) -> u64 {
+fn retired_on(ssd: &eleos::Eleos) -> u64 {
     ssd.eblock_report()
         .iter()
         .filter(|(_, _, state, _, _)| state == "Retired")
         .count() as u64
 }
 
-fn accumulate(report: &mut ChaosReport, ssd: &Eleos) {
-    let s = ssd.snapshot().eleos;
-    report.program_failures += s.program_failures;
-    report.action_retries += s.action_retries;
-    report.checkpoints += s.checkpoints;
+fn retired_count(sh: &ShardedEleos) -> u64 {
+    (0..sh.n_shards()).map(|s| retired_on(sh.shard(s))).sum()
 }
 
+fn accumulate(report: &mut ChaosReport, sh: &ShardedEleos) {
+    for snap in sh.snapshots() {
+        let s = snap.eleos;
+        report.program_failures += s.program_failures;
+        report.action_retries += s.action_retries;
+        report.checkpoints += s.checkpoints;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn chaos_write(
     cfg: &ChaosConfig,
     rng: &mut StdRng,
-    ssd: &mut Eleos,
+    sh: &mut ShardedEleos,
     shadow: &mut BTreeMap<u64, Vec<u8>>,
     deleted: &mut BTreeSet<u64>,
     version: &mut u64,
+    undecided: &mut Option<Undecided>,
     report: &mut ChaosReport,
 ) -> Result<(), String> {
     let mut b = WriteBatch::new(eleos::PageMode::Variable);
@@ -717,7 +938,7 @@ fn chaos_write(
     }
     // Section VII contract: ActionAborted means "retry the buffer".
     for _attempt in 0..8 {
-        match ssd.write(&b, WriteOpts::default()) {
+        match sh.write_group(&b) {
             Ok(_) => {
                 report.batches += 1;
                 for (l, d) in staged {
@@ -734,14 +955,19 @@ fn chaos_write(
                 // Genuinely full (retirement shrinks capacity): the batch
                 // is dropped, the shadow unchanged. Nudge GC to reclaim.
                 report.device_full += 1;
-                match ssd.maintenance() {
+                match sh.maintenance() {
                     Ok(()) | Err(EleosError::ActionAborted) | Err(EleosError::DeviceFull) => {}
                     Err(EleosError::ShutDown) => return Ok(()), // next crash handles it
                     Err(e) => return Err(format!("maintenance after DeviceFull failed: {e}")),
                 }
                 return Ok(());
             }
-            Err(EleosError::ShutDown) => return Ok(()), // absorbed by the next crash
+            Err(EleosError::ShutDown) => {
+                // Mid-2PC shutdown: the commit decision is undecided at the
+                // host. Recovery (after the crash this forces) decides it.
+                *undecided = Some(Undecided::Write(staged));
+                return Ok(());
+            }
             Err(e) => return Err(format!("write failed non-retryably: {e}")),
         }
     }
@@ -752,9 +978,10 @@ fn chaos_write(
 
 fn chaos_delete(
     rng: &mut StdRng,
-    ssd: &mut Eleos,
+    sh: &mut ShardedEleos,
     shadow: &mut BTreeMap<u64, Vec<u8>>,
     deleted: &mut BTreeSet<u64>,
+    undecided: &mut Option<Undecided>,
     report: &mut ChaosReport,
 ) -> Result<(), String> {
     if shadow.is_empty() {
@@ -770,7 +997,7 @@ fn chaos_delete(
         }
     }
     for _attempt in 0..8 {
-        match ssd.delete_batch(&pick) {
+        match sh.delete_batch(&pick) {
             Ok(()) => {
                 report.deletes += 1;
                 for l in &pick {
@@ -783,7 +1010,11 @@ fn chaos_delete(
                 report.aborts_retried += 1;
                 continue;
             }
-            Err(EleosError::ShutDown) | Err(EleosError::DeviceFull) => return Ok(()),
+            Err(EleosError::ShutDown) => {
+                *undecided = Some(Undecided::Delete(pick));
+                return Ok(());
+            }
+            Err(EleosError::DeviceFull) => return Ok(()),
             Err(e) => return Err(format!("delete_batch failed non-retryably: {e}")),
         }
     }
@@ -792,7 +1023,7 @@ fn chaos_delete(
 
 fn chaos_audit(
     rng: &mut StdRng,
-    ssd: &mut Eleos,
+    sh: &mut ShardedEleos,
     shadow: &BTreeMap<u64, Vec<u8>>,
     deleted: &BTreeSet<u64>,
     report: &mut ChaosReport,
@@ -801,14 +1032,15 @@ fn chaos_audit(
         let keys: Vec<u64> = shadow.keys().copied().collect();
         let n = rng.gen_range(1..=12usize.min(keys.len()));
         let lpids: Vec<u64> = (0..n).map(|_| keys[rng.gen_range(0..keys.len())]).collect();
-        let pages = ssd
+        let pages = sh
             .read_batch(&lpids)
             .map_err(|e| format!("read_batch of live lpids failed: {e}"))?;
         for (lpid, got) in lpids.iter().zip(pages.iter()) {
             let expect = &shadow[lpid];
             if got.as_ref() != expect.as_slice() {
                 return Err(format!(
-                    "live read divergence: lpid {lpid} expected {} bytes, got {}",
+                    "live read divergence: lpid {lpid} (shard {}) expected {} bytes, got {}",
+                    sh.shard_of(*lpid),
                     expect.len(),
                     got.len()
                 ));
@@ -817,7 +1049,7 @@ fn chaos_audit(
         }
     }
     if let Some(&lpid) = deleted.iter().next() {
-        match ssd.read(lpid) {
+        match sh.read(lpid) {
             Err(EleosError::NotFound(_)) => {}
             Ok(_) => return Err(format!("deleted lpid {lpid} still readable")),
             Err(e) => return Err(format!("deleted lpid {lpid} errored oddly: {e}")),
@@ -914,6 +1146,41 @@ mod tests {
         assert!(r.crashes >= 3);
     }
 
+    /// Sharded smoke: four client streams over two controller shards, so
+    /// merged groups straddle shards and commit via 2PC; must complete
+    /// divergence-free.
+    #[test]
+    fn sharded_chaos_smoke_fixed_seed() {
+        let cfg = ChaosConfig {
+            seed: 13,
+            cycles: 3,
+            steps_per_cycle: 24,
+            clients: 4,
+            shards: 2,
+            ..Default::default()
+        };
+        let r = run_chaos(&cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert!(r.batches > 0, "soak acked no client batches");
+        assert!(r.groups > 0, "front-end flushed no groups");
+        assert!(r.crashes >= 3);
+    }
+
+    /// Direct (no front-end) sharded smoke: single-writer batches straddle
+    /// both shards, exercising write-path 2PC without group coalescing.
+    #[test]
+    fn sharded_single_writer_chaos_smoke_fixed_seed() {
+        let cfg = ChaosConfig {
+            seed: 17,
+            cycles: 3,
+            steps_per_cycle: 24,
+            shards: 2,
+            ..Default::default()
+        };
+        let r = run_chaos(&cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert!(r.batches > 0, "soak did no work");
+        assert!(r.crashes >= 3);
+    }
+
     #[test]
     fn repro_command_mentions_seed_and_region() {
         let multi = ChaosFailure {
@@ -923,11 +1190,13 @@ mod tests {
             what: "test".into(),
             config: ChaosConfig {
                 clients: 4,
+                shards: 2,
                 ..ChaosConfig::default()
             },
             events: Vec::new(),
         };
         assert!(multi.repro_command().contains("--clients 4"));
+        assert!(multi.repro_command().contains("--shards 2"));
         let f = ChaosFailure {
             seed: 42,
             cycle: 1,
@@ -939,6 +1208,7 @@ mod tests {
         let cmd = f.repro_command();
         assert!(cmd.contains("--seed 42"));
         assert!(cmd.contains("--bad-eblock 2/7"));
+        assert!(!cmd.contains("--shards"));
         let shown = f.to_string();
         assert!(shown.contains("last controller events"));
         assert!(shown.contains("ckpt begin lsn=7"));

@@ -266,6 +266,7 @@ pub fn bench_frontend_scale(scale: &str, label: &str, exec: ExecMode) -> BenchEn
             ExecMode::Serial => 1,
             ExecMode::Parallel { threads } => threads.max(1) as u32,
         },
+        shards: 1,
     }
 }
 

@@ -19,6 +19,7 @@ pub mod frontend_scale;
 pub mod harness;
 pub mod perfjson;
 pub mod report;
+pub mod shard_scale;
 pub mod tpcc_driver;
 pub mod ycsb_driver;
 

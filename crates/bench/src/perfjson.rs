@@ -28,6 +28,9 @@ pub struct BenchEntry {
     /// mode existed. Simulated results are identical across thread counts;
     /// this key only labels the wall-clock measurement.
     pub host_threads: u32,
+    /// Controller shards the bench ran against (`--shards`): 1 for the
+    /// unsharded path and for entries committed before sharding existed.
+    pub shards: u32,
 }
 
 /// Serialize one entry as a flat JSON object (no trailing newline).
@@ -37,7 +40,8 @@ pub fn render_entry(e: &BenchEntry, out: &mut String) {
         "  {{\"label\": \"{}\", \"bench\": \"{}\", \"scale\": \"{}\", \"ops\": {}, \
          \"host_seconds\": {:.4}, \"sim_ops_per_host_sec\": {:.1}, \
          \"bytes_programmed\": {}, \"bytes_read\": {}, \"cpu_busy_ns\": {}, \
-         \"flash_busy_ns\": {}, \"write_p99_ns\": {}, \"host_threads\": {}}}",
+         \"flash_busy_ns\": {}, \"write_p99_ns\": {}, \"host_threads\": {}, \
+         \"shards\": {}}}",
         e.label,
         e.bench,
         e.scale,
@@ -49,7 +53,8 @@ pub fn render_entry(e: &BenchEntry, out: &mut String) {
         e.cpu_busy_ns,
         e.flash_busy_ns,
         e.write_p99_ns,
-        e.host_threads
+        e.host_threads,
+        e.shards
     );
 }
 
@@ -100,6 +105,8 @@ pub fn parse_entries(text: &str) -> Vec<BenchEntry> {
             host_threads: field("host_threads")
                 .and_then(|v| v.parse::<u32>().ok())
                 .unwrap_or(1),
+            // Entries committed before sharding existed ran unsharded.
+            shards: field("shards").and_then(|v| v.parse::<u32>().ok()).unwrap_or(1),
         });
     }
     out
@@ -143,6 +150,7 @@ mod tests {
             flash_busy_ns: 888,
             write_p99_ns: 999,
             host_threads: 8,
+            shards: 4,
         };
         let mut s = String::new();
         render_entry(&e, &mut s);
@@ -155,6 +163,7 @@ mod tests {
         assert_eq!(back[0].flash_busy_ns, 888);
         assert_eq!(back[0].write_p99_ns, 999);
         assert_eq!(back[0].host_threads, 8);
+        assert_eq!(back[0].shards, 4);
     }
 
     #[test]
@@ -167,8 +176,10 @@ mod tests {
         assert_eq!(back[0].cpu_busy_ns, 0);
         assert_eq!(back[0].flash_busy_ns, 0);
         assert_eq!(back[0].write_p99_ns, 0);
-        // Pre-execution-mode entries were single-threaded, not 0-threaded.
+        // Pre-execution-mode entries were single-threaded, not 0-threaded;
+        // pre-sharding entries ran one shard, not zero.
         assert_eq!(back[0].host_threads, 1);
+        assert_eq!(back[0].shards, 1);
     }
 
     #[test]
@@ -186,6 +197,7 @@ mod tests {
             flash_busy_ns: 0,
             write_p99_ns: 0,
             host_threads: 1,
+            shards: 1,
         };
         let t = trajectory_table(&[mk("full"), mk("small"), mk("full")]);
         assert_eq!(t.rows.len(), 2);

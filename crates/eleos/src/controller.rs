@@ -109,6 +109,47 @@ pub(crate) struct ActionResult {
     pub relocations_aborted: usize,
 }
 
+/// What a prepared shard-local action will do when its group commits
+/// (cross-shard two-phase group commit; see `eleos::sharded`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PreparedKind {
+    /// A user write: stats bumped on commit, mirroring the direct path.
+    Write {
+        lpages: u64,
+        payload_bytes: u64,
+        stored_bytes: u64,
+    },
+    /// A delete (TRIM): entries install `NULL_PADDR`.
+    Delete,
+}
+
+/// One shard's durable first phase of a cross-shard group: `Write` records
+/// and data programs are on flash and a `Prepare { gid }` record is forced,
+/// but nothing is installed. The group's outcome now belongs to the
+/// coordinator — [`Eleos::commit_prepared`] or [`Eleos::abort_prepared`]
+/// finishes it (recovery resolves survivors by consulting the coordinator
+/// log for `CoordCommit { gid }`).
+#[derive(Debug, Clone)]
+pub(crate) struct PreparedAction {
+    pub id: ActionId,
+    #[allow(dead_code)]
+    pub gid: u64,
+    /// LSN of the action's first `Write` record (the install tag).
+    pub first_lsn: Lsn,
+    /// Simulated time the shard started on this sub-batch (span start).
+    pub t0: Nanos,
+    /// `(lpid, packed new address)` per page, in batch order
+    /// (`NULL_PADDR` for deletes).
+    pub entries: Vec<(Lpid, u64)>,
+    /// Provisioned addresses — freed as garbage if the group aborts
+    /// (empty for deletes, which provision nothing).
+    pub new_addrs: Vec<PhysAddr>,
+    /// When this shard's phase-1 work (data programs + forced `Prepare`)
+    /// is durable.
+    pub prepared_durable: Nanos,
+    pub kind: PreparedKind,
+}
+
 /// A planned EBLOCK close produced during provisioning.
 #[derive(Debug)]
 pub(crate) struct CloseEvent {
@@ -456,10 +497,21 @@ impl Eleos {
         // already-durable buffer and double-write it. Both are retried on a
         // later write; genuine errors (ShutDown, flash faults) still
         // propagate.
+        self.post_write_maintenance()?;
+        Ok(BatchAck {
+            lpages: pages.len(),
+            done_at: res.done_at,
+        })
+    }
+
+    /// Post-commit housekeeping: evict-flush dirty mapping pages under
+    /// cache pressure ("flushed, e.g., by page eviction or checkpointing" —
+    /// Section VIII-C2) and take an automatic checkpoint once enough log
+    /// has accumulated. The sharded router calls this only after a
+    /// cross-shard group fully resolves, so log truncation never runs
+    /// while a `Prepare` is awaiting its coordinator decision.
+    pub(crate) fn post_write_maintenance(&mut self) -> Result<()> {
         if self.mapping.overfull() {
-            // Cache pressure: evict-flush the oldest dirty mapping pages
-            // ("flushed, e.g., by page eviction or checkpointing" —
-            // Section VIII-C2).
             let dirty = self.mapping.dirty_pages();
             let k = dirty.len().min(8);
             match self.flush_map_pages(&dirty[..k]) {
@@ -473,10 +525,7 @@ impl Eleos {
                 Err(e) => return Err(e),
             }
         }
-        Ok(BatchAck {
-            lpages: pages.len(),
-            done_at: res.done_at,
-        })
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -664,6 +713,256 @@ impl Eleos {
         self.active_first_lsn.remove(&id);
         self.stats.commits += 1;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-shard two-phase group commit (shard-local half; the router
+    // lives in `eleos::sharded`)
+    // ------------------------------------------------------------------
+
+    /// Phase 1 for a user write: run the direct write path up to (and
+    /// including) the data programs, then force a `Prepare { gid }` record
+    /// instead of a `Commit`. Nothing is installed; the caller must finish
+    /// with [`Eleos::commit_prepared`] or [`Eleos::abort_prepared`]. A
+    /// program failure self-aborts exactly like the direct path (Section
+    /// VII migrate + `ActionAborted`), and the router then aborts the
+    /// group's other prepared shards.
+    pub(crate) fn prepare_write(&mut self, batch: &WriteBatch, gid: u64) -> Result<PreparedAction> {
+        self.with_activity(Activity::UserWrite, |this| this.prepare_write_impl(batch, gid))
+    }
+
+    fn prepare_write_impl(&mut self, batch: &WriteBatch, gid: u64) -> Result<PreparedAction> {
+        if self.shutdown {
+            return Err(EleosError::ShutDown);
+        }
+        if batch.is_empty() {
+            return Err(EleosError::EmptyBatch);
+        }
+        let t0 = self.dev.clock().now();
+        let bytes = Bytes::copy_from_slice(batch.as_bytes());
+        let profile = *self.dev.profile();
+        self.dev
+            .cpu(profile.host_submit_ns + profile.transport_cpu(bytes.len() as u64));
+        let entries = parse_batch(&bytes, self.cfg.page_mode)?;
+        if entries.iter().any(|e| e.kind != PageKind::User) {
+            return Err(EleosError::Corrupt("user batch contains table-page entries"));
+        }
+        let pages: Vec<ActionPage> = entries
+            .iter()
+            .map(|e| ActionPage {
+                lpid: e.lpid,
+                kind: PageKind::User,
+                bytes: bytes.slice(e.stored_range()),
+                old_addr: NULL_PADDR,
+            })
+            .collect();
+        self.maybe_gc()?;
+        self.dev
+            .cpu(profile.context_ns + profile.per_page_ns * pages.len() as u64);
+
+        let id = self.next_action;
+        self.next_action += 1;
+        let plan = self.provision(&pages, Dest::User)?;
+        let mut first_lsn = 0;
+        for (i, p) in pages.iter().enumerate() {
+            let lsn = self.log_append(&LogRecord::Write {
+                action: id,
+                akind: ActionKind::User,
+                lpid: p.lpid,
+                new_addr: plan.addrs[i].pack(),
+                old_addr: p.old_addr,
+            })?;
+            if i == 0 {
+                first_lsn = lsn;
+                self.active_first_lsn.insert(id, lsn);
+            }
+        }
+        for c in &plan.closes {
+            self.log_append(&LogRecord::CloseEblock {
+                channel: c.addr.channel,
+                eblock: c.addr.eblock,
+                ts: c.ts,
+                data_wblocks: c.data_wblocks,
+                meta_wblocks: c.meta_wblocks,
+            })?;
+        }
+        let mut max_done = 0;
+        for r in self.dev.program_batch(&plan.ios) {
+            match r {
+                Ok(t) => max_done = max_done.max(t),
+                Err(FlashError::ProgramFailed(addr)) => {
+                    self.handle_write_failure(id, &plan, addr, 0)?;
+                    return Err(EleosError::ActionAborted);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.log_append(&LogRecord::Prepare { action: id, gid })?;
+        let t_log = self.log_force()?;
+        let stored_bytes: u64 = pages.iter().map(|p| p.bytes.len() as u64).sum();
+        let payload_bytes = batch
+            .payload_bytes()
+            .max(stored_bytes - (pages.len() * ENTRY_HEADER) as u64);
+        Ok(PreparedAction {
+            id,
+            gid,
+            first_lsn,
+            t0,
+            entries: pages
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.lpid, plan.addrs[i].pack()))
+                .collect(),
+            new_addrs: plan.addrs,
+            prepared_durable: max_done.max(t_log),
+            kind: PreparedKind::Write {
+                lpages: pages.len() as u64,
+                payload_bytes,
+                stored_bytes,
+            },
+        })
+    }
+
+    /// Phase 1 for a delete (TRIM) sub-batch: `Write` records with a null
+    /// new address plus a forced `Prepare { gid }`. Deletes ride the same
+    /// 2PC so a cross-shard group mixing writes and deletes stays atomic.
+    pub(crate) fn prepare_delete(&mut self, lpids: &[Lpid], gid: u64) -> Result<PreparedAction> {
+        self.with_activity(Activity::UserWrite, |this| this.prepare_delete_impl(lpids, gid))
+    }
+
+    fn prepare_delete_impl(&mut self, lpids: &[Lpid], gid: u64) -> Result<PreparedAction> {
+        if self.shutdown {
+            return Err(EleosError::ShutDown);
+        }
+        if lpids.is_empty() {
+            return Err(EleosError::EmptyBatch);
+        }
+        let t0 = self.dev.clock().now();
+        let profile = *self.dev.profile();
+        self.dev.cpu(
+            profile.host_submit_ns
+                + profile.context_ns
+                + profile.per_page_ns * lpids.len() as u64,
+        );
+        let id = self.next_action;
+        self.next_action += 1;
+        let mut first_lsn = 0;
+        for (i, &lpid) in lpids.iter().enumerate() {
+            if lpid >= crate::types::MAP_PAGE_BASE {
+                return Err(EleosError::ReservedLpid(lpid));
+            }
+            let lsn = self.log_append(&LogRecord::Write {
+                action: id,
+                akind: ActionKind::User,
+                lpid,
+                new_addr: NULL_PADDR,
+                old_addr: NULL_PADDR,
+            })?;
+            if i == 0 {
+                first_lsn = lsn;
+                self.active_first_lsn.insert(id, lsn);
+            }
+        }
+        self.log_append(&LogRecord::Prepare { action: id, gid })?;
+        let t_log = self.log_force()?;
+        Ok(PreparedAction {
+            id,
+            gid,
+            first_lsn,
+            t0,
+            entries: lpids.iter().map(|&l| (l, NULL_PADDR)).collect(),
+            new_addrs: Vec::new(),
+            prepared_durable: t_log,
+            kind: PreparedKind::Delete,
+        })
+    }
+
+    /// Coordinator decision: append and force `CoordCommit { gid }` on this
+    /// shard's WAL (the router designates shard 0 as coordinator). Returns
+    /// when the decision is durable — only after that may participants run
+    /// [`Eleos::commit_prepared`].
+    pub(crate) fn coord_commit(&mut self, gid: u64) -> Result<Nanos> {
+        self.log_append(&LogRecord::CoordCommit { gid })?;
+        self.log_force()
+    }
+
+    /// Phase 2 commit of a prepared action: forced local `Commit`, then
+    /// the same install loop as the direct path (unconditional set +
+    /// `OldAddr` + AVAIL + `Done`). `coord_durable` is when the
+    /// coordinator decision hit flash; the returned instant is when this
+    /// shard's share of the group is fully durable.
+    pub(crate) fn commit_prepared(
+        &mut self,
+        p: &PreparedAction,
+        coord_durable: Nanos,
+    ) -> Result<Nanos> {
+        self.with_activity(Activity::UserWrite, |this| {
+            this.commit_prepared_impl(p, coord_durable)
+        })
+    }
+
+    fn commit_prepared_impl(&mut self, p: &PreparedAction, coord_durable: Nanos) -> Result<Nanos> {
+        let profile = *self.dev.profile();
+        self.log_append(&LogRecord::Commit {
+            action: p.id,
+            sid: 0,
+            wsn: 0,
+        })?;
+        let t_log = self.log_force()?;
+        let durable = coord_durable.max(t_log).max(p.prepared_durable);
+        self.dev.clock_mut().wait_until(durable);
+        self.dev.cpu(profile.commit_force_ns);
+        for &(lpid, new_packed) in &p.entries {
+            let old = self.mapping.set(lpid, new_packed, p.first_lsn, &mut self.dev)?;
+            if old != NULL_PADDR {
+                let lsn = self.log_append(&LogRecord::OldAddr {
+                    action: p.id,
+                    lpid,
+                    old_addr: old,
+                })?;
+                if let Some(oa) = PhysAddr::unpack(old) {
+                    self.summary
+                        .update(oa.eblock_addr(), lsn, |d| d.avail += oa.len);
+                }
+            }
+        }
+        self.log_append(&LogRecord::Done { action: p.id })?;
+        self.active_first_lsn.remove(&p.id);
+        self.stats.commits += 1;
+        match p.kind {
+            PreparedKind::Write {
+                lpages,
+                payload_bytes,
+                stored_bytes,
+            } => {
+                self.stats.batches += 1;
+                self.stats.lpages += lpages;
+                self.stats.payload_bytes += payload_bytes;
+                self.stats.stored_bytes += stored_bytes;
+                self.finish_span(SpanKind::WriteBatch, p.t0);
+            }
+            PreparedKind::Delete => {
+                self.finish_span(SpanKind::DeleteBatch, p.t0);
+            }
+        }
+        Ok(durable)
+    }
+
+    /// Roll back a prepared action (a sibling shard's prepare failed): log
+    /// `Abort`, free the provisioned addresses as garbage. The data
+    /// programs already succeeded here, so no frontier reconciliation or
+    /// migration is needed — the bytes are simply dead.
+    pub(crate) fn abort_prepared(&mut self, p: &PreparedAction) -> Result<()> {
+        self.with_activity(Activity::UserWrite, |this| {
+            this.stats.aborts += 1;
+            let abort_lsn = this.log_append(&LogRecord::Abort { action: p.id })?;
+            this.active_first_lsn.remove(&p.id);
+            for na in &p.new_addrs {
+                this.summary
+                    .update(na.eblock_addr(), abort_lsn, |d| d.avail += na.len);
+            }
+            Ok(())
+        })
     }
 
     // ------------------------------------------------------------------

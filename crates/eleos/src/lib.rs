@@ -75,6 +75,7 @@ pub mod phys;
 pub mod provision;
 pub mod recovery;
 pub mod session;
+pub mod sharded;
 pub mod stats;
 pub mod summary;
 pub mod telemetry_snapshot;
@@ -89,6 +90,7 @@ pub use error::{EleosError, Result};
 pub use frontend::{Frontend, GroupAck, GroupCommitPolicy};
 pub use phys::{PhysAddr, NULL_PADDR};
 pub use gc::SpaceReport;
+pub use sharded::{shard_of_lpid, ShardedEleos, ShardedFrontend};
 pub use stats::EleosStats;
-pub use telemetry_snapshot::TelemetrySnapshot;
+pub use telemetry_snapshot::{MergedSnapshot, TelemetrySnapshot};
 pub use types::{Lpid, Lsn, Sid, Usn, Wsn, LPAGE_ALIGN};

@@ -44,9 +44,64 @@ struct ReplayAction {
     writes: Vec<(Lpid, u64, u64)>,
 }
 
+/// An action the crash left prepared (forced `Prepare { gid }`, no local
+/// `Commit`/`Abort`): its outcome is whatever the coordinator decided.
+#[derive(Debug)]
+struct PendingPrepared {
+    id: ActionId,
+    gid: u64,
+    /// `(lpid, new_addr, old_addr)` in log order.
+    writes: Vec<(Lpid, u64, u64)>,
+}
+
+/// Everything pass 2 hands back to `recover`.
+struct ReplayOutcome {
+    open_meta: HashMap<EblockAddr, Vec<(PageKind, Lpid)>>,
+    frontier: HashMap<EblockAddr, u64>,
+    /// Prepared-but-undecided actions, awaiting the coordinator verdict.
+    pending: Vec<PendingPrepared>,
+    /// `CoordCommit` gids found in *this* shard's log (nonempty only on
+    /// the coordinator shard).
+    coord_commits: HashSet<u64>,
+    /// Highest group id seen in any `Prepare`/`CoordCommit` record — the
+    /// router resumes gid allocation above this so a stale `CoordCommit`
+    /// can never validate a future group's `Prepare`.
+    max_gid: u64,
+}
+
+/// What cross-shard recovery needs from each recovered shard: the
+/// coordinator's durable group decisions and the gid high-water mark.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CoordRecovery {
+    pub coord_commits: HashSet<u64>,
+    pub max_gid: u64,
+}
+
 impl Eleos {
     /// Rebuild a controller from the durable state on `dev`.
-    pub fn recover(mut dev: FlashDevice, cfg: EleosConfig) -> Result<Eleos> {
+    ///
+    /// Standalone form: any prepared-but-undecided cross-shard actions are
+    /// resolved against this device's own log (correct for the coordinator
+    /// shard and for an unsharded controller, whose log never holds a
+    /// `Prepare`). Sharded recovery goes through
+    /// [`Eleos::recover_with_coord`] so non-coordinator shards consult the
+    /// coordinator's decisions.
+    pub fn recover(dev: FlashDevice, cfg: EleosConfig) -> Result<Eleos> {
+        Ok(Self::recover_with_coord(dev, cfg, None)?.0)
+    }
+
+    /// Recover one shard. `coord` carries the coordinator shard's durable
+    /// `CoordCommit` gid set (`None` means "this shard is its own
+    /// coordinator" — recover it first and feed its `CoordRecovery` to the
+    /// others). A prepared action whose gid is in the set is redone and a
+    /// local `Commit` is logged; otherwise it rolls back with a logged
+    /// `Abort` — either way the verdict is durable here, so a second crash
+    /// re-resolves identically even after the coordinator log truncates.
+    pub(crate) fn recover_with_coord(
+        mut dev: FlashDevice,
+        cfg: EleosConfig,
+        coord: Option<&HashSet<u64>>,
+    ) -> Result<(Eleos, CoordRecovery)> {
         dev.telemetry_mut().set_enabled(cfg.telemetry);
         dev.set_exec_mode(cfg.execution);
         // Everything until the controller is handed back — checkpoint
@@ -184,7 +239,20 @@ impl Eleos {
         };
 
         // ---------------- pass 2: value redo ----------------
-        let (open_meta, frontier) = this.replay_pass2(&scan.records, trunc)?;
+        let outcome = this.replay_pass2(&scan.records, trunc)?;
+        let ReplayOutcome {
+            open_meta,
+            frontier,
+            pending,
+            coord_commits,
+            max_gid,
+        } = outcome;
+        // The coordinator's verdict set: passed in for follower shards,
+        // this shard's own scan for the coordinator / unsharded case.
+        let committed_gids: HashSet<u64> = match coord {
+            Some(s) => s.clone(),
+            None => coord_commits.clone(),
+        };
 
         // ---------------- post-replay fixups ----------------
         this.fixup_log_eblocks(&scan)?;
@@ -203,6 +271,10 @@ impl Eleos {
         // Top the standbys up first so recovery-time seals always have
         // somewhere to point.
         this.top_up_log_standbys()?;
+        // Resolve prepared-but-undecided cross-shard actions now that the
+        // log writer can seal safely. No-op (zero appends) when the log
+        // holds no Prepare records — the unsharded path is byte-identical.
+        this.resolve_prepared(pending, &committed_gids)?;
         this.fixup_open_eblocks(open_meta, frontier, &scan)?;
         this.rebuild_free_lists(&scan)?;
         // Seed the per-channel log-reclaim index now that every descriptor
@@ -216,26 +288,85 @@ impl Eleos {
         this.top_up_log_standbys()?;
         this.dev.telemetry_mut().set_activity(Activity::Host);
         this.finish_span(SpanKind::Recovery, t0);
-        Ok(this)
+        Ok((
+            this,
+            CoordRecovery {
+                coord_commits,
+                max_gid,
+            },
+        ))
+    }
+
+    /// Apply the coordinator verdict to each action the crash left
+    /// prepared, and log the resolution durably (forced) before the
+    /// controller serves traffic: committed groups install like ordinary
+    /// committed actions; everything else rolls back, its provisioned
+    /// space becoming garbage. The pre-crash summary can never already
+    /// reflect these effects (the decision had not been applied locally),
+    /// so the AVAIL adds are unguarded, like the implicit-abort path.
+    fn resolve_prepared(
+        &mut self,
+        pending: Vec<PendingPrepared>,
+        committed_gids: &HashSet<u64>,
+    ) -> Result<()> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        for p in pending {
+            if committed_gids.contains(&p.gid) {
+                self.log_append(&LogRecord::Commit {
+                    action: p.id,
+                    sid: 0,
+                    wsn: 0,
+                })?;
+                let tag = self.wal.next_lsn();
+                for &(lpid, new, _) in &p.writes {
+                    if PageKind::of(lpid) != PageKind::User {
+                        continue;
+                    }
+                    let old = self.mapping.set(lpid, new, tag, &mut self.dev)?;
+                    if old != crate::phys::NULL_PADDR {
+                        let lsn = self.log_append(&LogRecord::OldAddr {
+                            action: p.id,
+                            lpid,
+                            old_addr: old,
+                        })?;
+                        if let Some(oa) = PhysAddr::unpack(old) {
+                            self.summary
+                                .update(oa.eblock_addr(), lsn, |d| d.avail += oa.len);
+                        }
+                    }
+                }
+                self.log_append(&LogRecord::Done { action: p.id })?;
+            } else {
+                let abort_lsn = self.log_append(&LogRecord::Abort { action: p.id })?;
+                for &(_, new, _) in &p.writes {
+                    if let Some(na) = PhysAddr::unpack(new) {
+                        self.summary
+                            .update(na.eblock_addr(), abort_lsn, |d| d.avail += na.len);
+                    }
+                }
+            }
+        }
+        let t = self.log_force()?;
+        self.dev.clock_mut().wait_until(t);
+        Ok(())
     }
 
     /// Pass 2 of log replay. Returns the rebuilt in-memory metadata and
-    /// byte frontiers of open EBLOCKs.
-    #[allow(clippy::type_complexity)]
-    fn replay_pass2(
-        &mut self,
-        records: &[(Lsn, LogRecord)],
-        trunc: Lsn,
-    ) -> Result<(
-        HashMap<EblockAddr, Vec<(PageKind, Lpid)>>,
-        HashMap<EblockAddr, u64>,
-    )> {
+    /// byte frontiers of open EBLOCKs, plus the cross-shard prepare state.
+    fn replay_pass2(&mut self, records: &[(Lsn, LogRecord)], trunc: Lsn) -> Result<ReplayOutcome> {
         let geo = *self.dev.geometry();
         let mut actions: HashMap<ActionId, ReplayAction> = HashMap::new();
         let mut committed: HashSet<ActionId> = HashSet::new();
         let mut open_meta: HashMap<EblockAddr, Vec<(PageKind, Lpid)>> = HashMap::new();
         let mut frontier: HashMap<EblockAddr, u64> = HashMap::new();
         let mut max_action: ActionId = self.next_action;
+        // Cross-shard 2PC state: actions with a forced Prepare and, on the
+        // coordinator shard, the durable group decisions.
+        let mut prepared: HashMap<ActionId, u64> = HashMap::new();
+        let mut coord_commits: HashSet<u64> = HashSet::new();
+        let mut max_gid: u64 = 0;
 
         for (lsn, rec) in records {
             let lsn = *lsn;
@@ -326,6 +457,7 @@ impl Eleos {
                 }
                 LogRecord::Commit { action, sid, wsn } => {
                     committed.insert(*action);
+                    prepared.remove(action);
                     if *sid != 0 {
                         self.sessions.advance(*sid, *wsn);
                     }
@@ -360,6 +492,7 @@ impl Eleos {
                     }
                 }
                 LogRecord::Abort { action } => {
+                    prepared.remove(action);
                     if let Some(a) = actions.remove(action) {
                         for (_, new, _) in a.writes {
                             if let Some(na) = PhysAddr::unpack(new) {
@@ -370,6 +503,14 @@ impl Eleos {
                             }
                         }
                     }
+                }
+                LogRecord::Prepare { action, gid } => {
+                    prepared.insert(*action, *gid);
+                    max_gid = max_gid.max(*gid);
+                }
+                LogRecord::CoordCommit { gid } => {
+                    coord_commits.insert(*gid);
+                    max_gid = max_gid.max(*gid);
                 }
                 LogRecord::OldAddr { old_addr, .. } => {
                     if let Some(oa) = PhysAddr::unpack(*old_addr) {
@@ -440,9 +581,19 @@ impl Eleos {
                 }
             }
         }
-        // Actions with neither commit nor abort are implicitly aborted:
-        // their provisioned space is garbage.
-        for (_, a) in actions {
+        // Actions with neither commit nor abort: a *prepared* one is the
+        // coordinator's call — hand it up for resolution. The rest are
+        // implicitly aborted: their provisioned space is garbage.
+        let mut pending = Vec::new();
+        for (id, a) in actions {
+            if let Some(&gid) = prepared.get(&id) {
+                pending.push(PendingPrepared {
+                    id,
+                    gid,
+                    writes: a.writes,
+                });
+                continue;
+            }
             for (_, new, _) in a.writes {
                 if let Some(na) = PhysAddr::unpack(new) {
                     let eb = na.eblock_addr();
@@ -451,8 +602,16 @@ impl Eleos {
                 }
             }
         }
+        // Resolution order must be deterministic (HashMap iteration isn't).
+        pending.sort_by_key(|p| p.id);
         self.next_action = max_action;
-        Ok((open_meta, frontier))
+        Ok(ReplayOutcome {
+            open_meta,
+            frontier,
+            pending,
+            coord_commits,
+            max_gid,
+        })
     }
 
     /// Reconcile log-EBLOCK descriptors with the scanned chain: the log

@@ -203,6 +203,165 @@ impl TelemetrySnapshot {
         );
         s
     }
+
+    /// Combine per-shard snapshots into one array-wide view. Shards own
+    /// disjoint devices, so cross-shard counters are straight sums and
+    /// simulated "now" is the max over shard clocks — but attribution
+    /// ledgers are **not** collapsed: conservation is a per-shard
+    /// invariant (each ledger re-partitions *its own* device's busy
+    /// time), and [`MergedSnapshot`] keeps every shard's rows labeled by
+    /// shard id instead of blending them.
+    pub fn merge(shards: Vec<TelemetrySnapshot>) -> MergedSnapshot {
+        assert!(!shards.is_empty(), "merge needs at least one snapshot");
+        MergedSnapshot { shards }
+    }
+}
+
+/// Array-wide telemetry assembled by [`TelemetrySnapshot::merge`]: summed
+/// controller/flash counters, merged span histograms, per-shard ledgers
+/// kept intact and labeled by shard id.
+#[derive(Debug, Clone)]
+pub struct MergedSnapshot {
+    /// The per-shard snapshots, in shard order (index == shard id).
+    pub shards: Vec<TelemetrySnapshot>,
+}
+
+impl MergedSnapshot {
+    /// Host timeline: the max over shard clocks.
+    pub fn now(&self) -> Nanos {
+        self.shards.iter().map(|s| s.now).max().unwrap_or(0)
+    }
+
+    /// Total CPU busy time across all shard clocks.
+    pub fn cpu_busy_ns(&self) -> Nanos {
+        self.shards.iter().map(|s| s.cpu_busy_ns).sum()
+    }
+
+    /// Total busy time (flash + CPU) across the array.
+    pub fn total_busy_ns(&self) -> Nanos {
+        self.shards.iter().map(|s| s.total_busy_ns()).sum()
+    }
+
+    /// Summed controller counters.
+    pub fn eleos(&self) -> EleosStats {
+        let mut t = EleosStats::default();
+        for s in &self.shards {
+            let e = &s.eleos;
+            t.batches += e.batches;
+            t.lpages += e.lpages;
+            t.payload_bytes += e.payload_bytes;
+            t.stored_bytes += e.stored_bytes;
+            t.reads += e.reads;
+            t.read_bytes += e.read_bytes;
+            t.commits += e.commits;
+            t.aborts += e.aborts;
+            t.gc_collections += e.gc_collections;
+            t.gc_moved_pages += e.gc_moved_pages;
+            t.gc_moved_bytes += e.gc_moved_bytes;
+            t.gc_erases += e.gc_erases;
+            t.migrations += e.migrations;
+            t.checkpoints += e.checkpoints;
+            t.gc_installs_aborted += e.gc_installs_aborted;
+            t.program_failures += e.program_failures;
+            t.action_retries += e.action_retries;
+            t.gc_relocation_aborts += e.gc_relocation_aborts;
+            t.wal_fallbacks += e.wal_fallbacks;
+            t.retired_eblocks += e.retired_eblocks;
+        }
+        t
+    }
+
+    /// Summed device counters; `channel_busy_ns` concatenates the shards'
+    /// channel slots in shard order (disjoint physical channels).
+    pub fn flash(&self) -> FlashStats {
+        let mut t = FlashStats::default();
+        for s in &self.shards {
+            let f = &s.flash;
+            t.programs += f.programs;
+            t.program_failures += f.program_failures;
+            t.bytes_programmed += f.bytes_programmed;
+            t.rblock_reads += f.rblock_reads;
+            t.bytes_read += f.bytes_read;
+            t.erases += f.erases;
+            t.channel_busy_ns.extend_from_slice(&f.channel_busy_ns);
+        }
+        t
+    }
+
+    /// Merged latency histogram for one span kind across all shards.
+    pub fn span(&self, kind: SpanKind) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for s in &self.shards {
+            h.merge(s.span(kind));
+        }
+        h
+    }
+
+    /// Busy time one activity consumed across the whole array.
+    pub fn activity_busy_ns(&self, a: Activity) -> Nanos {
+        self.shards.iter().map(|s| s.activity_busy_ns(a)).sum()
+    }
+
+    /// Per-shard conservation: `None` only when **every** shard's ledger
+    /// re-partitions its own device's busy time exactly. A violation names
+    /// the offending shard.
+    pub fn conservation_error(&self) -> Option<String> {
+        for (i, s) in self.shards.iter().enumerate() {
+            if let Some(e) = s.conservation_error() {
+                return Some(format!("shard {i}: {e}"));
+            }
+        }
+        None
+    }
+
+    /// Attribution rows labeled by shard id: one
+    /// `(shard, activity, cpu_ns, flash_ns)` row per shard × activity with
+    /// any busy time, in shard order.
+    pub fn ledger_rows(&self) -> Vec<(usize, Activity, Nanos, Nanos)> {
+        let mut rows = Vec::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            for &a in Activity::ALL.iter() {
+                let cpu = s.ledger.cpu_ns(a)
+                    + if a == Activity::Host { s.unattributed_cpu_ns() } else { 0 };
+                let flash = s.ledger.activity_flash_ns(a);
+                if cpu > 0 || flash > 0 {
+                    rows.push((i, a, cpu, flash));
+                }
+            }
+        }
+        rows
+    }
+
+    /// JSON rendering: array-wide totals plus every shard's full snapshot
+    /// labeled by shard id.
+    ///
+    /// ```json
+    /// { "shards": n, "now_ns": .., "cpu_busy_ns": .., "total_busy_ns": ..,
+    ///   "conservation_ok": bool,
+    ///   "per_shard": [ { "shard": 0, ...TelemetrySnapshot::to_json... }, .. ] }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048 * self.shards.len());
+        let _ = write!(
+            s,
+            "{{\"shards\":{},\"now_ns\":{},\"cpu_busy_ns\":{},\"total_busy_ns\":{},\
+             \"conservation_ok\":{},\"per_shard\":[",
+            self.shards.len(),
+            self.now(),
+            self.cpu_busy_ns(),
+            self.total_busy_ns(),
+            self.conservation_error().is_none()
+        );
+        for (i, snap) in self.shards.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let inner = snap.to_json();
+            let _ = write!(s, "{{\"shard\":{},{}", i, &inner[1..]);
+        }
+        s.push_str("]}");
+        s
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +408,54 @@ mod tests {
         // Attributing more CPU than the clock tallied is a bug.
         s.ledger.charge_cpu(Activity::Gc, 50);
         assert!(s.conservation_error().is_some());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_keeps_conservation_per_shard() {
+        let mut a = empty_snapshot(2);
+        a.now = 100;
+        a.cpu_busy_ns = 10;
+        a.eleos.batches = 3;
+        a.flash.bytes_programmed = 1000;
+        a.flash.channel_busy_ns[0] = 50;
+        a.ledger.charge_flash(0, FlashOp::Program, Activity::UserWrite, 50);
+        a.spans[SpanKind::WriteBatch.index()].record(500);
+        let mut b = empty_snapshot(2);
+        b.now = 400;
+        b.cpu_busy_ns = 5;
+        b.eleos.batches = 2;
+        b.flash.bytes_programmed = 200;
+        b.spans[SpanKind::WriteBatch.index()].record(900);
+        let m = TelemetrySnapshot::merge(vec![a, b]);
+        assert_eq!(m.now(), 400);
+        assert_eq!(m.cpu_busy_ns(), 15);
+        assert_eq!(m.eleos().batches, 5);
+        assert_eq!(m.flash().bytes_programmed, 1200);
+        assert_eq!(m.flash().channel_busy_ns.len(), 4, "channels concatenate");
+        assert_eq!(m.span(SpanKind::WriteBatch).count(), 2);
+        assert!(m.conservation_error().is_none());
+        // Rows are labeled by shard id; only shard 0 has busy time here.
+        let rows = m.ledger_rows();
+        assert!(rows.iter().any(|&(s, a, _, f)| s == 0 && a == Activity::UserWrite && f == 50));
+        // Shard 1's only busy time is its unattributed CPU → a Host row.
+        assert_eq!(
+            rows.iter().filter(|&&(s, ..)| s == 1).collect::<Vec<_>>(),
+            vec![&(1, Activity::Host, 5, 0)]
+        );
+    }
+
+    #[test]
+    fn merge_conservation_violation_names_the_shard() {
+        let a = empty_snapshot(1);
+        let mut b = empty_snapshot(1);
+        b.flash.channel_busy_ns[0] = 7; // unattributed device time on shard 1
+        let m = TelemetrySnapshot::merge(vec![a, b]);
+        let err = m.conservation_error().expect("shard 1 must be flagged");
+        assert!(err.starts_with("shard 1:"), "{err}");
+        let j = m.to_json();
+        assert!(j.contains("\"conservation_ok\":false"), "{j}");
+        assert!(j.contains("\"shard\":1"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

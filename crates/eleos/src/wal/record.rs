@@ -74,6 +74,16 @@ pub enum LogRecord {
     /// `EraseEblock`/close record, so replay lands on the retired state
     /// last and the block never re-enters a rebuilt free list.
     RetireEblock { channel: u32, eblock: u32 },
+    /// First phase of a cross-shard group commit: this shard's portion of
+    /// group `gid` (the `Write` records of `action`) is durable, but the
+    /// group's outcome is the coordinator's decision. Recovery resolves a
+    /// prepared-but-uncommitted action by consulting the coordinator log:
+    /// a `CoordCommit` for the same `gid` means redo, otherwise abort.
+    Prepare { action: ActionId, gid: u64 },
+    /// Coordinator decision record: group `gid` is committed on every
+    /// participating shard. Written (and forced) on the coordinator shard's
+    /// WAL only, *after* all participants forced their `Prepare`.
+    CoordCommit { gid: u64 },
 }
 
 fn akind_to_u8(k: ActionKind) -> u8 {
@@ -184,6 +194,15 @@ impl LogRecord {
                 w.u32(*channel);
                 w.u32(*eblock);
             }
+            LogRecord::Prepare { action, gid } => {
+                w.u8(13);
+                w.u64(*action);
+                w.u64(*gid);
+            }
+            LogRecord::CoordCommit { gid } => {
+                w.u8(14);
+                w.u64(*gid);
+            }
         }
     }
 
@@ -234,6 +253,11 @@ impl LogRecord {
                 channel: r.u32()?,
                 eblock: r.u32()?,
             },
+            13 => LogRecord::Prepare {
+                action: r.u64()?,
+                gid: r.u64()?,
+            },
+            14 => LogRecord::CoordCommit { gid: r.u64()? },
             _ => return None,
         })
     }
@@ -289,6 +313,8 @@ mod tests {
         roundtrip(LogRecord::EraseEblock { channel: 3, eblock: 12 });
         roundtrip(LogRecord::LogStandby { channel: 1, eblock: 2 });
         roundtrip(LogRecord::RetireEblock { channel: 2, eblock: 7 });
+        roundtrip(LogRecord::Prepare { action: 7, gid: 9 });
+        roundtrip(LogRecord::CoordCommit { gid: 11 });
     }
 
     #[test]

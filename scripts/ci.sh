@@ -3,9 +3,11 @@
 # test suite (the bare root package alone runs only 3 tests — --workspace
 # is what exercises every crate), lint-clean at -D warnings, the host
 # front-end gates (exhaustive crash-point sweep + frontend bench tests),
-# bounded chaos-soak smokes (fault-injected differential oracle, single-
-# and multi-client), then the wall-clock perf smoke gate against the
-# committed BENCH_controller.json.
+# the sharded-router gates (cross-shard crash sweep, 1-shard identity,
+# monotonic shard scaling, sharded refinement proptest), bounded
+# chaos-soak smokes (fault-injected differential oracle, single-client,
+# multi-client and sharded), then the wall-clock perf smoke gate against
+# the committed BENCH_controller.json.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -31,6 +33,12 @@ echo "== crash sweep under parallel execution (4 worker threads) =="
 # cut must truncate the command stream identically in both modes.
 ELEOS_EXEC_THREADS=4 cargo test -q --release -p eleos --test crash_sweep
 
+echo "== sharded crash sweep (2 shards, cross-shard 2PC atomicity) =="
+# Every mutating flash ordinal on each shard in turn becomes that shard's
+# last command; a group Prepared on one shard but not coordinator-
+# committed must roll back everywhere, a committed one must redo.
+cargo test -q --release -p eleos --test crash_sweep_sharded
+
 echo "== parallel-vs-serial equivalence (byte-identical snapshots) =="
 # Fixed-seed smoke plus the 12-case proptest: ExecMode::Parallel runs
 # must produce byte-identical op results and snapshot JSON vs Serial.
@@ -40,11 +48,19 @@ echo "== front-end gate (group commit vs serial, refinement proptest) =="
 cargo test -q --release -p eleos-bench frontend
 cargo test -q --release -p eleos --test frontend_permutations
 
+echo "== sharded gate (1-shard identity, monotonic scaling, refinement) =="
+cargo test -q --release -p eleos-bench --lib shard_scale
+cargo test -q --release -p eleos --test sharded_permutations
+cargo test -q --release -p eleos --test telemetry_sharded
+
 echo "== chaos smoke (differential oracle, 5 seeds) =="
 cargo run --release -p eleos-bench --bin chaos -- --seeds 5
 
 echo "== multi-client chaos smoke (group-commit front-end, 5 seeds) =="
 cargo run --release -p eleos-bench --bin chaos -- --seeds 5 --clients 4
+
+echo "== sharded chaos smoke (2 shards, cross-shard 2PC groups, 5 seeds) =="
+cargo run --release -p eleos-bench --bin chaos -- --seeds 5 --clients 4 --shards 2
 
 echo "== telemetry gate (snapshot schema + conservation) =="
 # perfbench --telemetry-out runs a small mixed scenario, enforces the
@@ -63,12 +79,15 @@ done
 grep -q '"conservation_ok":true' "$telemetry_json" \
   || { echo "telemetry gate: conservation_ok is not true" >&2; exit 1; }
 
-echo "== bench schema gate (host_threads key) =="
+echo "== bench schema gate (host_threads + shards keys) =="
 # Every committed trajectory entry written since execution modes exist
-# labels its wall-clock measurement with the worker-thread count; the
-# parser defaults pre-existing entries to 1.
+# labels its wall-clock measurement with the worker-thread count, and
+# since the sharded router with its shard count; the parser defaults
+# pre-existing entries to 1.
 grep -q '"host_threads"' BENCH_controller.json \
   || { echo "bench schema gate: BENCH_controller.json has no host_threads key" >&2; exit 1; }
+grep -q '"shards"' BENCH_controller.json \
+  || { echo "bench schema gate: BENCH_controller.json has no shards key" >&2; exit 1; }
 
 echo "== perf smoke =="
 scripts/perf_smoke.sh
