@@ -61,7 +61,7 @@ fn eleos_write_path(c: &mut Criterion) {
                 let cfg = EleosConfig {
                     max_user_lpid: 1 << 16,
                     ckpt_log_bytes: u64::MAX,
-                    map_cache_pages: 1 << 14,
+                    mapping_cache_pages: 1 << 14,
                     ..Default::default()
                 };
                 let ssd = Eleos::format(dev, cfg).unwrap();
@@ -83,7 +83,7 @@ fn eleos_write_path(c: &mut Criterion) {
         let cfg = EleosConfig {
             max_user_lpid: 1 << 16,
             ckpt_log_bytes: u64::MAX,
-            map_cache_pages: 1 << 14,
+            mapping_cache_pages: 1 << 14,
             ..Default::default()
         };
         let mut ssd = Eleos::format(dev, cfg).unwrap();

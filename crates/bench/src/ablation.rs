@@ -10,7 +10,7 @@
 
 use crate::report::{fmt_bytes, fmt_rate, Table};
 use eleos_bwtree::{BwTree, BwTreeConfig, EleosStore, PageStore, UpdateMode};
-use eleos::{Eleos, EleosConfig, GcSelection, PageMode, WriteBatch, WriteOpts};
+use eleos::{Eleos, EleosConfig, GcConfig, GcPolicy, PageMode, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FlashDevice, Geometry};
 use eleos_workloads::Zipfian;
 use rand::rngs::StdRng;
@@ -80,7 +80,7 @@ fn base_cfg() -> EleosConfig {
     EleosConfig {
         max_user_lpid: 32_768,
         ckpt_log_bytes: 8 * 1024 * 1024,
-        map_cache_pages: 1 << 14,
+        mapping_cache_pages: 1 << 14,
         ..Default::default()
     }
 }
@@ -92,12 +92,12 @@ pub fn ablation_gc_policy() -> Table {
         &["policy", "write amp", "GC moved", "erases", "MB/s"],
     );
     for (name, sel) in [
-        ("min-cost-decline (paper)", GcSelection::MinCostDecline),
-        ("greedy-AVAIL", GcSelection::GreedyAvail),
-        ("oldest-first (LLAMA)", GcSelection::Oldest),
+        ("min-cost-decline (paper)", GcPolicy::MinCostDecline),
+        ("greedy-AVAIL", GcPolicy::Greedy),
+        ("oldest-first (LLAMA)", GcPolicy::Oldest),
     ] {
         let cfg = EleosConfig {
-            gc_selection: sel,
+            gc: GcConfig { policy: sel, ..GcConfig::default() },
             ..base_cfg()
         };
         match churn(cfg, 700, 1) {
@@ -136,8 +136,11 @@ pub fn ablation_hot_cold() -> Table {
         ("off (GC mixes into user writes)", false, 1),
     ] {
         let cfg = EleosConfig {
-            gc_open_bins: bins,
-            hot_cold_separation: separation,
+            gc: GcConfig {
+                open_bins: bins,
+                hot_cold_separation: separation,
+                ..GcConfig::default()
+            },
             ..base_cfg()
         };
         match churn_bimodal(cfg, 1200, 2) {
@@ -279,7 +282,7 @@ pub fn ablation_bwtree_update_mode() -> Table {
             EleosConfig {
                 max_user_lpid: 1 << 15,
                 ckpt_log_bytes: 16 << 20,
-                map_cache_pages: 1 << 14,
+                mapping_cache_pages: 1 << 14,
                 ..Default::default()
             },
         )
@@ -450,7 +453,7 @@ mod tests {
     fn gc_policy_table_builds() {
         // Smoke-scale run: the churn harness must complete for each policy.
         let cfg = EleosConfig {
-            gc_selection: GcSelection::GreedyAvail,
+            gc: GcConfig { policy: GcPolicy::Greedy, ..GcConfig::default() },
             ..base_cfg()
         };
         let o = churn(cfg, 60, 9).expect("smoke churn completes");

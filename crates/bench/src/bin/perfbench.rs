@@ -37,7 +37,7 @@
 //! `--max-regression` (default 2.0×) against the most recent committed
 //! entry of the same bench name — that is the `scripts/perf_smoke.sh` gate.
 
-use eleos::{Eleos, EleosConfig, ExecMode, PageMode, WriteBatch, WriteOpts};
+use eleos::{Eleos, EleosConfig, ExecMode, GcPolicy, PageMode, WriteBatch, WriteOpts};
 use eleos_bench::perfjson::{parse_entries, render_entry, BenchEntry};
 use eleos_bench::tpcc_driver::{run_tpcc_exec, Interface};
 use eleos_flash::{CostProfile, FlashDevice, Geometry, SpanKind};
@@ -117,6 +117,8 @@ fn bench_tpcc_write(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         flash_busy_ns: flash_busy,
         write_p99_ns: write_p99,
         host_threads: threads_of(exec),
+        mapping_cache_pages: 1 << 16,
+        gc_policy: GcPolicy::MinCostDecline.label().to_string(),
         shards: 1,
     }
 }
@@ -133,7 +135,7 @@ fn bench_ycsb_read(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
     let cfg = EleosConfig {
         max_user_lpid: records + 1,
         ckpt_log_bytes: u64::MAX,
-        map_cache_pages: 1 << 14,
+        mapping_cache_pages: 1 << 14,
         execution: exec,
         ..Default::default()
     };
@@ -181,6 +183,8 @@ fn bench_ycsb_read(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         flash_busy_ns: snap.flash.total_busy_ns() - snap0.flash.total_busy_ns(),
         write_p99_ns: 0, // read bench: the measured window records no write spans
         host_threads: threads_of(exec),
+        mapping_cache_pages: 1 << 14,
+        gc_policy: GcPolicy::MinCostDecline.label().to_string(),
         shards: 1,
     }
 }
@@ -223,7 +227,7 @@ fn bench_gc_heavy(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         let cfg = EleosConfig {
             max_user_lpid: records + 1,
             ckpt_log_bytes: 16 * 1024 * 1024,
-            map_cache_pages: 1 << 14,
+            mapping_cache_pages: 1 << 14,
             defer_io,
             execution: exec,
             ..Default::default()
@@ -272,6 +276,8 @@ fn bench_gc_heavy(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         flash_busy_ns: snap.flash.total_busy_ns(),
         write_p99_ns: snap.span(SpanKind::WriteBatch).p99(),
         host_threads: threads_of(exec),
+        mapping_cache_pages: 1 << 14,
+        gc_policy: GcPolicy::MinCostDecline.label().to_string(),
         shards: 1,
     }
 }
@@ -290,7 +296,7 @@ fn bench_read_batch(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         let cfg = EleosConfig {
             max_user_lpid: records + 1,
             ckpt_log_bytes: u64::MAX,
-            map_cache_pages: 1 << 14,
+            mapping_cache_pages: 1 << 14,
             defer_io,
             execution: exec,
             ..Default::default()
@@ -338,6 +344,8 @@ fn bench_read_batch(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         flash_busy_ns: snap.flash.total_busy_ns(),
         write_p99_ns: 0, // read bench: the timed window issues no writes
         host_threads: threads_of(exec),
+        mapping_cache_pages: 1 << 14,
+        gc_policy: GcPolicy::MinCostDecline.label().to_string(),
         shards: 1,
     }
 }
@@ -358,7 +366,7 @@ fn telemetry_scenario() -> eleos::TelemetrySnapshot {
     let cfg = EleosConfig {
         max_user_lpid: records + 1,
         ckpt_log_bytes: 4 * 1024 * 1024,
-        map_cache_pages: 1 << 12,
+        mapping_cache_pages: 1 << 12,
         ..Default::default()
     };
     let mut ssd =

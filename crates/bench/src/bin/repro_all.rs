@@ -185,6 +185,10 @@ fn jobs() -> Vec<Job> {
             vec![(t, notes)]
         }),
         Box::new(|| {
+            let (t, notes) = eleos_bench::gc_lab::policy_lab_table();
+            vec![(t, notes)]
+        }),
+        Box::new(|| {
             vec![(
                 eleos_bench::ablation::ablation_log_standbys(),
                 "*Beyond the paper:* resilience of the three-location log \

@@ -14,9 +14,10 @@
 //!   (until rewritten), surviving crashes;
 //! * reads always return exactly the last acknowledged content.
 //!
-//! The soak drives the sharded router (DESIGN.md §14): at `--shards 1`
-//! (the default) it takes the exact unsharded path; at `--shards N` every
-//! batch that straddles shards commits through the two-phase group commit
+//! The soak is generic over [`Controller`]: `--shards 1` (the default)
+//! instantiates it with the unsharded [`Eleos`]; `--shards N` with the
+//! sharded router (DESIGN.md §14), where every batch that straddles
+//! shards commits through the two-phase group commit
 //! and the oracle additionally covers the 2PC decision window — a group
 //! whose call returned `ShutDown` mid-commit is *undecided* at the host,
 //! so after recovery the oracle accepts exactly all-new (coordinator
@@ -28,9 +29,8 @@
 //! one-line repro command that replays the exact fault script.
 
 use crate::report::Table;
-use eleos::frontend::GroupCommitPolicy;
-use eleos::sharded::{ShardedEleos, ShardedFrontend};
-use eleos::{EleosConfig, EleosError, WriteBatch};
+use eleos::frontend::{Frontend, GroupCommitPolicy};
+use eleos::{Controller, Eleos, EleosConfig, EleosError, ShardedEleos, WriteBatch};
 use eleos_flash::{CostProfile, FaultInjector, FlashDevice, Geometry, WblockAddr};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,7 +61,7 @@ pub struct ChaosConfig {
     pub max_lpid: u64,
     /// Concurrent client streams. `1` drives the controller directly
     /// (the classic single-writer soak); `> 1` drives it through the
-    /// group-commit [`ShardedFrontend`] with one shadow map per client,
+    /// group-commit [`Frontend`] with one shadow map per client,
     /// each client confined to its private `max_lpid / clients` slice.
     pub clients: usize,
     /// Controller shards. `1` is the unsharded path; `> 1` hash-routes
@@ -183,7 +183,7 @@ fn controller_cfg(max_lpid: u64) -> EleosConfig {
     EleosConfig {
         ckpt_log_bytes: 512 * 1024,
         map_entries_per_page: 16,
-        map_cache_pages: 8,
+        mapping_cache_pages: 8,
         max_user_lpid: max_lpid,
         ..Default::default()
     }
@@ -216,11 +216,11 @@ fn page_content(lpid: u64, version: u64, len: usize) -> Vec<u8> {
 }
 
 /// Event-ring tails of every shard, each line prefixed with its shard id.
-fn recent_events(sh: &ShardedEleos, n: usize) -> Vec<String> {
+fn recent_events<C: Controller>(sh: &C, n: usize) -> Vec<String> {
     let mut out = Vec::new();
-    for s in 0..sh.n_shards() {
+    for s in 0..sh.units() {
         out.extend(
-            sh.shard(s)
+            sh.unit(s)
                 .recent_events(n)
                 .into_iter()
                 .map(|e| format!("shard {s}: {e}")),
@@ -241,8 +241,8 @@ enum Undecided {
 /// back in the new state, the coordinator committed it — apply it to the
 /// oracle. If not, leave the oracle on the old state; the full
 /// differential audit right after catches any torn middle ground.
-fn resolve_undecided(
-    sh: &mut ShardedEleos,
+fn resolve_undecided<C: Controller>(
+    sh: &mut C,
     undecided: Option<Undecided>,
     shadow: &mut BTreeMap<u64, Vec<u8>>,
     deleted: &mut BTreeSet<u64>,
@@ -278,10 +278,22 @@ fn resolve_undecided(
 }
 
 /// Run one chaos soak to completion. `Ok` means zero divergences.
+///
+/// Dispatch: `shards == 1` instantiates the generic soak with the
+/// unsharded [`Eleos`] (a 1-shard router is byte-identical, so nothing is
+/// lost); `shards > 1` with [`ShardedEleos`]. Both run the same code.
 pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
     assert!(cfg.shards >= 1, "shards must be >= 1");
+    if cfg.shards == 1 {
+        run_chaos_on::<Eleos>(cfg)
+    } else {
+        run_chaos_on::<ShardedEleos>(cfg)
+    }
+}
+
+fn run_chaos_on<C: Controller>(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
     if cfg.clients > 1 {
-        return run_chaos_multi(cfg);
+        return run_chaos_multi::<C>(cfg);
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut shadow: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
@@ -293,7 +305,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
     };
 
     let ecfg = controller_cfg(cfg.max_lpid);
-    let mut sh = ShardedEleos::format(make_devices(cfg), &ecfg).map_err(|e| {
+    let mut sh = C::format(make_devices(cfg), &ecfg).map_err(|e| {
         Box::new(ChaosFailure {
             seed: cfg.seed,
             cycle: 0,
@@ -316,7 +328,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
     };
     // Attach the event-ring tails once the failure is a value (the mutable
     // controller borrow that produced it has ended by then).
-    let with_events = |mut f: Box<ChaosFailure>, sh: &ShardedEleos| {
+    let with_events = |mut f: Box<ChaosFailure>, sh: &C| {
         f.events = recent_events(sh, 16);
         f
     };
@@ -379,14 +391,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
         for d in &mut devs {
             d.faults_mut().set_probability(0.0);
         }
-        sh = match ShardedEleos::recover(devs, &ecfg) {
+        sh = match C::recover(devs, &ecfg) {
             Ok(s) => s,
             Err(e) => {
                 return Err(fail(cycle, 0, format!("recovery failed: {e}")));
             }
         };
         for s in 0..cfg.shards {
-            sh.shard_mut(s).device_mut().faults_mut().set_probability(cfg.fail_p);
+            sh.unit_mut(s).device_mut().faults_mut().set_probability(cfg.fail_p);
         }
 
         // A ShutDown mid-2PC left one group undecided at the host; recovery
@@ -401,7 +413,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
                     let what = format!(
                         "post-recovery corruption: lpid {lpid} (shard {}) expected {} bytes, \
                          got {} (content differs)",
-                        sh.shard_of(*lpid),
+                        sh.unit_of(*lpid),
                         expect.len(),
                         got.len()
                     );
@@ -410,7 +422,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
                 Err(e) => {
                     let what = format!(
                         "post-recovery loss: lpid {lpid} (shard {}) unreadable: {e}",
-                        sh.shard_of(*lpid)
+                        sh.unit_of(*lpid)
                     );
                     return Err(with_events(fail(cycle, 0, what), &sh));
                 }
@@ -423,14 +435,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
                 Ok(_) => {
                     let what = format!(
                         "post-recovery resurrection: deleted lpid {lpid} (shard {}) readable",
-                        sh.shard_of(*lpid)
+                        sh.unit_of(*lpid)
                     );
                     return Err(with_events(fail(cycle, 0, what), &sh));
                 }
                 Err(e) => {
                     let what = format!(
                         "post-recovery: deleted lpid {lpid} (shard {}) errored oddly: {e}",
-                        sh.shard_of(*lpid)
+                        sh.unit_of(*lpid)
                     );
                     return Err(with_events(fail(cycle, 0, what), &sh));
                 }
@@ -489,7 +501,7 @@ fn absorb_frontend_result<T>(
 type StagedBatch = (u64, Vec<(u64, Vec<u8>)>);
 
 fn reconcile_acks(
-    fe: &ShardedFrontend,
+    fe: &Frontend,
     staged: &mut [std::collections::VecDeque<StagedBatch>],
     applied: &mut [u64],
     shadows: &mut [BTreeMap<u64, Vec<u8>>],
@@ -529,8 +541,8 @@ fn reconcile_acks(
 /// though no client saw an ACK — so "discard everything unACKed" would
 /// diverge from the durable state. Only LPIDs the staged batches touch are
 /// probed; the full differential audit afterwards re-verifies everything.
-fn absorb_staged_after_recovery(
-    sh: &mut ShardedEleos,
+fn absorb_staged_after_recovery<C: Controller>(
+    sh: &mut C,
     staged: &mut std::collections::VecDeque<StagedBatch>,
     shadow: &mut BTreeMap<u64, Vec<u8>>,
     deleted: &mut BTreeSet<u64>,
@@ -577,8 +589,8 @@ fn absorb_staged_after_recovery(
     staged.clear();
 }
 
-/// Multi-client soak: N client streams drive the sharded router through
-/// the group-commit [`ShardedFrontend`], each confined to a private LPID
+/// Multi-client soak: N client streams drive the controller through the
+/// group-commit [`Frontend`], each confined to a private LPID
 /// slice with its own shadow map and tombstone set. The oracle's contract
 /// sharpens the single-client one:
 ///
@@ -588,9 +600,9 @@ fn absorb_staged_after_recovery(
 /// * batches queued but unACKed at a crash are discarded — unless
 ///   recovery proves the in-flight group's coordinator decision was
 ///   already durable, in which case the redone prefix is absorbed;
-/// * divergence dumps name the client, the owning shard and the group id
+/// * divergence dumps name the client, the owning unit and the group id
 ///   in flight.
-fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
+fn run_chaos_multi<C: Controller>(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> {
     use std::collections::VecDeque;
     let clients = cfg.clients;
     let slice = cfg.max_lpid / clients as u64;
@@ -616,7 +628,7 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
     };
 
     let ecfg = controller_cfg(cfg.max_lpid);
-    let mut sh = ShardedEleos::format(make_devices(cfg), &ecfg).map_err(|e| {
+    let mut sh = C::format(make_devices(cfg), &ecfg).map_err(|e| {
         Box::new(ChaosFailure {
             seed: cfg.seed,
             cycle: 0,
@@ -626,7 +638,7 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
             events: Vec::new(),
         })
     })?;
-    let mut fe = ShardedFrontend::new(clients, policy.clone());
+    let mut fe = Frontend::new(clients, policy.clone());
 
     let fail = |cycle: usize, step: usize, what: String| {
         Box::new(ChaosFailure {
@@ -638,7 +650,7 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
             events: Vec::new(),
         })
     };
-    let with_events = |mut f: Box<ChaosFailure>, sh: &ShardedEleos| {
+    let with_events = |mut f: Box<ChaosFailure>, sh: &C| {
         f.events = recent_events(sh, 16);
         f
     };
@@ -769,16 +781,16 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
         for d in &mut devs {
             d.faults_mut().set_probability(0.0);
         }
-        sh = match ShardedEleos::recover(devs, &ecfg) {
+        sh = match C::recover(devs, &ecfg) {
             Ok(s) => s,
             Err(e) => {
                 return Err(fail(cycle, 0, format!("recovery failed: {e}")));
             }
         };
         for s in 0..cfg.shards {
-            sh.shard_mut(s).device_mut().faults_mut().set_probability(cfg.fail_p);
+            sh.unit_mut(s).device_mut().faults_mut().set_probability(cfg.fail_p);
         }
-        fe = ShardedFrontend::new(clients, policy.clone());
+        fe = Frontend::new(clients, policy.clone());
 
         if let Some((client, u)) = undecided.take() {
             resolve_undecided(
@@ -812,7 +824,7 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
                             "client {c}: post-recovery corruption: lpid {lpid} (shard {}) \
                              expected {} bytes, got {} (group {inflight_group} in flight \
                              at crash)",
-                            sh.shard_of(*lpid),
+                            sh.unit_of(*lpid),
                             expect.len(),
                             got.len()
                         );
@@ -822,7 +834,7 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
                         let what = format!(
                             "client {c}: post-recovery loss: ACKed lpid {lpid} (shard {}) \
                              unreadable: {e} (group {inflight_group} in flight at crash)",
-                            sh.shard_of(*lpid)
+                            sh.unit_of(*lpid)
                         );
                         return Err(with_events(fail(cycle, 0, what), &sh));
                     }
@@ -836,7 +848,7 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
                         let what = format!(
                             "client {c}: post-recovery resurrection: deleted lpid {lpid} \
                              (shard {}) readable (group {inflight_group} in flight at crash)",
-                            sh.shard_of(*lpid)
+                            sh.unit_of(*lpid)
                         );
                         return Err(with_events(fail(cycle, 0, what), &sh));
                     }
@@ -844,7 +856,7 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
                         let what = format!(
                             "client {c}: post-recovery: deleted lpid {lpid} (shard {}) \
                              errored oddly: {e}",
-                            sh.shard_of(*lpid)
+                            sh.unit_of(*lpid)
                         );
                         return Err(with_events(fail(cycle, 0, what), &sh));
                     }
@@ -866,9 +878,9 @@ fn run_chaos_multi(cfg: &ChaosConfig) -> Result<ChaosReport, Box<ChaosFailure>> 
 
 /// Check the space-accounting invariants on every shard; `Some(description)`
 /// on violation.
-fn capacity_invariant(sh: &ShardedEleos) -> Option<String> {
-    for s in 0..sh.n_shards() {
-        let ssd = sh.shard(s);
+fn capacity_invariant<C: Controller>(sh: &C) -> Option<String> {
+    for s in 0..sh.units() {
+        let ssd = sh.unit(s);
         let geo = *ssd.device().geometry();
         let r = ssd.space_report();
         let retired = retired_on(ssd);
@@ -900,12 +912,12 @@ fn retired_on(ssd: &eleos::Eleos) -> u64 {
         .count() as u64
 }
 
-fn retired_count(sh: &ShardedEleos) -> u64 {
-    (0..sh.n_shards()).map(|s| retired_on(sh.shard(s))).sum()
+fn retired_count<C: Controller>(sh: &C) -> u64 {
+    (0..sh.units()).map(|s| retired_on(sh.unit(s))).sum()
 }
 
-fn accumulate(report: &mut ChaosReport, sh: &ShardedEleos) {
-    for snap in sh.snapshots() {
+fn accumulate<C: Controller>(report: &mut ChaosReport, sh: &C) {
+    for snap in sh.snapshot().shards {
         let s = snap.eleos;
         report.program_failures += s.program_failures;
         report.action_retries += s.action_retries;
@@ -914,10 +926,10 @@ fn accumulate(report: &mut ChaosReport, sh: &ShardedEleos) {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn chaos_write(
+fn chaos_write<C: Controller>(
     cfg: &ChaosConfig,
     rng: &mut StdRng,
-    sh: &mut ShardedEleos,
+    sh: &mut C,
     shadow: &mut BTreeMap<u64, Vec<u8>>,
     deleted: &mut BTreeSet<u64>,
     version: &mut u64,
@@ -938,7 +950,7 @@ fn chaos_write(
     }
     // Section VII contract: ActionAborted means "retry the buffer".
     for _attempt in 0..8 {
-        match sh.write_group(&b) {
+        match sh.write(&b) {
             Ok(_) => {
                 report.batches += 1;
                 for (l, d) in staged {
@@ -976,9 +988,9 @@ fn chaos_write(
     Ok(())
 }
 
-fn chaos_delete(
+fn chaos_delete<C: Controller>(
     rng: &mut StdRng,
-    sh: &mut ShardedEleos,
+    sh: &mut C,
     shadow: &mut BTreeMap<u64, Vec<u8>>,
     deleted: &mut BTreeSet<u64>,
     undecided: &mut Option<Undecided>,
@@ -997,7 +1009,7 @@ fn chaos_delete(
         }
     }
     for _attempt in 0..8 {
-        match sh.delete_batch(&pick) {
+        match sh.delete(&pick) {
             Ok(()) => {
                 report.deletes += 1;
                 for l in &pick {
@@ -1021,9 +1033,9 @@ fn chaos_delete(
     Ok(())
 }
 
-fn chaos_audit(
+fn chaos_audit<C: Controller>(
     rng: &mut StdRng,
-    sh: &mut ShardedEleos,
+    sh: &mut C,
     shadow: &BTreeMap<u64, Vec<u8>>,
     deleted: &BTreeSet<u64>,
     report: &mut ChaosReport,
@@ -1040,7 +1052,7 @@ fn chaos_audit(
             if got.as_ref() != expect.as_slice() {
                 return Err(format!(
                     "live read divergence: lpid {lpid} (shard {}) expected {} bytes, got {}",
-                    sh.shard_of(*lpid),
+                    sh.unit_of(*lpid),
                     expect.len(),
                     got.len()
                 ));

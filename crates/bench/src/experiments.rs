@@ -333,7 +333,7 @@ fn overlap_ssd(defer_io: bool, records: u64, geo: Geometry, profile: CostProfile
         // Small enough that checkpoints advance the truncation LSN during
         // the run, so GC also reclaims sealed log EBLOCKs.
         ckpt_log_bytes: 8 * 1024 * 1024,
-        map_cache_pages: 1 << 14,
+        mapping_cache_pages: 1 << 14,
         defer_io,
         ..Default::default()
     };
@@ -589,7 +589,7 @@ pub fn attribution_recovery() -> (Table, &'static str) {
         // checkpoint, so recovery replays a long WAL suffix and the
         // recovery row is a visible share, not a rounding error.
         ckpt_log_bytes: 64 * 1024 * 1024,
-        map_cache_pages: 1 << 14,
+        mapping_cache_pages: 1 << 14,
         defer_io: true,
         ..Default::default()
     };

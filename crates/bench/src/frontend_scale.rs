@@ -58,7 +58,7 @@ fn controller(clients: usize, exec: ExecMode, ckpt_log_bytes: u64) -> Eleos {
     let cfg = EleosConfig {
         max_user_lpid: clients as u64 * 128 + 1,
         ckpt_log_bytes,
-        map_cache_pages: 1 << 12,
+        mapping_cache_pages: 1 << 12,
         execution: exec,
         ..Default::default()
     };
@@ -266,6 +266,8 @@ pub fn bench_frontend_scale(scale: &str, label: &str, exec: ExecMode) -> BenchEn
             ExecMode::Serial => 1,
             ExecMode::Parallel { threads } => threads.max(1) as u32,
         },
+        mapping_cache_pages: 1 << 12,
+        gc_policy: eleos::GcPolicy::MinCostDecline.label().to_string(),
         shards: 1,
     }
 }

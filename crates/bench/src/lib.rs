@@ -16,6 +16,7 @@ pub mod ablation;
 pub mod chaos;
 pub mod experiments;
 pub mod frontend_scale;
+pub mod gc_lab;
 pub mod harness;
 pub mod perfjson;
 pub mod report;

@@ -31,6 +31,16 @@ pub struct BenchEntry {
     /// Controller shards the bench ran against (`--shards`): 1 for the
     /// unsharded path and for entries committed before sharding existed.
     pub shards: u32,
+    /// Mapping-cache bound the bench ran with
+    /// (`EleosConfig::mapping_cache_pages`): entries committed before the
+    /// flash-resident mapping existed kept the whole map in memory, which
+    /// the demand-paged controller approximates as a never-binding bound
+    /// of 0 (= "unbounded" in the trajectory).
+    pub mapping_cache_pages: u64,
+    /// GC victim-selection policy label (`GcPolicy::label()`): entries
+    /// committed before the policy lab existed all ran the paper's
+    /// min-cost-decline selection.
+    pub gc_policy: String,
 }
 
 /// Serialize one entry as a flat JSON object (no trailing newline).
@@ -41,7 +51,7 @@ pub fn render_entry(e: &BenchEntry, out: &mut String) {
          \"host_seconds\": {:.4}, \"sim_ops_per_host_sec\": {:.1}, \
          \"bytes_programmed\": {}, \"bytes_read\": {}, \"cpu_busy_ns\": {}, \
          \"flash_busy_ns\": {}, \"write_p99_ns\": {}, \"host_threads\": {}, \
-         \"shards\": {}}}",
+         \"shards\": {}, \"mapping_cache_pages\": {}, \"gc_policy\": \"{}\"}}",
         e.label,
         e.bench,
         e.scale,
@@ -54,7 +64,9 @@ pub fn render_entry(e: &BenchEntry, out: &mut String) {
         e.flash_busy_ns,
         e.write_p99_ns,
         e.host_threads,
-        e.shards
+        e.shards,
+        e.mapping_cache_pages,
+        e.gc_policy
     );
 }
 
@@ -107,6 +119,12 @@ pub fn parse_entries(text: &str) -> Vec<BenchEntry> {
                 .unwrap_or(1),
             // Entries committed before sharding existed ran unsharded.
             shards: field("shards").and_then(|v| v.parse::<u32>().ok()).unwrap_or(1),
+            // Pre-demand-paging entries held the whole map in memory.
+            mapping_cache_pages: field("mapping_cache_pages")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0),
+            // Pre-policy-lab entries all ran the paper's selection.
+            gc_policy: field("gc_policy").unwrap_or_else(|| "min_cost_decline".into()),
         });
     }
     out
@@ -151,6 +169,8 @@ mod tests {
             write_p99_ns: 999,
             host_threads: 8,
             shards: 4,
+            mapping_cache_pages: 16384,
+            gc_policy: "greedy".into(),
         };
         let mut s = String::new();
         render_entry(&e, &mut s);
@@ -164,6 +184,8 @@ mod tests {
         assert_eq!(back[0].write_p99_ns, 999);
         assert_eq!(back[0].host_threads, 8);
         assert_eq!(back[0].shards, 4);
+        assert_eq!(back[0].mapping_cache_pages, 16384);
+        assert_eq!(back[0].gc_policy, "greedy");
     }
 
     #[test]
@@ -180,6 +202,10 @@ mod tests {
         // pre-sharding entries ran one shard, not zero.
         assert_eq!(back[0].host_threads, 1);
         assert_eq!(back[0].shards, 1);
+        // Pre-demand-paging entries held the whole map in memory (0 =
+        // unbounded) and always used the paper's GC selection.
+        assert_eq!(back[0].mapping_cache_pages, 0);
+        assert_eq!(back[0].gc_policy, "min_cost_decline");
     }
 
     #[test]
@@ -198,6 +224,8 @@ mod tests {
             write_p99_ns: 0,
             host_threads: 1,
             shards: 1,
+            mapping_cache_pages: 0,
+            gc_policy: "min_cost_decline".into(),
         };
         let t = trajectory_table(&[mk("full"), mk("small"), mk("full")]);
         assert_eq!(t.rows.len(), 2);

@@ -58,7 +58,7 @@ fn config(clients: usize, exec: ExecMode, ckpt_log_bytes: u64) -> EleosConfig {
     EleosConfig {
         max_user_lpid: clients as u64 * 128 + 1,
         ckpt_log_bytes,
-        map_cache_pages: 1 << 12,
+        mapping_cache_pages: 1 << 12,
         execution: exec,
         ..Default::default()
     }
@@ -229,6 +229,8 @@ pub fn bench_shard_scale(scale: &str, label: &str, exec: ExecMode, n_shards: usi
             ExecMode::Serial => 1,
             ExecMode::Parallel { threads } => threads.max(1) as u32,
         },
+        mapping_cache_pages: 1 << 12,
+        gc_policy: eleos::GcPolicy::MinCostDecline.label().to_string(),
         shards: n_shards as u32,
     }
 }

@@ -189,7 +189,7 @@ fn run_batch(
         max_user_lpid: max_lpid,
         ckpt_log_bytes: 64 * 1024 * 1024,
         map_entries_per_page: 256,
-        map_cache_pages: 1 << 16,
+        mapping_cache_pages: 1 << 16,
         execution: exec,
         ..Default::default()
     };

@@ -116,16 +116,19 @@ pub fn run_ycsb(interface: Interface, setup: &YcsbSetup) -> YcsbResult {
             let cfg = EleosConfig {
                 page_mode: mode,
                 max_user_lpid: pages_est * 8 + 1024,
-                gc_free_watermark: match setup.gc {
-                    GcMode::Disabled => 0.0,
-                    GcMode::Enabled { .. } => 0.10,
+                gc: eleos::GcConfig {
+                    free_watermark: match setup.gc {
+                        GcMode::Disabled => 0.0,
+                        GcMode::Enabled { .. } => 0.10,
+                    },
+                    free_target: 0.15,
+                    ..eleos::GcConfig::default()
                 },
-                gc_free_target: 0.15,
                 ckpt_log_bytes: match setup.gc {
                     GcMode::Disabled => u64::MAX,
                     GcMode::Enabled { .. } => 16 * 1024 * 1024,
                 },
-                map_cache_pages: 1 << 16,
+                mapping_cache_pages: 1 << 16,
                 ..Default::default()
             };
             let ssd = Eleos::format(dev, cfg).unwrap();

@@ -152,23 +152,22 @@ impl Eleos {
     where
         F: FnMut(&mut Self) -> Result<Vec<ActionPage>>,
     {
-        // Scoped here (not only in `checkpoint`) so cache-pressure eviction
-        // flushes reached from the write path attribute as checkpoint work,
-        // not user-write work.
-        self.with_activity(Activity::Ckpt, |outer| {
-            let attempts = outer.cfg.ckpt_retry_attempts.max(1);
-            for attempt in 1..=attempts {
-                let pages = build(outer)?;
-                match outer.run_action(ActionKind::Ckpt, None, &pages, Dest::User) {
-                    Ok(_) => return Ok(()),
-                    Err(EleosError::ActionAborted) if attempt < attempts => {
-                        outer.stats.action_retries += 1;
-                    }
-                    Err(e) => return Err(e),
+        // Attribution is inherited from the caller: checkpoint-driven
+        // flushes run under `Ckpt`, cache-pressure eviction flushes
+        // reached from the write path run under `MapIo` — never as
+        // user-write work either way.
+        let attempts = self.cfg.ckpt_retry_attempts.max(1);
+        for attempt in 1..=attempts {
+            let pages = build(self)?;
+            match self.run_action(ActionKind::Ckpt, None, &pages, Dest::User) {
+                Ok(_) => return Ok(()),
+                Err(EleosError::ActionAborted) if attempt < attempts => {
+                    self.stats.action_retries += 1;
                 }
+                Err(e) => return Err(e),
             }
-            Err(EleosError::ActionAborted)
-        })
+        }
+        Err(EleosError::ActionAborted)
     }
 
     /// Flush the dirty / never-flushed summary pages with bounded retry.

@@ -14,17 +14,127 @@ pub enum PageMode {
 }
 
 /// GC victim-selection policy. The paper uses min-cost-decline (Section
-/// VI-A); the alternatives exist for the ablation benches in DESIGN.md §7.
+/// VI-A); the alternatives exist for the policy-lab ablation in
+/// EXPERIMENTS.md (write amplification / GC busy share / p99 latency at
+/// 70/80/90% utilization).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum GcSelection {
+pub enum GcPolicy {
     /// Score = (1 − E) / (E² · age); smallest scores selected (the paper's
     /// strategy, from Lomet et al., "Efficiently reclaiming space in a log
     /// structured store").
     MinCostDecline,
     /// Select EBLOCKs with most reclaimable space first.
-    GreedyAvail,
+    Greedy,
+    /// Classic cost-benefit (Rosenblum & Ousterhout's LFS cleaner): pick
+    /// the EBLOCK maximizing `age · (1 − u) / 2u` where `u` is the live
+    /// fraction — cheap-to-move *and* unlikely to decay further.
+    CostBenefit,
+    /// Greedy restricted to the `GcConfig::greedy_window` oldest closed
+    /// EBLOCKs: an age window keeps hot EBLOCKs (still accruing garbage)
+    /// out of consideration without full cost modelling.
+    WindowedGreedy,
+    /// Greedy discounted by lifetime erase count: a heavily erased EBLOCK
+    /// looks proportionally less attractive, steering erases toward
+    /// less-worn blocks (victim-side wear leveling; allocation-side wear
+    /// leveling is `EleosConfig::wear_aware_alloc`).
+    WearAware,
     /// Select oldest EBLOCKs first (LLAMA's circular-buffer strategy).
     Oldest,
+}
+
+impl GcPolicy {
+    /// Every policy, in ablation-table order.
+    pub const ALL: [GcPolicy; 6] = [
+        GcPolicy::MinCostDecline,
+        GcPolicy::Greedy,
+        GcPolicy::CostBenefit,
+        GcPolicy::WindowedGreedy,
+        GcPolicy::WearAware,
+        GcPolicy::Oldest,
+    ];
+
+    /// Stable snake_case name (bench JSON key, CLI flag value).
+    pub fn label(self) -> &'static str {
+        match self {
+            GcPolicy::MinCostDecline => "min_cost_decline",
+            GcPolicy::Greedy => "greedy",
+            GcPolicy::CostBenefit => "cost_benefit",
+            GcPolicy::WindowedGreedy => "windowed_greedy",
+            GcPolicy::WearAware => "wear_aware",
+            GcPolicy::Oldest => "oldest",
+        }
+    }
+
+    /// Inverse of [`GcPolicy::label`].
+    pub fn parse(s: &str) -> Option<GcPolicy> {
+        GcPolicy::ALL.iter().copied().find(|p| p.label() == s)
+    }
+}
+
+/// Garbage-collection knobs, gathered in one sub-struct (they travel
+/// together: a policy-lab run swaps the whole group at once).
+#[derive(Debug, Clone)]
+pub struct GcConfig {
+    /// Victim selection policy.
+    pub policy: GcPolicy,
+    /// Fraction of free EBLOCKs per channel below which GC is triggered
+    /// (Section IV-A1: "lower than 10%").
+    pub free_watermark: f64,
+    /// Fraction of free EBLOCKs GC tries to restore per run.
+    pub free_target: f64,
+    /// Number of open EBLOCKs dedicated to GC writes, used for age-binned
+    /// cold/hot separation (Section VI-B).
+    pub open_bins: usize,
+    /// Enable the cold/hot separation of GC writes from user writes. Always
+    /// on in the paper; off is an ablation.
+    pub hot_cold_separation: bool,
+    /// Maximum nested retry depth for failure-path migrations (a program
+    /// failure while relocating pages away from an earlier failure). Each
+    /// retry relocates to a freshly provisioned destination; exhausting
+    /// the bound shuts the controller down (recovery still replays
+    /// everything durable).
+    pub migrate_retry_limit: u32,
+    /// Candidate window for [`GcPolicy::WindowedGreedy`]: greedy selection
+    /// considers only this many oldest closed EBLOCKs per channel. Too
+    /// narrow a window is dangerous, not just slow: under sequential fill
+    /// the oldest blocks are fully valid, so a tiny window degenerates to
+    /// oldest-first and can relocate valid data faster than it reclaims
+    /// garbage until the device reports `DeviceFull` (measured in the GC
+    /// policy lab, `eleos-bench::gc_lab`).
+    pub greedy_window: usize,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            policy: GcPolicy::MinCostDecline,
+            free_watermark: 0.10,
+            free_target: 0.15,
+            open_bins: 3,
+            hot_cold_separation: true,
+            migrate_retry_limit: 3,
+            greedy_window: 8,
+        }
+    }
+}
+
+/// Replacement policy for the bounded mapping-page cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapCachePolicy {
+    /// Never evict: every translation page loaded stays resident. With a
+    /// bound that never binds this is byte-identical to `Lru` (the
+    /// eviction scan is the only difference, and it is pure bookkeeping) —
+    /// the twin configuration the mapping-equivalence proptest compares
+    /// against.
+    Unbounded,
+    /// Evict the least-recently-used *clean* page once the bound is hit;
+    /// dirty pages are never dropped (they flush under WAL protection
+    /// first), so the cache may temporarily overflow under write bursts.
+    Lru,
+    /// CLOCK (second-chance) over an explicit resident ring: cheaper
+    /// bookkeeping than true LRU, deterministic hand order (never
+    /// dependent on hash-map iteration). Same dirty-page overflow rule.
+    Clock,
 }
 
 /// Tunables for the ELEOS controller.
@@ -32,28 +142,22 @@ pub enum GcSelection {
 pub struct EleosConfig {
     /// Page sizing across the interface.
     pub page_mode: PageMode,
-    /// Fraction of free EBLOCKs per channel below which GC is triggered
-    /// (Section IV-A1: "lower than 10%").
-    pub gc_free_watermark: f64,
-    /// Fraction of free EBLOCKs GC tries to restore per run.
-    pub gc_free_target: f64,
-    /// Number of open EBLOCKs dedicated to GC writes, used for age-binned
-    /// cold/hot separation (Section VI-B).
-    pub gc_open_bins: usize,
-    /// Enable the cold/hot separation of GC writes from user writes. Always
-    /// on in the paper; off is an ablation.
-    pub hot_cold_separation: bool,
-    /// GC victim selection policy.
-    pub gc_selection: GcSelection,
+    /// Garbage collection: victim policy, watermarks, hot/cold binning and
+    /// failure-path retry bounds.
+    pub gc: GcConfig,
     /// Bytes of log appended between automatic fuzzy checkpoints
     /// (Section VIII-B "regularly performs fuzzy checkpointing").
     pub ckpt_log_bytes: u64,
     /// Mapping-table entries per mapping page.
     pub map_entries_per_page: usize,
-    /// Maximum mapping pages held in the in-memory cache; clean pages are
-    /// evicted beyond this, dirty pages are flushed first (Section III-B:
-    /// the mapping table is "too large to be totally cached in memory").
-    pub map_cache_pages: usize,
+    /// Maximum mapping (translation) pages held in the in-memory cache;
+    /// pages beyond the bound are evicted per `mapping_cache_policy`,
+    /// dirty pages are flushed first (Section III-B: the mapping table is
+    /// "too large to be totally cached in memory" — translation pages
+    /// live in EBLOCKs like data and fault in on demand).
+    pub mapping_cache_pages: usize,
+    /// Replacement policy for the mapping-page cache.
+    pub mapping_cache_policy: MapCachePolicy,
     /// Highest application LPID supported (pre-sizes the mapping table).
     pub max_user_lpid: u64,
     /// Number of standby EBLOCKs kept ready for the log's forward-pointer
@@ -72,12 +176,6 @@ pub struct EleosConfig {
     /// retirement (every failure is treated as transient, the pre-PR-3
     /// behaviour).
     pub retire_program_failures: u16,
-    /// Maximum nested retry depth for failure-path migrations (a program
-    /// failure while relocating pages away from an earlier failure). Each
-    /// retry relocates to a freshly provisioned destination; exhausting
-    /// the bound shuts the controller down (recovery still replays
-    /// everything durable).
-    pub migrate_retry_limit: u32,
     /// Bounded retry attempts for checkpoint-internal flush actions that
     /// abort on a program failure. The abort path has already migrated
     /// valid pages off the poisoned EBLOCK, so a retry provisions
@@ -112,19 +210,15 @@ impl Default for EleosConfig {
     fn default() -> Self {
         EleosConfig {
             page_mode: PageMode::Variable,
-            gc_free_watermark: 0.10,
-            gc_free_target: 0.15,
-            gc_open_bins: 3,
-            hot_cold_separation: true,
-            gc_selection: GcSelection::MinCostDecline,
+            gc: GcConfig::default(),
             ckpt_log_bytes: 4 * 1024 * 1024,
             map_entries_per_page: 256,
-            map_cache_pages: 1024,
+            mapping_cache_pages: 1024,
+            mapping_cache_policy: MapCachePolicy::Lru,
             max_user_lpid: 1 << 20,
             log_standby_eblocks: 2,
             wear_aware_alloc: false,
             retire_program_failures: 4,
-            migrate_retry_limit: 3,
             ckpt_retry_attempts: 3,
             defer_io: true,
             telemetry: true,
@@ -140,7 +234,7 @@ impl EleosConfig {
         EleosConfig {
             ckpt_log_bytes: u64::MAX, // explicit checkpoints only
             map_entries_per_page: 16,
-            map_cache_pages: 8,
+            mapping_cache_pages: 8,
             max_user_lpid: 4096,
             ..Default::default()
         }
@@ -194,8 +288,17 @@ mod tests {
     #[test]
     fn defaults_match_paper_thresholds() {
         let c = EleosConfig::default();
-        assert!((c.gc_free_watermark - 0.10).abs() < 1e-9);
-        assert_eq!(c.gc_open_bins, 3);
-        assert_eq!(c.gc_selection, GcSelection::MinCostDecline);
+        assert!((c.gc.free_watermark - 0.10).abs() < 1e-9);
+        assert_eq!(c.gc.open_bins, 3);
+        assert_eq!(c.gc.policy, GcPolicy::MinCostDecline);
+        assert_eq!(c.mapping_cache_policy, MapCachePolicy::Lru);
+    }
+
+    #[test]
+    fn gc_policy_labels_roundtrip() {
+        for p in GcPolicy::ALL {
+            assert_eq!(GcPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(GcPolicy::parse("nonsense"), None);
     }
 }

@@ -232,7 +232,12 @@ impl Eleos {
             geo.eblocks_per_channel >= 4,
             "need room for checkpoint area, log, and data"
         );
-        let mapping = MappingTable::new(cfg.max_user_lpid, cfg.map_entries_per_page, cfg.map_cache_pages);
+        let mapping = MappingTable::new(
+            cfg.max_user_lpid,
+            cfg.map_entries_per_page,
+            cfg.mapping_cache_pages,
+            cfg.mapping_cache_policy,
+        );
         let mut summary = SummaryTable::new(geo);
         for eb in CkptArea::reserved_eblocks() {
             summary.update(eb, 0, |d| {
@@ -246,7 +251,7 @@ impl Eleos {
             d.purpose = EblockPurpose::Log;
         });
         let mut chans: Vec<ChannelState> = (0..geo.channels)
-            .map(|c| ChannelState::new(c, cfg.gc_open_bins))
+            .map(|c| ChannelState::new(c, cfg.gc.open_bins))
             .collect();
         for c in 0..geo.channels {
             let start = if c == 0 { 3 } else { 0 };
@@ -334,11 +339,6 @@ impl Eleos {
         &mut self.dev
     }
 
-    #[deprecated(note = "use `Eleos::snapshot()` — one struct replaces the accessor sprawl")]
-    pub fn stats(&self) -> &EleosStats {
-        &self.stats
-    }
-
     pub fn config(&self) -> &EleosConfig {
         &self.cfg
     }
@@ -413,24 +413,6 @@ impl Eleos {
             self.sessions.check_next(sid, wsn)?;
         }
         self.write_inner(opts.session, batch, !opts.pipelined)
-    }
-
-    /// Write a batch within a session; `wsn` must be exactly one higher
-    /// than the session's highest applied WSN.
-    #[deprecated(note = "use `write(batch, WriteOpts::ordered(sid, wsn))`")]
-    pub fn write_ordered(&mut self, sid: Sid, wsn: Wsn, batch: &WriteBatch) -> Result<BatchAck> {
-        self.write(batch, WriteOpts::ordered(sid, wsn))
-    }
-
-    /// Pipelined ordered write.
-    #[deprecated(note = "use `write(batch, WriteOpts::ordered_pipelined(sid, wsn))`")]
-    pub fn write_ordered_pipelined(
-        &mut self,
-        sid: Sid,
-        wsn: Wsn,
-        batch: &WriteBatch,
-    ) -> Result<BatchAck> {
-        self.write(batch, WriteOpts::ordered_pipelined(sid, wsn))
     }
 
     fn write_inner(
@@ -514,7 +496,12 @@ impl Eleos {
         if self.mapping.overfull() {
             let dirty = self.mapping.dirty_pages();
             let k = dirty.len().min(8);
-            match self.flush_map_pages(&dirty[..k]) {
+            // Cache-pressure eviction flushes are mapping I/O, not
+            // checkpoint work — the ledger row the policy lab reads.
+            let res = self.with_activity(Activity::MapIo, |this| {
+                this.flush_map_pages(&dirty[..k])
+            });
+            match res {
                 Ok(()) | Err(EleosError::ActionAborted) => {}
                 Err(e) => return Err(e),
             }
@@ -624,12 +611,6 @@ impl Eleos {
         Ok(self.mapping.get(lpid, &mut self.dev)?.map(|a| a.len))
     }
 
-    /// Mapping pages currently resident in the controller cache
-    /// (introspection for tests/benches).
-    #[deprecated(note = "use `Eleos::snapshot().mapping_cached_pages`")]
-    pub fn mapping_cached_pages(&self) -> usize {
-        self.mapping.cached_pages()
-    }
 
     // ------------------------------------------------------------------
     // Deletes (TRIM)
@@ -1554,7 +1535,7 @@ impl Eleos {
             // With hot/cold separation disabled (ablation), GC relocations
             // share the user open EBLOCK — cold data mixes back in with
             // hot, exactly what Section VI-B argues against.
-            Dest::GcBin { .. } if !self.cfg.hot_cold_separation => {
+            Dest::GcBin { .. } if !self.cfg.gc.hot_cold_separation => {
                 &mut self.chans[channel as usize].user_open
             }
             Dest::GcBin { victim_ts, .. } => {
@@ -1576,7 +1557,7 @@ impl Eleos {
     fn put_cursor(&mut self, channel: u32, dest: Dest, mut ob: OpenEblock) {
         match dest {
             Dest::User => self.chans[channel as usize].user_open = Some(ob),
-            Dest::GcBin { .. } if !self.cfg.hot_cold_separation => {
+            Dest::GcBin { .. } if !self.cfg.gc.hot_cold_separation => {
                 self.chans[channel as usize].user_open = Some(ob);
             }
             Dest::GcBin { victim_ts, .. } => {
@@ -1788,7 +1769,7 @@ impl Eleos {
         meta: &[(PageKind, Lpid)],
         depth: u8,
     ) -> Result<()> {
-        if u32::from(depth) > self.cfg.migrate_retry_limit {
+        if u32::from(depth) > self.cfg.gc.migrate_retry_limit {
             self.shutdown = true;
             return Err(EleosError::ShutDown);
         }
@@ -1993,26 +1974,10 @@ impl Eleos {
         });
     }
 
-    /// Overlap ratio of the flash channels over the whole run so far:
-    /// `Σ per-channel busy ns / (channels · now)`. Exposes the deferred
-    /// completion win as a measurement rather than an inference.
-    #[deprecated(note = "use `Eleos::snapshot().overlap_ratio()`")]
-    pub fn overlap_ratio(&self) -> f64 {
-        self.dev.stats().overlap_ratio(self.dev.clock().now())
-    }
-
-    /// Busy nanoseconds accumulated per flash channel (utilization
-    /// counters; see [`eleos_flash::FlashStats::channel_busy_ns`]).
-    #[deprecated(note = "use `Eleos::snapshot().flash.channel_busy_ns`")]
-    pub fn channel_busy_ns(&self) -> &[u64] {
-        &self.dev.stats().channel_busy_ns
-    }
-
     /// One coherent view of everything observable about this controller at
     /// the current simulated instant: operation counters, flash counters,
-    /// the time-attribution ledger, and the latency span histograms. This
-    /// replaces the old accessor sprawl (`stats()`, `overlap_ratio()`,
-    /// `channel_busy_ns()`, `mapping_cached_pages()`).
+    /// mapping-cache counters, the time-attribution ledger, and the
+    /// latency span histograms.
     pub fn snapshot(&self) -> crate::telemetry_snapshot::TelemetrySnapshot {
         let t = self.dev.telemetry();
         crate::telemetry_snapshot::TelemetrySnapshot {
@@ -2021,6 +1986,7 @@ impl Eleos {
             eleos: self.stats.clone(),
             flash: self.dev.stats().clone(),
             mapping_cached_pages: self.mapping.cached_pages(),
+            map_cache: self.mapping.cache_stats(),
             ledger: t.ledger.clone(),
             spans: t.spans().to_vec(),
         }

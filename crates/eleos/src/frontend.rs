@@ -2,15 +2,21 @@
 //! (DESIGN.md §11).
 //!
 //! The paper's premise is that a batched write interface amortizes
-//! controller and flash costs across many host writers, but [`Eleos`]
-//! itself is driven by exactly one synchronous submitter. The [`Frontend`]
+//! controller and flash costs across many host writers, but a controller
+//! is driven by exactly one synchronous submitter. The [`Frontend`]
 //! closes that gap deterministically: N simulated client streams enqueue
 //! variable-size LPAGE batches stamped with [`SimClock`]-timeline arrival
 //! times, and a [`GroupCommitPolicy`] coalesces queued batches into one
-//! `Eleos::write` per flush. A client batch is ACKed only when the group
-//! covering it is durable — acked-implies-durable holds per client across
-//! group boundaries, and a crash mid-flush drops or keeps *whole* groups
-//! (the covering `Eleos::write` is atomic).
+//! [`Controller::write`] per flush. A client batch is ACKed only when the
+//! group covering it is durable — acked-implies-durable holds per client
+//! across group boundaries, and a crash mid-flush drops or keeps *whole*
+//! groups (the covering write is atomic; on a sharded array that is the
+//! cross-shard group-commit guarantee).
+//!
+//! The front-end is generic over [`Controller`], so the same
+//! implementation (formerly duplicated as `ShardedFrontend`) drives both
+//! [`Eleos`](crate::Eleos) and the sharded array — unit 0 hosts the
+//! dispatch clock and the front-end's own CPU ledger rows in both cases.
 //!
 //! Everything runs on the shared [`SimClock`]: arrival gaps and the
 //! group-commit *time threshold* advance the CPU horizon via idle waits
@@ -20,8 +26,11 @@
 //!
 //! [`SimClock`]: eleos_flash::SimClock
 
+use crate::api::Controller;
 use crate::batch::WriteBatch;
-use crate::controller::{BatchAck, Eleos, WriteOpts};
+use crate::controller::BatchAck;
+#[cfg(test)]
+use crate::controller::Eleos;
 use crate::error::{EleosError, Result};
 use eleos_flash::{Activity, LatencyHistogram, Nanos, SpanKind};
 
@@ -84,12 +93,12 @@ struct PendingBatch {
     batch: WriteBatch,
 }
 
-/// Deterministic multi-client submission layer over one [`Eleos`].
+/// Deterministic multi-client submission layer over one [`Controller`].
 ///
 /// Batches queue in arrival order; a flush coalesces the whole queue into
-/// one `Eleos::write` (duplicate LPIDs across client batches are legal —
-/// the batch wire format applies entries in order, later wins). On any
-/// flush error the queue is left intact and nothing is ACKed: after a
+/// one [`Controller::write`] (duplicate LPIDs across client batches are
+/// legal — the batch wire format applies entries in order, later wins). On
+/// any flush error the queue is left intact and nothing is ACKed: after a
 /// crash, queued-but-unACKed batches are simply lost, which is exactly the
 /// contract an unACKed write has.
 #[derive(Debug)]
@@ -127,9 +136,9 @@ impl Frontend {
     /// ACKs of every group this submission caused to flush (usually empty
     /// or one group; at most two when the time threshold fires before the
     /// arrival is enqueued).
-    pub fn submit(
+    pub fn submit<C: Controller>(
         &mut self,
-        ssd: &mut Eleos,
+        ssd: &mut C,
         client: usize,
         at: Nanos,
         batch: WriteBatch,
@@ -144,14 +153,14 @@ impl Frontend {
         // threshold is never free).
         if let Some(open) = self.group_open_at {
             let deadline = open.saturating_add(self.policy.flush_interval_ns);
-            if at.max(ssd.now()) >= deadline {
-                ssd.device_mut().clock_mut().wait_until(deadline);
+            if at.max(ssd.host_now()) >= deadline {
+                ssd.unit_mut(0).device_mut().clock_mut().wait_until(deadline);
                 acks.extend(self.flush(ssd)?);
             }
         }
-        ssd.device_mut().clock_mut().wait_until(at);
+        ssd.unit_mut(0).device_mut().clock_mut().wait_until(at);
         self.charge_cpu(ssd, self.policy.enqueue_cpu_ns)?;
-        let now = ssd.now();
+        let now = ssd.host_now();
         let client_seq = self.next_seq[client];
         self.next_seq[client] += 1;
         self.pending_bytes += batch.wire_len();
@@ -174,12 +183,12 @@ impl Frontend {
 
     /// Flush the open group now regardless of thresholds (timer expiry
     /// driven from outside, or end-of-run drain). No-op on an empty queue.
-    pub fn flush(&mut self, ssd: &mut Eleos) -> Result<Vec<GroupAck>> {
+    pub fn flush<C: Controller>(&mut self, ssd: &mut C) -> Result<Vec<GroupAck>> {
         if self.pending.is_empty() {
             self.group_open_at = None;
             return Ok(Vec::new());
         }
-        let open_at = self.group_open_at.unwrap_or_else(|| ssd.now());
+        let open_at = self.group_open_at.unwrap_or_else(|| ssd.host_now());
         // Group assembly: one flush fee plus a per-batch coalescing fee.
         self.charge_cpu(
             ssd,
@@ -193,7 +202,7 @@ impl Frontend {
         let ack = Self::write_with_retries(ssd, &merged)?;
         let group = self.next_group;
         self.next_group += 1;
-        ssd.finish_span(SpanKind::GroupFlush, open_at);
+        ssd.unit_mut(0).finish_span(SpanKind::GroupFlush, open_at);
         let durable_at = ack.done_at;
         let mut acks = Vec::with_capacity(self.pending.len());
         for pb in self.pending.drain(..) {
@@ -216,10 +225,10 @@ impl Frontend {
     /// One durable group write, absorbing transient controller conditions
     /// the same way a host driver would: aborted actions retry, a full
     /// device runs maintenance first. Bounded so genuine faults surface.
-    fn write_with_retries(ssd: &mut Eleos, batch: &WriteBatch) -> Result<BatchAck> {
+    fn write_with_retries<C: Controller>(ssd: &mut C, batch: &WriteBatch) -> Result<BatchAck> {
         let mut attempts = 0;
         loop {
-            match ssd.write(batch, WriteOpts::default()) {
+            match ssd.write(batch) {
                 Ok(a) => return Ok(a),
                 Err(EleosError::ActionAborted) if attempts < 8 => attempts += 1,
                 Err(EleosError::DeviceFull) if attempts < 8 => {
@@ -231,8 +240,8 @@ impl Frontend {
         }
     }
 
-    fn charge_cpu(&self, ssd: &mut Eleos, ns: Nanos) -> Result<()> {
-        ssd.with_activity(Activity::Frontend, |this| {
+    fn charge_cpu<C: Controller>(&self, ssd: &mut C, ns: Nanos) -> Result<()> {
+        ssd.unit_mut(0).with_activity(Activity::Frontend, |this| {
             this.device_mut().cpu(ns);
             Ok(())
         })

@@ -8,11 +8,11 @@
 //! persisted metadata (Fig. 6) and moved through the ordinary system-action
 //! write path with conditional installs.
 
-use crate::config::GcSelection;
+use crate::config::GcPolicy;
 use crate::controller::{ActionPage, Dest, Eleos};
 use crate::error::{EleosError, Result};
 use crate::provision::decode_eblock_meta;
-use crate::summary::{EblockPurpose, EblockState};
+use crate::summary::{EblockDesc, EblockPurpose, EblockState};
 use crate::types::{ActionKind, Lpid, PageKind, Usn};
 use eleos_flash::{Activity, ByteExtent, EblockAddr, IoTicket, SpanKind};
 
@@ -43,8 +43,8 @@ impl Eleos {
         }
         let geo = *self.dev.geometry();
         let total = geo.eblocks_per_channel as f64;
-        let target = (total * self.cfg.gc_free_target).ceil() as usize;
-        let watermark = (total * self.cfg.gc_free_watermark).ceil() as usize;
+        let target = (total * self.cfg.gc.free_target).ceil() as usize;
+        let watermark = (total * self.cfg.gc.free_watermark).ceil() as usize;
         if !self.cfg.defer_io {
             for ch in 0..geo.channels {
                 if self.chans[ch as usize].free.len() >= watermark {
@@ -320,26 +320,53 @@ impl Eleos {
         self.erase_batch(&survivors)
     }
 
-    /// Pick the victim per the configured selection policy.
+    /// Pick the victim per the configured selection policy. All policies
+    /// share the min-score convention; candidates keep channel eb-index
+    /// order so ties resolve to the lowest EBLOCK deterministically.
     pub(crate) fn select_victim(&self, channel: u32) -> Option<EblockAddr> {
         let geo = *self.dev.geometry();
         let now = self.usn;
-        let mut best: Option<(EblockAddr, f64)> = None;
+        let mut candidates: Vec<(EblockAddr, EblockDesc)> = Vec::new();
         for eb in 0..geo.eblocks_per_channel {
             let addr = EblockAddr::new(channel, eb);
-            let d = self.summary.get(addr);
+            let d = *self.summary.get(addr);
             if d.state != EblockState::Used || d.purpose != EblockPurpose::Data {
                 continue;
             }
             if d.avail == 0 {
                 continue; // nothing reclaimable
             }
-            let score = match self.cfg.gc_selection {
-                GcSelection::MinCostDecline => d.gc_score(&geo, now),
+            candidates.push((addr, d));
+        }
+        let pool: &[(EblockAddr, EblockDesc)] = match self.cfg.gc.policy {
+            // Greedy restricted to the W oldest closed EBLOCKs: hot blocks
+            // (still accruing garbage) stay out of consideration.
+            GcPolicy::WindowedGreedy => {
+                candidates.sort_by_key(|&(a, d)| (d.ts, a.eblock));
+                let w = self.cfg.gc.greedy_window.max(1).min(candidates.len());
+                &candidates[..w]
+            }
+            _ => &candidates[..],
+        };
+        let mut best: Option<(EblockAddr, f64)> = None;
+        for &(addr, d) in pool {
+            let score = match self.cfg.gc.policy {
+                GcPolicy::MinCostDecline => d.gc_score(&geo, now),
                 // Greedy: most available space first -> minimize score.
-                GcSelection::GreedyAvail => -(d.avail as f64),
+                GcPolicy::Greedy | GcPolicy::WindowedGreedy => -(d.avail as f64),
+                // LFS cleaner benefit/cost = age · (1 − u) / 2u with u the
+                // live fraction; maximize, so negate for min-score.
+                GcPolicy::CostBenefit => {
+                    let e = d.avail_fraction(&geo).min(1.0);
+                    let u = (1.0 - e).max(1e-9);
+                    let age = (now.saturating_sub(d.ts)).max(1) as f64;
+                    -(age * e / (2.0 * u))
+                }
+                // Greedy discounted by lifetime erases: worn blocks look
+                // less attractive, spreading erase load.
+                GcPolicy::WearAware => -(d.avail as f64) / (1.0 + d.erase_count as f64),
                 // Oldest first (LLAMA's circular buffer).
-                GcSelection::Oldest => d.ts as f64,
+                GcPolicy::Oldest => d.ts as f64,
             };
             if best.is_none_or(|(_, s)| score < s) {
                 best = Some((addr, score));

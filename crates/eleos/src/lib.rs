@@ -61,6 +61,7 @@
 //! | VII write failures | [`controller`] (migration) |
 //! | VIII durability & recovery | [`wal`], [`ckpt`], [`recovery`] |
 
+pub mod api;
 pub mod batch;
 pub mod ckpt;
 mod ckpt_ops;
@@ -82,12 +83,14 @@ pub mod telemetry_snapshot;
 pub mod types;
 pub mod wal;
 
+pub use api::Controller;
 pub use batch::WriteBatch;
-pub use config::{EleosConfig, GcSelection, PageMode};
+pub use config::{EleosConfig, GcConfig, GcPolicy, MapCachePolicy, PageMode};
 pub use eleos_flash::ExecMode;
 pub use controller::{BatchAck, Eleos, WriteOpts};
 pub use error::{EleosError, Result};
 pub use frontend::{Frontend, GroupAck, GroupCommitPolicy};
+pub use mapping::MapCacheStats;
 pub use phys::{PhysAddr, NULL_PADDR};
 pub use gc::SpaceReport;
 pub use sharded::{shard_of_lpid, ShardedEleos, ShardedFrontend};

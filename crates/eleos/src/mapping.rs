@@ -10,10 +10,11 @@
 //!   to live inside the checkpoint record itself.
 
 use crate::batch::{decode_stored_header, ENTRY_HEADER};
+use crate::config::MapCachePolicy;
 use crate::error::{EleosError, Result};
 use crate::phys::{PhysAddr, NULL_PADDR};
 use crate::types::{Lpid, Lsn, PageKind, MAP_PAGE_BASE};
-use eleos_flash::FlashDevice;
+use eleos_flash::{Activity, FlashDevice};
 use std::collections::HashMap;
 
 /// One cached mapping page.
@@ -26,6 +27,23 @@ struct CachedPage {
     rec_lsn: Lsn,
     /// LRU tick.
     last_used: u64,
+    /// CLOCK reference bit (second chance).
+    referenced: bool,
+}
+
+/// Observational cache counters (never feed back into control flow, so
+/// they cannot perturb the simulation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Demand loads (page absent from the cache).
+    pub misses: u64,
+    /// Misses that read a translation page from flash (the rest were
+    /// never-flushed pages materialized as all-unmapped).
+    pub flash_loads: u64,
+    /// Clean pages dropped by the replacement policy.
+    pub evictions: u64,
 }
 
 /// The mapping-table hierarchy.
@@ -34,16 +52,29 @@ pub struct MappingTable {
     per_page: usize,
     n_pages: usize,
     max_cache: usize,
+    policy: MapCachePolicy,
     /// Level 2: packed flash address of each mapping page.
     small: Vec<u64>,
     /// Level 3: packed flash address of each small-table page.
     tiny: Vec<u64>,
     cache: HashMap<u32, CachedPage>,
+    /// Resident pages in insertion order — the CLOCK ring. Maintained for
+    /// every policy so the hand's sweep never depends on hash-map
+    /// iteration order.
+    ring: Vec<u32>,
+    /// CLOCK hand: index into `ring` of the next candidate.
+    hand: usize,
     tick: u64,
+    stats: MapCacheStats,
 }
 
 impl MappingTable {
-    pub fn new(max_user_lpid: u64, per_page: usize, max_cache: usize) -> Self {
+    pub fn new(
+        max_user_lpid: u64,
+        per_page: usize,
+        max_cache: usize,
+        policy: MapCachePolicy,
+    ) -> Self {
         assert!(per_page > 0);
         let n_pages = ((max_user_lpid + 1) as usize).div_ceil(per_page);
         let n_small = n_pages.div_ceil(per_page);
@@ -51,10 +82,14 @@ impl MappingTable {
             per_page,
             n_pages,
             max_cache: max_cache.max(1),
+            policy,
             small: vec![NULL_PADDR; n_pages],
             tiny: vec![NULL_PADDR; n_small],
             cache: HashMap::new(),
+            ring: Vec::new(),
+            hand: 0,
             tick: 0,
+            stats: MapCacheStats::default(),
         }
     }
 
@@ -90,19 +125,27 @@ impl MappingTable {
     }
 
     /// Load a mapping page into the cache (reading flash on a miss).
+    /// Demand-fault flash reads are attributed to [`Activity::MapIo`].
     fn load_page(&mut self, page: u32, dev: &mut FlashDevice) -> Result<&mut CachedPage> {
         self.tick += 1;
         let tick = self.tick;
         if self.cache.contains_key(&page) {
+            self.stats.hits += 1;
             let p = self.cache.get_mut(&page).unwrap();
             p.last_used = tick;
+            p.referenced = true;
             return Ok(p);
         }
+        self.stats.misses += 1;
         self.maybe_evict_clean();
         let entries = match PhysAddr::unpack(self.small[page as usize]) {
             None => vec![NULL_PADDR; self.per_page], // never flushed: all unmapped
             Some(addr) => {
-                let (bytes, _) = dev.read_extent(addr.extent())?;
+                self.stats.flash_loads += 1;
+                let prev = dev.telemetry_mut().set_activity(Activity::MapIo);
+                let read = dev.read_extent(addr.extent());
+                dev.telemetry_mut().set_activity(prev);
+                let (bytes, _) = read?;
                 let (lpid, kind, plen) = decode_stored_header(&bytes)?;
                 if kind != PageKind::MapPage || lpid != MAP_PAGE_BASE + page as u64 {
                     return Err(EleosError::Corrupt("mapping page identity mismatch"));
@@ -118,35 +161,87 @@ impl MappingTable {
                 dirty: false,
                 rec_lsn: 0,
                 last_used: tick,
+                referenced: true,
             },
         );
+        self.ring.push(page);
         Ok(self.cache.get_mut(&page).unwrap())
     }
 
-    /// Evict the least-recently-used *clean* page when the cache is full.
-    /// Dirty pages are never dropped — they are flushed by checkpointing
-    /// (or an eviction-flush driven by the controller).
+    /// Drop one resident page and keep the ring / hand consistent.
+    fn evict(&mut self, page: u32) {
+        self.cache.remove(&page);
+        if let Some(pos) = self.ring.iter().position(|&p| p == page) {
+            self.ring.remove(pos);
+            if self.hand > pos {
+                self.hand -= 1;
+            }
+        }
+        if !self.ring.is_empty() {
+            self.hand %= self.ring.len();
+        } else {
+            self.hand = 0;
+        }
+        self.stats.evictions += 1;
+    }
+
+    /// Make room for one incoming page per the replacement policy. Dirty
+    /// pages are never dropped — they are flushed by checkpointing (or an
+    /// eviction-flush driven by the controller) and evicted clean later.
     fn maybe_evict_clean(&mut self) {
-        while self.cache.len() >= self.max_cache {
-            let victim = self
-                .cache
-                .iter()
-                .filter(|(_, p)| !p.dirty)
-                .min_by_key(|(_, p)| p.last_used)
-                .map(|(&k, _)| k);
-            match victim {
-                Some(k) => {
-                    self.cache.remove(&k);
+        match self.policy {
+            MapCachePolicy::Unbounded => {}
+            MapCachePolicy::Lru => {
+                while self.cache.len() >= self.max_cache {
+                    let victim = self
+                        .cache
+                        .iter()
+                        .filter(|(_, p)| !p.dirty)
+                        .min_by_key(|(_, p)| p.last_used)
+                        .map(|(&k, _)| k);
+                    match victim {
+                        Some(k) => self.evict(k),
+                        None => break, // all dirty; allow temporary overflow
+                    }
                 }
-                None => break, // all dirty; allow temporary overflow
+            }
+            MapCachePolicy::Clock => {
+                while self.cache.len() >= self.max_cache {
+                    // Two sweeps: the first clears reference bits, the
+                    // second then finds any clean unreferenced page. If
+                    // neither evicts, every resident page is dirty.
+                    let mut evicted = false;
+                    for _ in 0..2 * self.ring.len() {
+                        let page = self.ring[self.hand];
+                        let p = self.cache.get_mut(&page).unwrap();
+                        if p.dirty {
+                            self.hand = (self.hand + 1) % self.ring.len();
+                        } else if p.referenced {
+                            p.referenced = false;
+                            self.hand = (self.hand + 1) % self.ring.len();
+                        } else {
+                            self.evict(page);
+                            evicted = true;
+                            break;
+                        }
+                    }
+                    if !evicted {
+                        break; // all dirty; allow temporary overflow
+                    }
+                }
             }
         }
     }
 
     /// True when the cache exceeds its bound with dirty pages (the
-    /// controller should flush some).
+    /// controller should flush some). Never true for an unbounded cache.
     pub fn overfull(&self) -> bool {
-        self.cache.len() > self.max_cache
+        self.policy != MapCachePolicy::Unbounded && self.cache.len() > self.max_cache
+    }
+
+    /// Observational cache counters.
+    pub fn cache_stats(&self) -> MapCacheStats {
+        self.stats
     }
 
     /// Look up the current physical address of an LPID.
@@ -302,6 +397,8 @@ impl MappingTable {
     /// Drop the entire cache (crash simulation support in tests).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
+        self.ring.clear();
+        self.hand = 0;
     }
 
     /// Number of cached pages (test introspection).
@@ -337,14 +434,14 @@ mod tests {
 
     #[test]
     fn unmapped_lpid_is_none() {
-        let mut m = MappingTable::new(1000, 16, 4);
+        let mut m = MappingTable::new(1000, 16, 4, MapCachePolicy::Lru);
         let mut d = dev();
         assert_eq!(m.get(5, &mut d).unwrap(), None);
     }
 
     #[test]
     fn set_get_roundtrip_and_old_value() {
-        let mut m = MappingTable::new(1000, 16, 4);
+        let mut m = MappingTable::new(1000, 16, 4, MapCachePolicy::Lru);
         let mut d = dev();
         let a1 = addr(0, 64).pack();
         let a2 = addr(64, 128).pack();
@@ -355,7 +452,7 @@ mod tests {
 
     #[test]
     fn conditional_install_semantics() {
-        let mut m = MappingTable::new(1000, 16, 4);
+        let mut m = MappingTable::new(1000, 16, 4, MapCachePolicy::Lru);
         let mut d = dev();
         let a1 = addr(0, 64).pack();
         let a2 = addr(64, 64).pack();
@@ -370,7 +467,7 @@ mod tests {
 
     #[test]
     fn dirty_tracking_and_rec_lsn() {
-        let mut m = MappingTable::new(1000, 16, 4);
+        let mut m = MappingTable::new(1000, 16, 4, MapCachePolicy::Lru);
         let mut d = dev();
         assert!(m.min_rec_lsn().is_none());
         m.set(0, addr(0, 64).pack(), 10, &mut d).unwrap();
@@ -385,7 +482,7 @@ mod tests {
 
     #[test]
     fn clean_pages_evicted_dirty_retained() {
-        let mut m = MappingTable::new(1000, 16, 2);
+        let mut m = MappingTable::new(1000, 16, 2, MapCachePolicy::Lru);
         let mut d = dev();
         m.set(0, addr(0, 64).pack(), 1, &mut d).unwrap(); // page 0, dirty
         m.get(16, &mut d).unwrap(); // page 1, clean
@@ -396,7 +493,7 @@ mod tests {
 
     #[test]
     fn reserved_lpid_rejected() {
-        let mut m = MappingTable::new(1000, 16, 4);
+        let mut m = MappingTable::new(1000, 16, 4, MapCachePolicy::Lru);
         let mut d = dev();
         assert!(matches!(
             m.get(MAP_PAGE_BASE, &mut d),
@@ -406,24 +503,77 @@ mod tests {
 
     #[test]
     fn lpid_beyond_max_not_found() {
-        let mut m = MappingTable::new(100, 16, 4);
+        let mut m = MappingTable::new(100, 16, 4, MapCachePolicy::Lru);
         let mut d = dev();
         assert!(matches!(m.get(5000, &mut d), Err(EleosError::NotFound(_))));
     }
 
     #[test]
     fn small_page_encode_decode_roundtrip() {
-        let mut m = MappingTable::new(1000, 16, 4);
+        let mut m = MappingTable::new(1000, 16, 4, MapCachePolicy::Lru);
         m.set_small_addr(3, addr(64, 64).pack());
         let bytes = m.encode_small_page(0);
-        let mut m2 = MappingTable::new(1000, 16, 4);
+        let mut m2 = MappingTable::new(1000, 16, 4, MapCachePolicy::Lru);
         m2.decode_small_page(0, &bytes).unwrap();
         assert_eq!(m2.small_addr(3), addr(64, 64).pack());
     }
 
     #[test]
+    fn clock_second_chance_evicts_unreferenced_clean() {
+        let mut m = MappingTable::new(1000, 16, 2, MapCachePolicy::Clock);
+        let mut d = dev();
+        m.get(0, &mut d).unwrap(); // page 0
+        m.get(16, &mut d).unwrap(); // page 1
+        // Third load sweeps: both residents spend their reference bit
+        // (second chance), then the hand returns to page 0 and evicts it.
+        m.get(32, &mut d).unwrap(); // page 2
+        assert_eq!(m.cache_stats().evictions, 1);
+        assert_eq!(m.cached_pages(), 2);
+        // Page 1 is now unreferenced while the fresh page 2 still holds
+        // its bit: the next fault evicts page 1, page 2 survives.
+        m.get(48, &mut d).unwrap(); // page 3
+        assert_eq!(m.cache_stats().evictions, 2);
+        m.get(32, &mut d).unwrap();
+        assert_eq!(m.cache_stats().hits, 1, "referenced page 2 survived the sweep");
+    }
+
+    #[test]
+    fn clock_never_drops_dirty() {
+        let mut m = MappingTable::new(1000, 16, 2, MapCachePolicy::Clock);
+        let mut d = dev();
+        m.set(0, addr(0, 64).pack(), 1, &mut d).unwrap(); // page 0 dirty
+        m.set(16, addr(64, 64).pack(), 2, &mut d).unwrap(); // page 1 dirty
+        m.get(32, &mut d).unwrap(); // page 2: both candidates dirty -> overflow
+        assert_eq!(m.cached_pages(), 3);
+        assert!(m.overfull());
+        assert_eq!(m.dirty_pages(), vec![0, 1]);
+    }
+
+    #[test]
+    fn unbounded_never_evicts_and_never_overfull() {
+        let mut m = MappingTable::new(1000, 16, 1, MapCachePolicy::Unbounded);
+        let mut d = dev();
+        for p in 0..10u64 {
+            m.get(p * 16, &mut d).unwrap();
+        }
+        assert_eq!(m.cached_pages(), 10);
+        assert!(!m.overfull());
+        assert_eq!(m.cache_stats().evictions, 0);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses() {
+        let mut m = MappingTable::new(1000, 16, 4, MapCachePolicy::Lru);
+        let mut d = dev();
+        m.get(0, &mut d).unwrap(); // miss (never flushed: no flash read)
+        m.get(1, &mut d).unwrap(); // hit (same page)
+        let s = m.cache_stats();
+        assert_eq!((s.misses, s.hits, s.flash_loads), (1, 1, 0));
+    }
+
+    #[test]
     fn tiny_table_sizing() {
-        let m = MappingTable::new(1000, 16, 4);
+        let m = MappingTable::new(1000, 16, 4, MapCachePolicy::Lru);
         // 1001 lpids / 16 = 63 pages; 63 / 16 = 4 small pages.
         assert_eq!(m.n_pages(), 63);
         assert_eq!(m.n_small_pages(), 4);

@@ -122,7 +122,12 @@ impl Eleos {
         let trunc = ckpt.trunc_lsn;
 
         let mut mapping =
-            MappingTable::new(cfg.max_user_lpid, cfg.map_entries_per_page, cfg.map_cache_pages);
+            MappingTable::new(
+            cfg.max_user_lpid,
+            cfg.map_entries_per_page,
+            cfg.mapping_cache_pages,
+            cfg.mapping_cache_policy,
+        );
         mapping.load_tiny(&ckpt.tiny)?;
         let mut summary_small = ckpt.summary_small.clone();
 
@@ -214,7 +219,7 @@ impl Eleos {
 
         // ---------------- assemble the controller ----------------
         let chans: Vec<ChannelState> = (0..geo.channels)
-            .map(|c| ChannelState::new(c, cfg.gc_open_bins))
+            .map(|c| ChannelState::new(c, cfg.gc.open_bins))
             .collect();
         let mut this = Eleos {
             dev,

@@ -16,6 +16,7 @@
 //! clock outside the controller (host drivers), reported as part of the
 //! `host` bucket.
 
+use crate::mapping::MapCacheStats;
 use crate::stats::EleosStats;
 use eleos_flash::{
     Activity, AttributionLedger, FlashOp, FlashStats, LatencyHistogram, Nanos, SpanKind,
@@ -37,6 +38,8 @@ pub struct TelemetrySnapshot {
     pub flash: FlashStats,
     /// Mapping pages resident in the controller cache.
     pub mapping_cached_pages: usize,
+    /// Mapping-cache hit/miss/eviction counters (demand paging).
+    pub map_cache: MapCacheStats,
     /// The resource × activity time-attribution ledger.
     pub ledger: AttributionLedger,
     /// Latency histograms, indexed by [`SpanKind::index`].
@@ -120,6 +123,8 @@ impl TelemetrySnapshot {
     /// {
     ///   "now_ns": u64, "cpu_busy_ns": u64, "total_busy_ns": u64,
     ///   "unattributed_cpu_ns": u64, "mapping_cached_pages": u64,
+    ///   "map_cache": { "hits": .., "misses": .., "flash_loads": ..,
+    ///                  "evictions": .. },
     ///   "flash": { "programs": .., "bytes_programmed": .., "rblock_reads": ..,
     ///              "bytes_read": .., "erases": .., "program_failures": ..,
     ///              "total_busy_ns": .. },
@@ -143,6 +148,14 @@ impl TelemetrySnapshot {
             self.total_busy_ns(),
             self.unattributed_cpu_ns(),
             self.mapping_cached_pages
+        );
+        let _ = write!(
+            s,
+            ",\"map_cache\":{{\"hits\":{},\"misses\":{},\"flash_loads\":{},\"evictions\":{}}}",
+            self.map_cache.hits,
+            self.map_cache.misses,
+            self.map_cache.flash_loads,
+            self.map_cache.evictions
         );
         let _ = write!(
             s,
@@ -288,6 +301,18 @@ impl MergedSnapshot {
         t
     }
 
+    /// Summed mapping-cache counters across shards.
+    pub fn map_cache(&self) -> MapCacheStats {
+        let mut t = MapCacheStats::default();
+        for s in &self.shards {
+            t.hits += s.map_cache.hits;
+            t.misses += s.map_cache.misses;
+            t.flash_loads += s.map_cache.flash_loads;
+            t.evictions += s.map_cache.evictions;
+        }
+        t
+    }
+
     /// Merged latency histogram for one span kind across all shards.
     pub fn span(&self, kind: SpanKind) -> LatencyHistogram {
         let mut h = LatencyHistogram::new();
@@ -378,6 +403,7 @@ mod tests {
                 ..FlashStats::default()
             },
             mapping_cached_pages: 0,
+            map_cache: MapCacheStats::default(),
             ledger: AttributionLedger::new(channels),
             spans: vec![LatencyHistogram::new(); SpanKind::COUNT],
         }

@@ -1,10 +1,10 @@
 //! Exhaustive crash-point sweep over the multi-client front-end.
 //!
 //! Generalizes the single-ordinal sweeps of `fault_paths.rs`: a scripted
-//! multi-client workload runs through the group-commit [`Frontend`], and
-//! the device cuts power after *every* mutating-flash-command ordinal of
-//! the script — each program and erase the controller ever issues gets its
-//! turn to be the last command that completes. After each cut the
+//! multi-client workload runs through the group-commit [`eleos::Frontend`],
+//! and the device cuts power after *every* mutating-flash-command ordinal
+//! of the script — each program and erase the controller ever issues gets
+//! its turn to be the last command that completes. After each cut the
 //! controller crashes, recovers with power restored, and a shadow oracle
 //! checks the front-end's crash contract:
 //!
@@ -14,197 +14,26 @@
 //!   LPID slice corresponds to a whole prefix of that client's submission
 //!   sequence — no ghost pages from batches never enqueued, no holes;
 //! * **group atomicity**: because every flush drains the whole queue into
-//!   one atomic `Eleos::write`, the only legal durable states are "exactly
-//!   the acked batches" or "acked plus the entire in-flight group" — and
-//!   that choice must agree across *all* clients.
+//!   one atomic write, the only legal durable states are "exactly the
+//!   acked batches" or "acked plus the entire in-flight group" — and that
+//!   choice must agree across *all* clients.
+//!
+//! The sweep machinery lives in `crash_harness/` (shared, generic over
+//! [`eleos::Controller`], with `crash_sweep_sharded.rs`); this file pins
+//! the 1-unit [`eleos::Eleos`] instantiation.
 
-use eleos::frontend::{Frontend, GroupCommitPolicy};
-use eleos::{Eleos, EleosConfig, EleosError, PageMode, WriteBatch};
-use eleos_flash::{CostProfile, FlashDevice, FlashError, Geometry};
-use eleos_workloads::multi_client::{generate, ClientBatch, MultiClientConfig};
-use std::collections::BTreeMap;
+mod crash_harness;
 
-fn cfg() -> EleosConfig {
-    // `scripts/ci.sh` runs the sweep twice: once serial, once with
-    // ELEOS_EXEC_THREADS=4 so every cut point also lands under parallel
-    // flash execution (DESIGN.md §12) — power cuts must truncate the
-    // command stream identically regardless of host thread count.
-    let execution = match std::env::var("ELEOS_EXEC_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(threads) if threads > 1 => eleos::ExecMode::Parallel { threads },
-        _ => eleos::ExecMode::Serial,
-    };
-    EleosConfig {
-        // Small enough that the script crosses several automatic
-        // checkpoints, so cut points land inside ckpt flushes too.
+use crash_harness::{baseline_mutations, check_cut, SweepParams};
+use eleos::Eleos;
+
+fn params() -> SweepParams {
+    SweepParams {
+        units: 1,
         ckpt_log_bytes: 192 * 1024,
-        execution,
-        ..EleosConfig::test_small()
-    }
-}
-
-fn schedule() -> (MultiClientConfig, Vec<ClientBatch>) {
-    let mc = MultiClientConfig {
-        clients: 4,
         batches_per_client: 30,
-        pages_per_batch: (1, 3),
-        payload_bytes: (64, 900),
-        mean_gap_ns: 15_000,
-        rate_skew: 0.6,
-        lpids_per_client: 48,
         seed: 0xC0FFEE,
-    };
-    let sched = generate(&mc);
-    (mc, sched)
-}
-
-fn policy() -> GroupCommitPolicy {
-    GroupCommitPolicy {
-        flush_bytes: 4 * 1024,
-        flush_interval_ns: 60_000,
-        max_queued_batches: 8,
-        ..GroupCommitPolicy::default()
     }
-}
-
-fn build(cb: &ClientBatch) -> WriteBatch {
-    let mut b = WriteBatch::new(PageMode::Variable);
-    for (lpid, payload) in &cb.pages {
-        b.put(*lpid, payload).unwrap();
-    }
-    b
-}
-
-/// Drive the whole schedule; stops at the first error (the power cut).
-fn drive(ssd: &mut Eleos, fe: &mut Frontend, sched: &[ClientBatch]) -> Result<(), EleosError> {
-    for cb in sched {
-        fe.submit(ssd, cb.client, cb.at, build(cb))?;
-    }
-    fe.flush(ssd)?;
-    Ok(())
-}
-
-/// Expected content of `client`'s LPID slice after its first `prefix`
-/// batches applied in submission order (later writes of an LPID win).
-fn expected_map(sched: &[ClientBatch], client: usize, prefix: u64) -> BTreeMap<u64, Vec<u8>> {
-    let mut map = BTreeMap::new();
-    let mut batches: Vec<&ClientBatch> = sched.iter().filter(|b| b.client == client).collect();
-    batches.sort_by_key(|b| b.seq);
-    for cb in batches.into_iter().take(prefix as usize) {
-        for (lpid, payload) in &cb.pages {
-            map.insert(*lpid, payload.clone());
-        }
-    }
-    map
-}
-
-/// Actual durable content of `client`'s LPID slice.
-fn actual_map(ssd: &mut Eleos, mc: &MultiClientConfig, client: usize) -> BTreeMap<u64, Vec<u8>> {
-    let base = client as u64 * mc.lpids_per_client;
-    let mut map = BTreeMap::new();
-    for lpid in base..base + mc.lpids_per_client {
-        match ssd.read(lpid) {
-            Ok(bytes) => {
-                map.insert(lpid, bytes.to_vec());
-            }
-            Err(EleosError::NotFound(_)) => {}
-            Err(e) => panic!("client {client} lpid {lpid}: unexpected read error {e}"),
-        }
-    }
-    map
-}
-
-/// Number of mutating flash commands (programs + erases) the fault-free
-/// scripted run issues after format.
-fn baseline_mutations() -> u64 {
-    let (mc, sched) = schedule();
-    let mut ssd = Eleos::format(
-        FlashDevice::new(Geometry::tiny(), CostProfile::unit()),
-        cfg(),
-    )
-    .unwrap();
-    let base = ssd.device().stats().programs + ssd.device().stats().erases;
-    let mut fe = Frontend::new(mc.clients, policy());
-    drive(&mut ssd, &mut fe, &sched).unwrap();
-    let end = ssd.device().stats().programs + ssd.device().stats().erases;
-    end - base
-}
-
-/// The crash-sweep oracle for one cut point. Returns a human-readable
-/// description of the divergence, if any.
-fn check_cut(cut_after: u64) -> Result<(), String> {
-    let (mc, sched) = schedule();
-    let mut ssd = Eleos::format(
-        FlashDevice::new(Geometry::tiny(), CostProfile::unit()),
-        cfg(),
-    )
-    .unwrap();
-    let mut fe = Frontend::new(mc.clients, policy());
-    ssd.device_mut().set_power_cut_after(cut_after);
-    match drive(&mut ssd, &mut fe, &sched) {
-        Ok(()) => {
-            // Budget never exhausted (cut point beyond the script): the
-            // whole schedule must be acked.
-            for c in 0..mc.clients {
-                if fe.acked_batches(c) != mc.batches_per_client as u64 {
-                    return Err(format!(
-                        "cut={cut_after}: no power cut but client {c} acked {}/{}",
-                        fe.acked_batches(c),
-                        mc.batches_per_client
-                    ));
-                }
-            }
-        }
-        Err(EleosError::Flash(FlashError::PowerLost)) | Err(EleosError::ShutDown) => {}
-        Err(e) => return Err(format!("cut={cut_after}: unexpected drive error {e}")),
-    }
-    let acked: Vec<u64> = (0..mc.clients).map(|c| fe.acked_batches(c)).collect();
-    let enqueued: Vec<u64> = (0..mc.clients).map(|c| fe.submitted_batches(c)).collect();
-
-    let mut dev = ssd.crash();
-    dev.clear_power_cut();
-    let mut ssd = match Eleos::recover(dev, cfg()) {
-        Ok(s) => s,
-        Err(e) => return Err(format!("cut={cut_after}: recovery failed: {e}")),
-    };
-
-    // Which prefix does the durable state of each client correspond to?
-    let mut match_acked = vec![false; mc.clients];
-    let mut match_enqueued = vec![false; mc.clients];
-    for c in 0..mc.clients {
-        let actual = actual_map(&mut ssd, &mc, c);
-        match_acked[c] = actual == expected_map(&sched, c, acked[c]);
-        match_enqueued[c] = actual == expected_map(&sched, c, enqueued[c]);
-        if !match_acked[c] && !match_enqueued[c] {
-            // Diagnose: find any prefix that matches, to tell a partial
-            // group apart from outright corruption.
-            let any = (0..=mc.batches_per_client as u64)
-                .find(|&p| actual == expected_map(&sched, c, p));
-            return Err(format!(
-                "cut={cut_after}: client {c} durable state matches neither acked prefix {} \
-                 nor enqueued prefix {} (group {} in flight; any-prefix match: {:?})",
-                acked[c],
-                enqueued[c],
-                fe.next_group_id(),
-                any
-            ));
-        }
-    }
-    // Group atomicity across clients: the in-flight group commits for all
-    // or for none.
-    let all_acked = (0..mc.clients).all(|c| match_acked[c]);
-    let all_enqueued = (0..mc.clients).all(|c| match_enqueued[c]);
-    if !(all_acked || all_enqueued) {
-        return Err(format!(
-            "cut={cut_after}: in-flight group {} torn across clients: \
-             acked={acked:?} enqueued={enqueued:?} \
-             match_acked={match_acked:?} match_enqueued={match_enqueued:?}",
-            fe.next_group_id()
-        ));
-    }
-    Ok(())
 }
 
 /// Every mutating flash command of the scripted multi-client run gets its
@@ -213,14 +42,15 @@ fn check_cut(cut_after: u64) -> Result<(), String> {
 /// run, never cut) are all checked.
 #[test]
 fn crash_after_every_flash_command_ordinal() {
-    let m = baseline_mutations();
+    let p = params();
+    let m = baseline_mutations::<Eleos>(&p)[0];
     assert!(
         (100..=2000).contains(&m),
         "script issues {m} mutating commands; want a bounded sweep in the hundreds"
     );
     let mut divergences = Vec::new();
     for cut in 0..=m {
-        if let Err(d) = check_cut(cut) {
+        if let Err(d) = check_cut::<Eleos>(&p, 0, cut) {
             divergences.push(d);
         }
     }
@@ -237,7 +67,8 @@ fn crash_after_every_flash_command_ordinal() {
 /// the very first group flush (no checkpoint yet, WAL barely started).
 #[test]
 fn crash_during_first_group_is_all_or_nothing() {
+    let p = params();
     for cut in 0..=12u64 {
-        check_cut(cut).unwrap_or_else(|d| panic!("{d}"));
+        check_cut::<Eleos>(&p, 0, cut).unwrap_or_else(|d| panic!("{d}"));
     }
 }

@@ -1,8 +1,8 @@
 //! Exhaustive crash-point sweep over the *sharded* front-end path.
 //!
 //! The sharded twin of `crash_sweep.rs`: the scripted multi-client
-//! workload runs through [`ShardedFrontend`] against a 2-shard
-//! [`ShardedEleos`], where coalesced groups routinely straddle both
+//! workload runs through the generic [`eleos::Frontend`] against a 2-shard
+//! [`eleos::ShardedEleos`], where coalesced groups routinely straddle both
 //! shards and commit via the two-phase group commit (DESIGN.md §14). The
 //! sweep cuts power after *every* mutating-flash-command ordinal **on
 //! each shard in turn** — every program and erase either shard ever
@@ -16,222 +16,33 @@
 //!   *everywhere*; one that is covered must redo everywhere — so the only
 //!   legal durable states are "exactly the acked batches" or "acked plus
 //!   the entire in-flight group", agreed across all clients and shards.
+//!
+//! The sweep machinery lives in `crash_harness/` (shared, generic over
+//! [`eleos::Controller`], with `crash_sweep.rs`); this file pins the
+//! 2-shard instantiation.
 
-use eleos::frontend::GroupCommitPolicy;
-use eleos::sharded::{ShardedEleos, ShardedFrontend};
-use eleos::{EleosConfig, EleosError, PageMode, WriteBatch};
-use eleos_flash::{CostProfile, FlashDevice, FlashError, Geometry};
-use eleos_workloads::multi_client::{generate, ClientBatch, MultiClientConfig};
-use std::collections::BTreeMap;
+mod crash_harness;
+
+use crash_harness::{baseline_mutations, check_cut, SweepParams};
+use eleos::ShardedEleos;
 
 const SHARDS: usize = 2;
 
-fn cfg() -> EleosConfig {
-    // Mirrors crash_sweep.rs: ELEOS_EXEC_THREADS lets ci.sh re-run every
-    // cut point under parallel flash execution.
-    let execution = match std::env::var("ELEOS_EXEC_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(threads) if threads > 1 => eleos::ExecMode::Parallel { threads },
-        _ => eleos::ExecMode::Serial,
-    };
-    EleosConfig {
-        // Small enough that the script crosses automatic checkpoints on
-        // each shard, so cut points land inside ckpt flushes and
-        // truncation too.
+fn params() -> SweepParams {
+    SweepParams {
+        units: SHARDS,
         ckpt_log_bytes: 128 * 1024,
-        execution,
-        ..EleosConfig::test_small()
-    }
-}
-
-fn schedule() -> (MultiClientConfig, Vec<ClientBatch>) {
-    let mc = MultiClientConfig {
-        clients: 4,
         batches_per_client: 18,
-        pages_per_batch: (1, 3),
-        payload_bytes: (64, 900),
-        mean_gap_ns: 15_000,
-        rate_skew: 0.6,
-        lpids_per_client: 48,
         seed: 0x5AAD,
-    };
-    let sched = generate(&mc);
-    (mc, sched)
-}
-
-fn policy() -> GroupCommitPolicy {
-    GroupCommitPolicy {
-        flush_bytes: 4 * 1024,
-        flush_interval_ns: 60_000,
-        max_queued_batches: 8,
-        ..GroupCommitPolicy::default()
     }
-}
-
-fn build(cb: &ClientBatch) -> WriteBatch {
-    let mut b = WriteBatch::new(PageMode::Variable);
-    for (lpid, payload) in &cb.pages {
-        b.put(*lpid, payload).unwrap();
-    }
-    b
-}
-
-fn array() -> ShardedEleos {
-    let devs = (0..SHARDS)
-        .map(|_| FlashDevice::new(Geometry::tiny(), CostProfile::unit()))
-        .collect();
-    ShardedEleos::format(devs, &cfg()).unwrap()
-}
-
-/// Drive the whole schedule; stops at the first error (the power cut).
-fn drive(
-    sh: &mut ShardedEleos,
-    fe: &mut ShardedFrontend,
-    sched: &[ClientBatch],
-) -> Result<(), EleosError> {
-    for cb in sched {
-        fe.submit(sh, cb.client, cb.at, build(cb))?;
-    }
-    fe.flush(sh)?;
-    Ok(())
-}
-
-/// Expected content of `client`'s LPID slice after its first `prefix`
-/// batches applied in submission order (later writes of an LPID win).
-fn expected_map(sched: &[ClientBatch], client: usize, prefix: u64) -> BTreeMap<u64, Vec<u8>> {
-    let mut map = BTreeMap::new();
-    let mut batches: Vec<&ClientBatch> = sched.iter().filter(|b| b.client == client).collect();
-    batches.sort_by_key(|b| b.seq);
-    for cb in batches.into_iter().take(prefix as usize) {
-        for (lpid, payload) in &cb.pages {
-            map.insert(*lpid, payload.clone());
-        }
-    }
-    map
-}
-
-/// Actual durable content of `client`'s LPID slice, read through the
-/// router (each LPID from its owning shard).
-fn actual_map(
-    sh: &mut ShardedEleos,
-    mc: &MultiClientConfig,
-    client: usize,
-) -> BTreeMap<u64, Vec<u8>> {
-    let base = client as u64 * mc.lpids_per_client;
-    let mut map = BTreeMap::new();
-    for lpid in base..base + mc.lpids_per_client {
-        match sh.read(lpid) {
-            Ok(bytes) => {
-                map.insert(lpid, bytes.to_vec());
-            }
-            Err(EleosError::NotFound(_)) => {}
-            Err(e) => panic!("client {client} lpid {lpid}: unexpected read error {e}"),
-        }
-    }
-    map
-}
-
-/// Mutating flash commands (programs + erases) each shard issues during
-/// the fault-free scripted run.
-fn baseline_mutations() -> Vec<u64> {
-    let (mc, sched) = schedule();
-    let mut sh = array();
-    let base: Vec<u64> = (0..SHARDS)
-        .map(|s| sh.shard(s).device().stats().programs + sh.shard(s).device().stats().erases)
-        .collect();
-    let mut fe = ShardedFrontend::new(mc.clients, policy());
-    drive(&mut sh, &mut fe, &sched).unwrap();
-    (0..SHARDS)
-        .map(|s| {
-            sh.shard(s).device().stats().programs + sh.shard(s).device().stats().erases
-                - base[s]
-        })
-        .collect()
-}
-
-/// One cut point: shard `cut_shard` loses power after its `cut_after`-th
-/// mutating command; the whole array then crashes and recovers.
-fn check_cut(cut_shard: usize, cut_after: u64) -> Result<(), String> {
-    let (mc, sched) = schedule();
-    let mut sh = array();
-    let mut fe = ShardedFrontend::new(mc.clients, policy());
-    sh.shard_mut(cut_shard).device_mut().set_power_cut_after(cut_after);
-    match drive(&mut sh, &mut fe, &sched) {
-        Ok(()) => {
-            for c in 0..mc.clients {
-                if fe.acked_batches(c) != mc.batches_per_client as u64 {
-                    return Err(format!(
-                        "shard={cut_shard} cut={cut_after}: no power cut but client {c} \
-                         acked {}/{}",
-                        fe.acked_batches(c),
-                        mc.batches_per_client
-                    ));
-                }
-            }
-        }
-        Err(EleosError::Flash(FlashError::PowerLost)) | Err(EleosError::ShutDown) => {}
-        Err(e) => {
-            return Err(format!(
-                "shard={cut_shard} cut={cut_after}: unexpected drive error {e}"
-            ))
-        }
-    }
-    let acked: Vec<u64> = (0..mc.clients).map(|c| fe.acked_batches(c)).collect();
-    let enqueued: Vec<u64> = (0..mc.clients).map(|c| fe.submitted_batches(c)).collect();
-
-    let mut devs = sh.crash();
-    devs[cut_shard].clear_power_cut();
-    let mut sh = match ShardedEleos::recover(devs, &cfg()) {
-        Ok(s) => s,
-        Err(e) => {
-            return Err(format!(
-                "shard={cut_shard} cut={cut_after}: recovery failed: {e}"
-            ))
-        }
-    };
-
-    let mut match_acked = vec![false; mc.clients];
-    let mut match_enqueued = vec![false; mc.clients];
-    for c in 0..mc.clients {
-        let actual = actual_map(&mut sh, &mc, c);
-        match_acked[c] = actual == expected_map(&sched, c, acked[c]);
-        match_enqueued[c] = actual == expected_map(&sched, c, enqueued[c]);
-        if !match_acked[c] && !match_enqueued[c] {
-            let any = (0..=mc.batches_per_client as u64)
-                .find(|&p| actual == expected_map(&sched, c, p));
-            return Err(format!(
-                "shard={cut_shard} cut={cut_after}: client {c} durable state matches \
-                 neither acked prefix {} nor enqueued prefix {} (group {} in flight; \
-                 any-prefix match: {:?})",
-                acked[c],
-                enqueued[c],
-                fe.next_group_id(),
-                any
-            ));
-        }
-    }
-    // Cross-shard group atomicity: the in-flight group commits for all
-    // clients (on every shard it touched) or for none.
-    let all_acked = (0..mc.clients).all(|c| match_acked[c]);
-    let all_enqueued = (0..mc.clients).all(|c| match_enqueued[c]);
-    if !(all_acked || all_enqueued) {
-        return Err(format!(
-            "shard={cut_shard} cut={cut_after}: in-flight group {} torn across \
-             clients/shards: acked={acked:?} enqueued={enqueued:?} \
-             match_acked={match_acked:?} match_enqueued={match_enqueued:?}",
-            fe.next_group_id()
-        ));
-    }
-    Ok(())
 }
 
 /// Every mutating flash command of the scripted run, on each shard in
 /// turn, gets to be that shard's last completed command.
 #[test]
 fn crash_after_every_flash_command_ordinal_on_each_shard() {
-    let m = baseline_mutations();
+    let p = params();
+    let m = baseline_mutations::<ShardedEleos>(&p);
     let total: u64 = m.iter().sum();
     assert!(
         (100..=2500).contains(&total),
@@ -244,7 +55,7 @@ fn crash_after_every_flash_command_ordinal_on_each_shard() {
     let mut divergences = Vec::new();
     for (shard, &count) in m.iter().enumerate() {
         for cut in 0..=count {
-            if let Err(d) = check_cut(shard, cut) {
+            if let Err(d) = check_cut::<ShardedEleos>(&p, shard, cut) {
                 divergences.push(d);
             }
         }
@@ -262,9 +73,10 @@ fn crash_after_every_flash_command_ordinal_on_each_shard() {
 /// cross-shard group (no checkpoint yet, coordinator log barely started).
 #[test]
 fn crash_during_first_sharded_group_is_all_or_nothing() {
+    let p = params();
     for shard in 0..SHARDS {
         for cut in 0..=12u64 {
-            check_cut(shard, cut).unwrap_or_else(|d| panic!("{d}"));
+            check_cut::<ShardedEleos>(&p, shard, cut).unwrap_or_else(|d| panic!("{d}"));
         }
     }
 }

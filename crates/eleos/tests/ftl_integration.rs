@@ -1,7 +1,7 @@
 //! Integration tests: the full ELEOS FTL against a shadow model, under
 //! overwrite pressure (GC), crashes, and injected write failures.
 
-use eleos::{Eleos, EleosConfig, EleosError, GcSelection, PageMode, WriteBatch, WriteOpts};
+use eleos::{Eleos, EleosConfig, EleosError, GcPolicy, PageMode, WriteBatch, WriteOpts};
 use eleos_flash::{CostProfile, FlashDevice, Geometry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -139,9 +139,9 @@ fn overwrite_pressure_triggers_gc_and_preserves_data() {
 
 #[test]
 fn gc_selection_policies_all_work() {
-    for sel in [GcSelection::MinCostDecline, GcSelection::GreedyAvail, GcSelection::Oldest] {
+    for sel in GcPolicy::ALL {
         let mut config = cfg_auto_ckpt();
-        config.gc_selection = sel;
+        config.gc.policy = sel;
         let mut ssd = Eleos::format(medium_dev(), config).unwrap();
         let mut shadow: HashMap<u64, Vec<u8>> = HashMap::new();
         let mut rng = StdRng::seed_from_u64(11);
@@ -430,7 +430,7 @@ fn mapping_cache_pressure_forces_paging() {
     // Tiny cache (8 pages), lpids spread over many mapping pages: the
     // mapping table must page to flash and back transparently.
     let mut config = cfg();
-    config.map_cache_pages = 4;
+    config.mapping_cache_pages = 4;
     let mut ssd = Eleos::format(medium_dev(), config).unwrap();
     let mut shadow: HashMap<u64, Vec<u8>> = HashMap::new();
     for round in 0..4u64 {
@@ -567,7 +567,7 @@ fn mapping_cache_bounded_by_eviction_flush() {
     // dirty pages must be eviction-flushed so the cache stays bounded even
     // without explicit checkpoints.
     let mut config = cfg();
-    config.map_cache_pages = 6;
+    config.mapping_cache_pages = 6;
     config.max_user_lpid = 4096;
     let mut ssd = Eleos::format(small_dev(), config).unwrap();
     for round in 0..30u64 {
@@ -658,7 +658,7 @@ fn soak_churn_crash_audit() {
     let config = EleosConfig {
         ckpt_log_bytes: 4 * 1024 * 1024,
         max_user_lpid: 1 << 16,
-        map_cache_pages: 256,
+        mapping_cache_pages: 256,
         ..EleosConfig::test_small()
     };
     let mut ssd =

@@ -31,7 +31,7 @@ fn cfg(defer_io: bool) -> EleosConfig {
     EleosConfig {
         ckpt_log_bytes: 256 * 1024, // frequent truncation -> log reclaim GC
         map_entries_per_page: 16,
-        map_cache_pages: 8,
+        mapping_cache_pages: 8,
         max_user_lpid: 4096,
         defer_io,
         ..EleosConfig::default()
@@ -116,8 +116,11 @@ proptest! {
         reads in prop::collection::vec(0u64..96, 1..40),
     ) {
         let no_gc = |defer_io| EleosConfig {
-            gc_free_watermark: 0.0,
-            gc_free_target: 0.0,
+            gc: eleos::GcConfig {
+                free_watermark: 0.0,
+                free_target: 0.0,
+                ..eleos::GcConfig::default()
+            },
             ..cfg(defer_io)
         };
         let run = |defer_io: bool| {

@@ -312,8 +312,11 @@ proptest! {
         // An always-on GC watermark forces real victim scans and
         // migrations at this tiny scale.
         let gc_cfg = EleosConfig {
-            gc_free_watermark: 0.95,
-            gc_free_target: 0.95,
+            gc: eleos::GcConfig {
+                free_watermark: 0.95,
+                free_target: 0.95,
+                ..eleos::GcConfig::default()
+            },
             ..cfg()
         };
         let mut ssd = Eleos::format(dev(), gc_cfg.clone()).unwrap();

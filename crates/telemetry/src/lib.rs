@@ -49,6 +49,10 @@ pub enum Activity {
     Recovery,
     /// Write-failure migration of already-durable pages.
     Migrate,
+    /// Mapping (translation) page I/O: demand faults reading translation
+    /// pages from flash, and cache-pressure eviction flushes of dirty
+    /// ones. Checkpoint-driven mapping flushes stay under `Ckpt`.
+    MapIo,
     /// Host front-end work: group-commit queueing, coalescing client
     /// batches, and time-threshold flush waits (DESIGN.md §11).
     Frontend,
@@ -58,7 +62,7 @@ pub enum Activity {
 }
 
 impl Activity {
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
     pub const ALL: [Activity; Activity::COUNT] = [
         Activity::UserWrite,
         Activity::UserRead,
@@ -67,6 +71,7 @@ impl Activity {
         Activity::Wal,
         Activity::Recovery,
         Activity::Migrate,
+        Activity::MapIo,
         Activity::Frontend,
         Activity::Host,
     ];
@@ -81,8 +86,9 @@ impl Activity {
             Activity::Wal => 4,
             Activity::Recovery => 5,
             Activity::Migrate => 6,
-            Activity::Frontend => 7,
-            Activity::Host => 8,
+            Activity::MapIo => 7,
+            Activity::Frontend => 8,
+            Activity::Host => 9,
         }
     }
 
@@ -95,6 +101,7 @@ impl Activity {
             Activity::Wal => "wal",
             Activity::Recovery => "recovery",
             Activity::Migrate => "migrate",
+            Activity::MapIo => "map_io",
             Activity::Frontend => "frontend",
             Activity::Host => "host",
         }

@@ -18,7 +18,7 @@ fn run(mode: PageMode) -> (u64, u64, f64) {
         page_mode: mode,
         max_user_lpid: 60_000,
         ckpt_log_bytes: 64 << 20,
-        map_cache_pages: 1 << 16,
+        mapping_cache_pages: 1 << 16,
         ..Default::default()
     };
     let mut ssd = Eleos::format(dev, cfg).expect("format");

@@ -44,6 +44,21 @@ echo "== parallel-vs-serial equivalence (byte-identical snapshots) =="
 # must produce byte-identical op results and snapshot JSON vs Serial.
 cargo test -q --release -p eleos --test parallel_equivalence
 
+echo "== mapping-cache equivalence (demand paging vs memory resident) =="
+# The flash-resident mapping gates (DESIGN.md §15): tiny LRU / tiny CLOCK
+# / unbounded caches end every random schedule (with mid-run crash-recover
+# cycles) in identical logical state, and a never-binding bounded cache
+# replays the unbounded run byte-for-byte (snapshot-JSON equality) — the
+# anchor that keeps the crash sweeps valid oracles for demand paging.
+cargo test -q --release -p eleos --test mapping_equivalence
+
+echo "== GC policy lab smoke (bounded grid, measurement plumbing) =="
+# Two policies at one utilization with a short churn: WA >= 1, GC busy
+# share in [0,1], nonzero latency tail; plus the full policy × utilization
+# cross product at toy scale. The committed full grid lives in
+# EXPERIMENTS.md (repro_all).
+cargo test -q --release -p eleos-bench --lib gc_lab
+
 echo "== front-end gate (group commit vs serial, refinement proptest) =="
 cargo test -q --release -p eleos-bench frontend
 cargo test -q --release -p eleos --test frontend_permutations
@@ -70,8 +85,9 @@ telemetry_json="$(mktemp)"
 trap 'rm -f "$telemetry_json"' EXIT
 cargo run --release -p eleos-bench --bin perfbench -- --telemetry-out "$telemetry_json"
 for key in now_ns cpu_busy_ns total_busy_ns unattributed_cpu_ns \
-           mapping_cached_pages flash cpu_attr_ns flash_attr_ns spans \
-           user_write gc ckpt wal recovery frontend group_flush \
+           mapping_cached_pages map_cache hits misses flash_loads \
+           evictions flash cpu_attr_ns flash_attr_ns spans \
+           user_write gc ckpt wal map_io recovery frontend group_flush \
            write_batch p99_ns conservation_ok; do
   grep -q "\"$key\"" "$telemetry_json" \
     || { echo "telemetry gate: missing key \"$key\"" >&2; exit 1; }
@@ -79,15 +95,16 @@ done
 grep -q '"conservation_ok":true' "$telemetry_json" \
   || { echo "telemetry gate: conservation_ok is not true" >&2; exit 1; }
 
-echo "== bench schema gate (host_threads + shards keys) =="
+echo "== bench schema gate (host_threads/shards/mapping/gc keys) =="
 # Every committed trajectory entry written since execution modes exist
-# labels its wall-clock measurement with the worker-thread count, and
-# since the sharded router with its shard count; the parser defaults
-# pre-existing entries to 1.
-grep -q '"host_threads"' BENCH_controller.json \
-  || { echo "bench schema gate: BENCH_controller.json has no host_threads key" >&2; exit 1; }
-grep -q '"shards"' BENCH_controller.json \
-  || { echo "bench schema gate: BENCH_controller.json has no shards key" >&2; exit 1; }
+# labels its wall-clock measurement with the worker-thread count, since
+# the sharded router with its shard count, and since the demand-paged
+# mapping with its cache bound and GC policy; the parser defaults
+# pre-existing entries (1 thread, 1 shard, unbounded map, paper policy).
+for key in host_threads shards mapping_cache_pages gc_policy; do
+  grep -q "\"$key\"" BENCH_controller.json \
+    || { echo "bench schema gate: BENCH_controller.json has no $key key" >&2; exit 1; }
+done
 
 echo "== perf smoke =="
 scripts/perf_smoke.sh

@@ -28,7 +28,7 @@ fn eleos_tree(mode: PageMode, cache_pages: usize) -> BwTree<EleosStore> {
         page_mode: mode,
         max_user_lpid: 1 << 16,
         ckpt_log_bytes: 8 << 20,
-        map_cache_pages: 1 << 14,
+        mapping_cache_pages: 1 << 14,
         ..Default::default()
     };
     let ssd = Eleos::format(dev, cfg).unwrap();
@@ -149,7 +149,7 @@ fn application_crash_recovery_via_eleos() {
         page_mode: PageMode::Variable,
         max_user_lpid: 1 << 16,
         ckpt_log_bytes: 8 << 20,
-        map_cache_pages: 1 << 14,
+        mapping_cache_pages: 1 << 14,
         ..Default::default()
     };
     let mut recovered = Eleos::recover(flash, cfg).unwrap();
