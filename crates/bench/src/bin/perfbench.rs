@@ -27,6 +27,10 @@
 //! sharded router the `shard_scale_64c` entry runs against, recorded per
 //! entry under the `shards` key (1 for the unsharded benches).
 //!
+//! The `net_scale_loopback` entry drives the wire-protocol server
+//! (DESIGN.md §16) over loopback TCP with 4 concurrent client threads,
+//! recorded under the `net_clients` key (0 for the in-process benches).
+//!
 //! `--telemetry-out` skips the benches, runs a small mixed scenario, checks
 //! the telemetry conservation invariant (attribution buckets must sum to
 //! the simulated busy time) and writes the snapshot JSON to FILE — the
@@ -120,6 +124,7 @@ fn bench_tpcc_write(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         mapping_cache_pages: 1 << 16,
         gc_policy: GcPolicy::MinCostDecline.label().to_string(),
         shards: 1,
+        net_clients: 0,
     }
 }
 
@@ -186,6 +191,7 @@ fn bench_ycsb_read(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         mapping_cache_pages: 1 << 14,
         gc_policy: GcPolicy::MinCostDecline.label().to_string(),
         shards: 1,
+        net_clients: 0,
     }
 }
 
@@ -279,6 +285,7 @@ fn bench_gc_heavy(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         mapping_cache_pages: 1 << 14,
         gc_policy: GcPolicy::MinCostDecline.label().to_string(),
         shards: 1,
+        net_clients: 0,
     }
 }
 
@@ -347,6 +354,7 @@ fn bench_read_batch(scale: &str, label: &str, exec: ExecMode) -> BenchEntry {
         mapping_cache_pages: 1 << 14,
         gc_policy: GcPolicy::MinCostDecline.label().to_string(),
         shards: 1,
+        net_clients: 0,
     }
 }
 
@@ -458,6 +466,7 @@ fn main() {
         bench_read_batch(&scale, &label, exec),
         eleos_bench::frontend_scale::bench_frontend_scale(&scale, &label, exec),
         eleos_bench::shard_scale::bench_shard_scale(&scale, &label, exec, shards),
+        eleos_bench::net_scale::bench_net_scale(&scale, &label),
     ];
     for e in &entries {
         eprintln!(

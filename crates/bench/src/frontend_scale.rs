@@ -269,6 +269,7 @@ pub fn bench_frontend_scale(scale: &str, label: &str, exec: ExecMode) -> BenchEn
         mapping_cache_pages: 1 << 12,
         gc_policy: eleos::GcPolicy::MinCostDecline.label().to_string(),
         shards: 1,
+        net_clients: 0,
     }
 }
 

@@ -18,6 +18,7 @@ pub mod experiments;
 pub mod frontend_scale;
 pub mod gc_lab;
 pub mod harness;
+pub mod net_scale;
 pub mod perfjson;
 pub mod report;
 pub mod shard_scale;

@@ -41,6 +41,10 @@ pub struct BenchEntry {
     /// committed before the policy lab existed all ran the paper's
     /// min-cost-decline selection.
     pub gc_policy: String,
+    /// Concurrent TCP clients the bench drove through the wire-protocol
+    /// server (`net_scale`): 0 for in-process benches and for entries
+    /// committed before the server existed.
+    pub net_clients: u32,
 }
 
 /// Serialize one entry as a flat JSON object (no trailing newline).
@@ -51,7 +55,8 @@ pub fn render_entry(e: &BenchEntry, out: &mut String) {
          \"host_seconds\": {:.4}, \"sim_ops_per_host_sec\": {:.1}, \
          \"bytes_programmed\": {}, \"bytes_read\": {}, \"cpu_busy_ns\": {}, \
          \"flash_busy_ns\": {}, \"write_p99_ns\": {}, \"host_threads\": {}, \
-         \"shards\": {}, \"mapping_cache_pages\": {}, \"gc_policy\": \"{}\"}}",
+         \"shards\": {}, \"mapping_cache_pages\": {}, \"gc_policy\": \"{}\", \
+         \"net_clients\": {}}}",
         e.label,
         e.bench,
         e.scale,
@@ -66,7 +71,8 @@ pub fn render_entry(e: &BenchEntry, out: &mut String) {
         e.host_threads,
         e.shards,
         e.mapping_cache_pages,
-        e.gc_policy
+        e.gc_policy,
+        e.net_clients
     );
 }
 
@@ -125,6 +131,10 @@ pub fn parse_entries(text: &str) -> Vec<BenchEntry> {
                 .unwrap_or(0),
             // Pre-policy-lab entries all ran the paper's selection.
             gc_policy: field("gc_policy").unwrap_or_else(|| "min_cost_decline".into()),
+            // Pre-server entries all ran in-process (no TCP clients).
+            net_clients: field("net_clients")
+                .and_then(|v| v.parse::<u32>().ok())
+                .unwrap_or(0),
         });
     }
     out
@@ -171,6 +181,7 @@ mod tests {
             shards: 4,
             mapping_cache_pages: 16384,
             gc_policy: "greedy".into(),
+            net_clients: 3,
         };
         let mut s = String::new();
         render_entry(&e, &mut s);
@@ -186,6 +197,7 @@ mod tests {
         assert_eq!(back[0].shards, 4);
         assert_eq!(back[0].mapping_cache_pages, 16384);
         assert_eq!(back[0].gc_policy, "greedy");
+        assert_eq!(back[0].net_clients, 3);
     }
 
     #[test]
@@ -206,6 +218,8 @@ mod tests {
         // unbounded) and always used the paper's GC selection.
         assert_eq!(back[0].mapping_cache_pages, 0);
         assert_eq!(back[0].gc_policy, "min_cost_decline");
+        // Pre-server entries ran in-process.
+        assert_eq!(back[0].net_clients, 0);
     }
 
     #[test]
@@ -226,6 +240,7 @@ mod tests {
             shards: 1,
             mapping_cache_pages: 0,
             gc_policy: "min_cost_decline".into(),
+            net_clients: 0,
         };
         let t = trajectory_table(&[mk("full"), mk("small"), mk("full")]);
         assert_eq!(t.rows.len(), 2);

@@ -232,6 +232,7 @@ pub fn bench_shard_scale(scale: &str, label: &str, exec: ExecMode, n_shards: usi
         mapping_cache_pages: 1 << 12,
         gc_policy: eleos::GcPolicy::MinCostDecline.label().to_string(),
         shards: n_shards as u32,
+        net_clients: 0,
     }
 }
 

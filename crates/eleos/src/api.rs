@@ -19,7 +19,7 @@ use crate::controller::{BatchAck, Eleos, WriteOpts};
 use crate::error::Result;
 use crate::sharded::ShardedEleos;
 use crate::telemetry_snapshot::{MergedSnapshot, TelemetrySnapshot};
-use crate::types::Lpid;
+use crate::types::{Lpid, Sid, Wsn};
 use bytes::Bytes;
 use eleos_flash::{FlashDevice, Nanos};
 
@@ -47,6 +47,26 @@ pub trait Controller: Sized {
 
     /// Write a (possibly coalesced) batch atomically.
     fn write(&mut self, batch: &WriteBatch) -> Result<BatchAck>;
+
+    /// [`Controller::write`] plus per-session WSN advances made durable
+    /// atomically with the batch (Section III-A2). Each `(sid, wsn)` pair
+    /// is the highest WSN the batch covers for that session; after the
+    /// ACK, [`Controller::session_highest`] reflects it even across a
+    /// crash/recover of the same media.
+    fn write_sessions(&mut self, batch: &WriteBatch, advances: &[(Sid, Wsn)])
+        -> Result<BatchAck>;
+
+    /// Open an ordered-write session; the controller assigns the SID and
+    /// makes it durable before returning.
+    fn open_session(&mut self) -> Result<Sid>;
+
+    /// Close a session (durable before returning).
+    fn close_session(&mut self, sid: Sid) -> Result<()>;
+
+    /// Highest WSN durably applied for `sid` (`None` if the session is
+    /// unknown or has no applied writes) — the value a server re-ACKs to
+    /// a reconnecting client so it can discard acknowledged redo buffers.
+    fn session_highest(&self, sid: Sid) -> Option<Wsn>;
 
     /// Read one LPAGE.
     fn read(&mut self, lpid: Lpid) -> Result<Bytes>;
@@ -103,6 +123,26 @@ impl Controller for Eleos {
 
     fn write(&mut self, batch: &WriteBatch) -> Result<BatchAck> {
         Eleos::write(self, batch, WriteOpts::default())
+    }
+
+    fn write_sessions(
+        &mut self,
+        batch: &WriteBatch,
+        advances: &[(Sid, Wsn)],
+    ) -> Result<BatchAck> {
+        Eleos::write_sessions(self, batch, advances)
+    }
+
+    fn open_session(&mut self) -> Result<Sid> {
+        Eleos::open_session(self)
+    }
+
+    fn close_session(&mut self, sid: Sid) -> Result<()> {
+        Eleos::close_session(self, sid)
+    }
+
+    fn session_highest(&self, sid: Sid) -> Option<Wsn> {
+        self.session_highest_wsn(sid)
     }
 
     fn read(&mut self, lpid: Lpid) -> Result<Bytes> {
@@ -171,6 +211,26 @@ impl Controller for ShardedEleos {
 
     fn write(&mut self, batch: &WriteBatch) -> Result<BatchAck> {
         self.write_group(batch)
+    }
+
+    fn write_sessions(
+        &mut self,
+        batch: &WriteBatch,
+        advances: &[(Sid, Wsn)],
+    ) -> Result<BatchAck> {
+        self.write_group_sessions(batch, advances)
+    }
+
+    fn open_session(&mut self) -> Result<Sid> {
+        ShardedEleos::open_session(self)
+    }
+
+    fn close_session(&mut self, sid: Sid) -> Result<()> {
+        ShardedEleos::close_session(self, sid)
+    }
+
+    fn session_highest(&self, sid: Sid) -> Option<Wsn> {
+        ShardedEleos::session_highest(self, sid)
     }
 
     fn read(&mut self, lpid: Lpid) -> Result<Bytes> {

@@ -322,6 +322,17 @@ impl Eleos {
         self.dev.telemetry_mut().record_span(kind, start, end);
     }
 
+    /// Charge host-side CPU attributed to `a` — the hook out-of-crate
+    /// layers (the wire-protocol server's frame decode and dispatch under
+    /// [`Activity::Net`]) use to keep the attribution ledger's
+    /// conservation invariant exact.
+    #[inline]
+    pub fn charge_host_cpu(&mut self, a: Activity, ns: Nanos) {
+        let prev = self.dev.telemetry_mut().set_activity(a);
+        self.dev.cpu(ns);
+        self.dev.telemetry_mut().set_activity(prev);
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -374,6 +385,21 @@ impl Eleos {
         Ok(sid)
     }
 
+    /// Open a session under a caller-chosen SID (durable before
+    /// returning). The sharded router uses this to mirror one logical
+    /// session onto every shard so any shard can gate that session's
+    /// writes; SID 0 is reserved and an already-open SID is rejected.
+    pub fn open_session_as(&mut self, sid: Sid) -> Result<()> {
+        if sid == 0 || self.sessions.is_open(sid) {
+            return Err(EleosError::UnknownSession(sid));
+        }
+        self.sessions.open(sid);
+        self.log_append(&LogRecord::SessionOpen { sid })?;
+        let t = self.log_force()?;
+        self.dev.clock_mut().wait_until(t);
+        Ok(())
+    }
+
     /// Close a session (durable before returning, like the open).
     pub fn close_session(&mut self, sid: Sid) -> Result<()> {
         if !self.sessions.is_open(sid) {
@@ -411,19 +437,45 @@ impl Eleos {
     pub fn write(&mut self, batch: &WriteBatch, opts: WriteOpts) -> Result<BatchAck> {
         if let Some((sid, wsn)) = opts.session {
             self.sessions.check_next(sid, wsn)?;
+            let advances = [(sid, wsn)];
+            self.write_inner(&advances, batch, !opts.pipelined)
+        } else {
+            self.write_inner(&[], batch, !opts.pipelined)
         }
-        self.write_inner(opts.session, batch, !opts.pipelined)
+    }
+
+    /// Write a coalesced group batch that carries durable WSN advances for
+    /// *several* sessions at once (the group-commit front-end's path: one
+    /// group may cover batches from many network sessions). Each advance is
+    /// logged as a `Commit { sid, wsn }` record of the same system action,
+    /// so the advances are atomic with the group — a crash either redoes
+    /// the group *and* the advances or neither, which is what lets a
+    /// reconnecting host dedup its redo replay against the re-ACKed
+    /// highest WSN. WSN sequencing is the caller's job (the front-end
+    /// validates against queue-aware expected values before submitting);
+    /// this method only requires every session to be open.
+    pub fn write_sessions(
+        &mut self,
+        batch: &WriteBatch,
+        advances: &[(Sid, Wsn)],
+    ) -> Result<BatchAck> {
+        for &(sid, _) in advances {
+            if sid == 0 || !self.sessions.is_open(sid) {
+                return Err(EleosError::UnknownSession(sid));
+            }
+        }
+        self.write_inner(advances, batch, true)
     }
 
     fn write_inner(
         &mut self,
-        sid_wsn: Option<(Sid, Wsn)>,
+        advances: &[(Sid, Wsn)],
         batch: &WriteBatch,
         wait_durable: bool,
     ) -> Result<BatchAck> {
         let t0 = self.dev.clock().now();
         let res = self.with_activity(Activity::UserWrite, |this| {
-            this.write_inner_impl(sid_wsn, batch, wait_durable)
+            this.write_inner_impl(advances, batch, wait_durable)
         });
         if res.is_ok() {
             self.finish_span(SpanKind::WriteBatch, t0);
@@ -433,7 +485,7 @@ impl Eleos {
 
     fn write_inner_impl(
         &mut self,
-        sid_wsn: Option<(Sid, Wsn)>,
+        advances: &[(Sid, Wsn)],
         batch: &WriteBatch,
         wait_durable: bool,
     ) -> Result<BatchAck> {
@@ -465,7 +517,7 @@ impl Eleos {
             })
             .collect();
         self.maybe_gc()?;
-        let res = self.run_action_inner(ActionKind::User, sid_wsn, &pages, Dest::User, wait_durable)?;
+        let res = self.run_action_inner(ActionKind::User, advances, &pages, Dest::User, wait_durable)?;
         self.stats.batches += 1;
         self.stats.lpages += pages.len() as u64;
         self.stats.payload_bytes += batch.payload_bytes()
@@ -862,9 +914,29 @@ impl Eleos {
     /// shard's WAL (the router designates shard 0 as coordinator). Returns
     /// when the decision is durable — only after that may participants run
     /// [`Eleos::commit_prepared`].
-    pub(crate) fn coord_commit(&mut self, gid: u64) -> Result<Nanos> {
+    /// Session advances for the group ride the same force as extra
+    /// `Commit { action, sid, wsn }` records on fresh action ids (an
+    /// action with no `Write` records installs nothing on replay, so the
+    /// records carry only the WSN advance). Ordering matters: the
+    /// decision is appended *before* the advances, so an advance can be
+    /// durable only if the decision is — the reverse would let a session
+    /// claim a WSN whose group rolled back. If the decision survives a
+    /// crash but the advances do not, the client's redo re-applies the
+    /// identical bytes and the WSN check deduplicates (DESIGN.md §16).
+    pub(crate) fn coord_commit(&mut self, gid: u64, advances: &[(Sid, Wsn)]) -> Result<Nanos> {
         self.log_append(&LogRecord::CoordCommit { gid })?;
-        self.log_force()
+        for &(sid, wsn) in advances {
+            let id = self.next_action;
+            self.next_action += 1;
+            self.log_append(&LogRecord::Commit { action: id, sid, wsn })?;
+        }
+        let t = self.log_force()?;
+        for &(sid, wsn) in advances {
+            if sid != 0 {
+                self.sessions.advance(sid, wsn);
+            }
+        }
+        Ok(t)
     }
 
     /// Phase 2 commit of a prepared action: forced local `Commit`, then
@@ -1137,17 +1209,17 @@ impl Eleos {
     pub(crate) fn run_action(
         &mut self,
         akind: ActionKind,
-        sid_wsn: Option<(Sid, Wsn)>,
+        advances: &[(Sid, Wsn)],
         pages: &[ActionPage],
         dest: Dest,
     ) -> Result<ActionResult> {
-        self.run_action_inner(akind, sid_wsn, pages, dest, true)
+        self.run_action_inner(akind, advances, pages, dest, true)
     }
 
     pub(crate) fn run_action_inner(
         &mut self,
         akind: ActionKind,
-        sid_wsn: Option<(Sid, Wsn)>,
+        advances: &[(Sid, Wsn)],
         pages: &[ActionPage],
         dest: Dest,
         wait_durable: bool,
@@ -1210,8 +1282,16 @@ impl Eleos {
         }
 
         // ---- commit: force the commit record, then install ----
-        let (sid, wsn) = sid_wsn.unwrap_or((0, 0));
+        // Every session advance of this group rides a `Commit` record of
+        // the same action id: all of them precede the force, so the
+        // advances are durable exactly when the group is (replay advances
+        // each one; a duplicate Commit for an already-seen action is
+        // harmless — redo already ran).
+        let (sid, wsn) = advances.first().copied().unwrap_or((0, 0));
         let commit_lsn = self.log_append(&LogRecord::Commit { action: id, sid, wsn })?;
+        for &(sid, wsn) in advances.iter().skip(1) {
+            self.log_append(&LogRecord::Commit { action: id, sid, wsn })?;
+        }
         let t_log = self.log_force()?;
         let durable = max_done.max(t_log);
         if wait_durable {
@@ -1264,8 +1344,10 @@ impl Eleos {
         }
         self.log_append(&LogRecord::Done { action: id })?;
         self.active_first_lsn.remove(&id);
-        if let Some((sid, wsn)) = sid_wsn {
-            self.sessions.advance(sid, wsn);
+        for &(sid, wsn) in advances {
+            if sid != 0 {
+                self.sessions.advance(sid, wsn);
+            }
         }
         self.stats.commits += 1;
         Ok(ActionResult {
@@ -1784,7 +1866,7 @@ impl Eleos {
                 channel: self.gc_dest_channel(eb.channel),
                 victim_ts: if victim_ts == 0 { self.usn } else { victim_ts },
             };
-            match self.run_action(ActionKind::Migrate, None, &valid, dest) {
+            match self.run_action(ActionKind::Migrate, &[], &valid, dest) {
                 Ok(_) => {}
                 Err(EleosError::ActionAborted) => {
                     // A nested failure already migrated the nested EBLOCK;

@@ -32,6 +32,7 @@ use crate::controller::BatchAck;
 #[cfg(test)]
 use crate::controller::Eleos;
 use crate::error::{EleosError, Result};
+use crate::types::{Sid, Wsn};
 use eleos_flash::{Activity, LatencyHistogram, Nanos, SpanKind};
 
 /// When does a group of queued client batches flush?
@@ -83,6 +84,10 @@ pub struct GroupAck {
     pub enqueued_at: Nanos,
     /// SimClock time the covering group became durable.
     pub durable_at: Nanos,
+    /// Session advance this batch carried (`None` for unordered writes):
+    /// the `(sid, wsn)` the server echoes in its wire `Ack` so the client
+    /// can drop the redo buffer for that WSN.
+    pub session: Option<(Sid, Wsn)>,
 }
 
 #[derive(Debug)]
@@ -91,6 +96,7 @@ struct PendingBatch {
     client_seq: u64,
     enqueued_at: Nanos,
     batch: WriteBatch,
+    session: Option<(Sid, Wsn)>,
 }
 
 /// Deterministic multi-client submission layer over one [`Controller`].
@@ -143,6 +149,53 @@ impl Frontend {
         at: Nanos,
         batch: WriteBatch,
     ) -> Result<Vec<GroupAck>> {
+        self.submit_inner(ssd, client, at, batch, None)
+    }
+
+    /// [`Frontend::submit`] under the session WSN protocol (Section
+    /// III-A2). The check is **queue-aware**: the expected next WSN is the
+    /// durably-applied high-water *plus* the batches already queued for
+    /// the session in the open group, so a client pipelining WSNs 5,6,7
+    /// into one group is in order while a gap or duplicate is rejected
+    /// with [`EleosError::WsnOutOfOrder`] carrying the durable high-water
+    /// to re-ACK — the rejected batch is not enqueued and nothing else is
+    /// disturbed. The advance becomes durable atomically with the covering
+    /// group's commit.
+    pub fn submit_sessioned<C: Controller>(
+        &mut self,
+        ssd: &mut C,
+        client: usize,
+        at: Nanos,
+        batch: WriteBatch,
+        sid: Sid,
+        wsn: Wsn,
+    ) -> Result<Vec<GroupAck>> {
+        let durable = match ssd.session_highest(sid) {
+            Some(w) => w,
+            None => return Err(EleosError::UnknownSession(sid)),
+        };
+        let queued = self
+            .pending
+            .iter()
+            .filter(|pb| matches!(pb.session, Some((s, _)) if s == sid))
+            .count() as Wsn;
+        if wsn != durable + queued + 1 {
+            return Err(EleosError::WsnOutOfOrder {
+                got: wsn,
+                highest_acked: durable,
+            });
+        }
+        self.submit_inner(ssd, client, at, batch, Some((sid, wsn)))
+    }
+
+    fn submit_inner<C: Controller>(
+        &mut self,
+        ssd: &mut C,
+        client: usize,
+        at: Nanos,
+        batch: WriteBatch,
+        session: Option<(Sid, Wsn)>,
+    ) -> Result<Vec<GroupAck>> {
         assert!(client < self.clients, "client {client} out of range");
         if batch.is_empty() {
             return Err(EleosError::EmptyBatch);
@@ -172,6 +225,7 @@ impl Frontend {
             client_seq,
             enqueued_at: now,
             batch,
+            session,
         });
         if self.pending_bytes >= self.policy.flush_bytes
             || self.pending.len() >= self.policy.max_queued_batches
@@ -199,7 +253,19 @@ impl Frontend {
         for pb in &self.pending {
             merged.append_batch(&pb.batch)?;
         }
-        let ack = Self::write_with_retries(ssd, &merged)?;
+        // One advance per session in the group: the max WSN it covers
+        // (batches queue in WSN order, so this is the last one seen),
+        // in first-appearance order for determinism.
+        let mut advances: Vec<(Sid, Wsn)> = Vec::new();
+        for pb in &self.pending {
+            if let Some((sid, wsn)) = pb.session {
+                match advances.iter_mut().find(|(s, _)| *s == sid) {
+                    Some(a) => a.1 = a.1.max(wsn),
+                    None => advances.push((sid, wsn)),
+                }
+            }
+        }
+        let ack = Self::write_with_retries(ssd, &merged, &advances)?;
         let group = self.next_group;
         self.next_group += 1;
         ssd.unit_mut(0).finish_span(SpanKind::GroupFlush, open_at);
@@ -215,6 +281,7 @@ impl Frontend {
                 lpages: pb.batch.len(),
                 enqueued_at: pb.enqueued_at,
                 durable_at,
+                session: pb.session,
             });
         }
         self.pending_bytes = 0;
@@ -225,10 +292,19 @@ impl Frontend {
     /// One durable group write, absorbing transient controller conditions
     /// the same way a host driver would: aborted actions retry, a full
     /// device runs maintenance first. Bounded so genuine faults surface.
-    fn write_with_retries<C: Controller>(ssd: &mut C, batch: &WriteBatch) -> Result<BatchAck> {
+    fn write_with_retries<C: Controller>(
+        ssd: &mut C,
+        batch: &WriteBatch,
+        advances: &[(Sid, Wsn)],
+    ) -> Result<BatchAck> {
         let mut attempts = 0;
         loop {
-            match ssd.write(batch) {
+            let res = if advances.is_empty() {
+                ssd.write(batch)
+            } else {
+                ssd.write_sessions(batch, advances)
+            };
+            match res {
                 Ok(a) => return Ok(a),
                 Err(EleosError::ActionAborted) if attempts < 8 => attempts += 1,
                 Err(EleosError::DeviceFull) if attempts < 8 => {
@@ -286,6 +362,36 @@ impl Frontend {
 
     pub fn clients(&self) -> usize {
         self.clients
+    }
+
+    /// Register one more client stream (a new network connection) and
+    /// return its index.
+    pub fn add_client(&mut self) -> usize {
+        let id = self.clients;
+        self.clients += 1;
+        self.next_seq.push(0);
+        self.queue_delay.push(LatencyHistogram::new());
+        self.acked_batches.push(0);
+        id
+    }
+
+    /// Drop every queued-but-unflushed batch of `client` (its connection
+    /// died before the group closed). Returns how many batches were
+    /// discarded — exactly the unACKed ones, which is the loss an unACKed
+    /// write is allowed to suffer. Batches already inside a flushed group
+    /// are untouched: once the covering group is durable they are ACKed
+    /// state, and a reconnecting session learns so from the re-ACKed WSN.
+    pub fn purge_client(&mut self, client: usize) -> usize {
+        let before = self.pending.len();
+        self.pending.retain(|pb| pb.client != client);
+        let dropped = before - self.pending.len();
+        if dropped > 0 {
+            self.pending_bytes = self.pending.iter().map(|pb| pb.batch.wire_len()).sum();
+            if self.pending.is_empty() {
+                self.group_open_at = None;
+            }
+        }
+        dropped
     }
 }
 

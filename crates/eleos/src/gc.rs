@@ -298,7 +298,7 @@ impl Eleos {
                 channel: self.gc_dest_channel(victim.channel),
                 victim_ts: *ts,
             };
-            match self.run_action_inner(ActionKind::Gc, None, &valid, dest, false) {
+            match self.run_action_inner(ActionKind::Gc, &[], &valid, dest, false) {
                 Ok(r) => horizon = horizon.max(r.done_at),
                 Err(EleosError::ActionAborted) => {
                     // The GC write itself hit a program failure; the victim
@@ -418,7 +418,7 @@ impl Eleos {
                 channel: self.gc_dest_channel(victim.channel),
                 victim_ts: d.ts,
             };
-            match self.run_action(ActionKind::Gc, None, &valid, dest) {
+            match self.run_action(ActionKind::Gc, &[], &valid, dest) {
                 Ok(_) => {}
                 Err(EleosError::ActionAborted) => {
                     // The GC write itself hit a program failure; the victim

@@ -38,7 +38,7 @@ use crate::config::EleosConfig;
 use crate::controller::{BatchAck, Eleos, PreparedAction, WriteOpts};
 use crate::error::{EleosError, Result};
 use crate::telemetry_snapshot::TelemetrySnapshot;
-use crate::types::Lpid;
+use crate::types::{Lpid, Sid, Wsn};
 use eleos_flash::{FlashDevice, Nanos};
 
 /// Fibonacci-hash an LPID onto `n_shards` partitions. Multiplicative
@@ -185,18 +185,76 @@ impl ShardedEleos {
         Ok(out.into_iter().map(|b| b.expect("all lpids routed")).collect())
     }
 
+    // ------------------------------------------------------------------
+    // Sessions (mirrored onto every shard)
+    // ------------------------------------------------------------------
+
+    /// Open one logical session across the array. Shard 0 assigns the SID
+    /// (durable there first); every other shard mirrors it under the same
+    /// SID so whichever shard a group's advance lands on can gate that
+    /// session's WSNs. [`ShardedEleos::session_highest`] is the max over
+    /// shards, so per-shard tables never need cross-talk.
+    pub fn open_session(&mut self) -> Result<Sid> {
+        let sid = self.shards[0].open_session()?;
+        for s in 1..self.shards.len() {
+            self.shards[s].open_session_as(sid)?;
+        }
+        Ok(sid)
+    }
+
+    /// Close the session on every shard (durable per shard, like the open).
+    pub fn close_session(&mut self, sid: Sid) -> Result<()> {
+        for s in &mut self.shards {
+            s.close_session(sid)?;
+        }
+        Ok(())
+    }
+
+    /// Highest WSN the array has applied for `sid`: the max over shards
+    /// (a group's advance is durable on exactly one shard — the fast-path
+    /// owner or the coordinator).
+    pub fn session_highest(&self, sid: Sid) -> Option<Wsn> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.session_highest_wsn(sid))
+            .max()
+    }
+
     /// Write a (possibly coalesced) batch atomically across shards: the
     /// single-shard fast path is the direct [`Eleos::write`]; a group that
     /// straddles shards goes through the two-phase group commit.
     pub fn write_group(&mut self, batch: &WriteBatch) -> Result<BatchAck> {
+        self.write_group_sessions(batch, &[])
+    }
+
+    /// [`ShardedEleos::write_group`] plus session advances made durable
+    /// atomically with the group: on the single-shard fast path they ride
+    /// that shard's commit force ([`Eleos::write_sessions`]); on the
+    /// cross-shard path they ride the coordinator's `CoordCommit` force —
+    /// decision first, advances after, one force — so an advance can be
+    /// durable only if the group's verdict is.
+    pub fn write_group_sessions(
+        &mut self,
+        batch: &WriteBatch,
+        advances: &[(Sid, Wsn)],
+    ) -> Result<BatchAck> {
         if batch.is_empty() {
             return Err(EleosError::EmptyBatch);
+        }
+        for &(sid, _) in advances {
+            if sid == 0 || !self.shards[0].sessions.is_open(sid) {
+                return Err(EleosError::UnknownSession(sid));
+            }
         }
         let subs = self.split_batch(batch)?;
         if subs.len() == 1 {
             let (s, _) = subs.into_iter().next().unwrap();
             self.sync_shard(s);
-            return self.shards[s].write(batch, WriteOpts::default());
+            return if advances.is_empty() {
+                self.shards[s].write(batch, WriteOpts::default())
+            } else {
+                self.shards[s].write_sessions(batch, advances)
+            };
         }
 
         let gid = self.next_gid;
@@ -220,7 +278,7 @@ impl ShardedEleos {
                 }
             }
         }
-        self.finish_group(gid, prepared, batch.len())
+        self.finish_group(gid, prepared, batch.len(), advances)
     }
 
     /// Delete a batch of LPAGEs atomically across shards (TRIM). Same
@@ -258,7 +316,7 @@ impl ShardedEleos {
                 }
             }
         }
-        self.finish_group(gid, prepared, lpids.len()).map(|_| ())
+        self.finish_group(gid, prepared, lpids.len(), &[]).map(|_| ())
     }
 
     /// Phases 2a/2b shared by writes and deletes: coordinator decision,
@@ -268,6 +326,7 @@ impl ShardedEleos {
         gid: u64,
         prepared: Vec<(usize, PreparedAction)>,
         lpages: usize,
+        advances: &[(Sid, Wsn)],
     ) -> Result<BatchAck> {
         // The coordinator may decide only once every participant's
         // `Prepare` is durable.
@@ -280,7 +339,7 @@ impl ShardedEleos {
             .device_mut()
             .clock_mut()
             .wait_until(all_prepared);
-        let coord_durable = self.shards[0].coord_commit(gid)?;
+        let coord_durable = self.shards[0].coord_commit(gid, advances)?;
         // Phase 2: install on every participant; each shard's share is
         // durable no earlier than the coordinator decision.
         let mut done_at = coord_durable;

@@ -1,0 +1,424 @@
+//! Wire protocol: length-prefixed binary frames (DESIGN.md §16).
+//!
+//! Every frame is `[len: u32 LE][opcode: u8][payload]` where `len` counts
+//! the opcode byte plus the payload. Integers are little-endian and byte
+//! strings are `u32`-length-prefixed, reusing the controller's on-flash
+//! codec ([`eleos::codec`]) — one serialization idiom across the repo.
+//!
+//! Decoding is strict and fails soft: an oversized length, an unknown
+//! opcode, a payload that underflows, or trailing garbage after a
+//! well-formed body all classify the frame as *malformed*, and the server
+//! closes that connection without touching controller state — the
+//! connection's unACKed batches are lost, which is exactly the loss an
+//! unACKed write is allowed to suffer (the frame-fuzz proptest pins this).
+
+use eleos::codec::{Reader, Writer};
+use eleos::types::{Lpid, Sid, Wsn};
+
+/// Protocol version carried in `Hello`; the server rejects mismatches.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Upper bound on `len` (opcode + payload). A frame claiming more is
+/// malformed — the decoder never allocates ahead of this check, so a
+/// hostile 4 GiB length prefix cannot balloon memory.
+pub const MAX_FRAME: usize = 4 * 1024 * 1024;
+
+/// Sentinel `group` in a wire ACK meaning "not applied — re-ACK of the
+/// durable high-water" (a gap or duplicate WSN, Section III-A2).
+pub const REACK_GROUP: u64 = u64::MAX;
+
+// Client -> server opcodes.
+pub const OP_HELLO: u8 = 0x01;
+pub const OP_WRITE_BATCH: u8 = 0x02;
+pub const OP_READ_BATCH: u8 = 0x03;
+pub const OP_DELETE_BATCH: u8 = 0x04;
+pub const OP_SHUTDOWN: u8 = 0x05;
+
+// Server -> client opcodes.
+pub const OP_HELLO_OK: u8 = 0x81;
+pub const OP_ACK: u8 = 0x82;
+pub const OP_READ_RESP: u8 = 0x83;
+pub const OP_DELETE_OK: u8 = 0x84;
+pub const OP_ERR: u8 = 0x85;
+pub const OP_SHUTDOWN_OK: u8 = 0x86;
+
+/// Error codes carried by [`Frame::Err`].
+pub const ERR_BAD_VERSION: u8 = 1;
+pub const ERR_UNKNOWN_SESSION: u8 = 2;
+pub const ERR_BAD_REQUEST: u8 = 3;
+pub const ERR_INTERNAL: u8 = 4;
+pub const ERR_SHUTTING_DOWN: u8 = 5;
+
+/// One parsed protocol frame (either direction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Open (sid 0) or resume (sid != 0) a session.
+    Hello { version: u32, sid: Sid },
+    /// One client write batch under the session WSN protocol. Pages are
+    /// `(lpid, payload)` pairs applied in order (later wins).
+    WriteBatch {
+        sid: Sid,
+        wsn: Wsn,
+        pages: Vec<(Lpid, Vec<u8>)>,
+    },
+    /// Read a set of LPAGEs; the response preserves request order.
+    ReadBatch { lpids: Vec<Lpid> },
+    /// Atomically delete a set of LPAGEs (TRIM).
+    DeleteBatch { lpids: Vec<Lpid> },
+    /// Ask the server to drain durably and stop.
+    Shutdown,
+
+    /// Session granted/resumed; `highest_wsn` is the durable high-water
+    /// the client uses to discard acknowledged redo buffers.
+    HelloOk { sid: Sid, highest_wsn: Wsn },
+    /// The covering group is durable up to `highest_wsn` (or a re-ACK
+    /// when `group == REACK_GROUP`: the submitted WSN was not applied).
+    Ack {
+        sid: Sid,
+        highest_wsn: Wsn,
+        group: u64,
+    },
+    /// Per-LPID results in request order; `None` = not found.
+    ReadResp { pages: Vec<Option<Vec<u8>>> },
+    /// The delete group is durable.
+    DeleteOk,
+    /// Request-level failure; the connection stays open unless the server
+    /// says otherwise by closing it.
+    Err { code: u8, detail: String },
+    /// All in-flight groups are durable; the server is closing.
+    ShutdownOk,
+}
+
+impl Frame {
+    /// Encode as a complete wire frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        let mut w = Writer(&mut body);
+        match self {
+            Frame::Hello { version, sid } => {
+                w.u8(OP_HELLO);
+                w.u32(*version);
+                w.u64(*sid);
+            }
+            Frame::WriteBatch { sid, wsn, pages } => {
+                w.u8(OP_WRITE_BATCH);
+                w.u64(*sid);
+                w.u64(*wsn);
+                w.u32(pages.len() as u32);
+                for (lpid, payload) in pages {
+                    w.u64(*lpid);
+                    w.bytes(payload);
+                }
+            }
+            Frame::ReadBatch { lpids } => {
+                w.u8(OP_READ_BATCH);
+                w.u32(lpids.len() as u32);
+                for l in lpids {
+                    w.u64(*l);
+                }
+            }
+            Frame::DeleteBatch { lpids } => {
+                w.u8(OP_DELETE_BATCH);
+                w.u32(lpids.len() as u32);
+                for l in lpids {
+                    w.u64(*l);
+                }
+            }
+            Frame::Shutdown => w.u8(OP_SHUTDOWN),
+            Frame::HelloOk { sid, highest_wsn } => {
+                w.u8(OP_HELLO_OK);
+                w.u64(*sid);
+                w.u64(*highest_wsn);
+            }
+            Frame::Ack {
+                sid,
+                highest_wsn,
+                group,
+            } => {
+                w.u8(OP_ACK);
+                w.u64(*sid);
+                w.u64(*highest_wsn);
+                w.u64(*group);
+            }
+            Frame::ReadResp { pages } => {
+                w.u8(OP_READ_RESP);
+                w.u32(pages.len() as u32);
+                for p in pages {
+                    match p {
+                        Some(b) => {
+                            w.u8(1);
+                            w.bytes(b);
+                        }
+                        None => w.u8(0),
+                    }
+                }
+            }
+            Frame::DeleteOk => w.u8(OP_DELETE_OK),
+            Frame::Err { code, detail } => {
+                w.u8(OP_ERR);
+                w.u8(*code);
+                w.bytes(detail.as_bytes());
+            }
+            Frame::ShutdownOk => w.u8(OP_SHUTDOWN_OK),
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        Writer(&mut out).u32(body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode a frame *body* (opcode + payload, length prefix already
+    /// stripped). `None` = malformed: unknown opcode, underflow, or
+    /// trailing bytes.
+    pub fn decode_body(body: &[u8]) -> Option<Frame> {
+        let mut r = Reader::new(body);
+        let op = r.u8()?;
+        let f = match op {
+            OP_HELLO => Frame::Hello {
+                version: r.u32()?,
+                sid: r.u64()?,
+            },
+            OP_WRITE_BATCH => {
+                let sid = r.u64()?;
+                let wsn = r.u64()?;
+                let n = r.u32()? as usize;
+                // Entries are at least 12 wire bytes each; a count that
+                // cannot fit in the remaining payload is malformed (cheap
+                // guard before the allocation).
+                if n > r.remaining() / 12 {
+                    return None;
+                }
+                let mut pages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let lpid = r.u64()?;
+                    let payload = r.bytes()?.to_vec();
+                    pages.push((lpid, payload));
+                }
+                Frame::WriteBatch { sid, wsn, pages }
+            }
+            OP_READ_BATCH | OP_DELETE_BATCH => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() / 8 {
+                    return None;
+                }
+                let mut lpids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    lpids.push(r.u64()?);
+                }
+                if op == OP_READ_BATCH {
+                    Frame::ReadBatch { lpids }
+                } else {
+                    Frame::DeleteBatch { lpids }
+                }
+            }
+            OP_SHUTDOWN => Frame::Shutdown,
+            OP_HELLO_OK => Frame::HelloOk {
+                sid: r.u64()?,
+                highest_wsn: r.u64()?,
+            },
+            OP_ACK => Frame::Ack {
+                sid: r.u64()?,
+                highest_wsn: r.u64()?,
+                group: r.u64()?,
+            },
+            OP_READ_RESP => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() {
+                    return None;
+                }
+                let mut pages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    match r.u8()? {
+                        0 => pages.push(None),
+                        1 => pages.push(Some(r.bytes()?.to_vec())),
+                        _ => return None,
+                    }
+                }
+                Frame::ReadResp { pages }
+            }
+            OP_DELETE_OK => Frame::DeleteOk,
+            OP_ERR => Frame::Err {
+                code: r.u8()?,
+                detail: String::from_utf8(r.bytes()?.to_vec()).ok()?,
+            },
+            OP_SHUTDOWN_OK => Frame::ShutdownOk,
+            _ => return None,
+        };
+        if r.remaining() != 0 {
+            return None; // trailing garbage
+        }
+        Some(f)
+    }
+}
+
+/// Incremental frame decoder over an arbitrary byte stream.
+///
+/// Feed whatever the socket produced — any split, including mid-header —
+/// and pull complete frames out. Malformed input is *sticky*: once a
+/// stream produced garbage there is no way to resynchronize a
+/// length-prefixed protocol, so every later call keeps returning
+/// [`FrameStep::Malformed`] and the server closes the connection.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    poisoned: Option<&'static str>,
+}
+
+/// One step of incremental decoding.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameStep {
+    /// A complete, well-formed frame.
+    Frame(Frame),
+    /// The buffer holds no complete frame yet.
+    NeedMore,
+    /// The stream is garbage; close the connection.
+    Malformed(&'static str),
+}
+
+impl FrameReader {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw socket bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(data);
+        }
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next frame from the buffer.
+    pub fn next_frame(&mut self) -> FrameStep {
+        if let Some(why) = self.poisoned {
+            return FrameStep::Malformed(why);
+        }
+        if self.buf.len() < 4 {
+            return FrameStep::NeedMore;
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return self.poison("frame length out of range");
+        }
+        if self.buf.len() < 4 + len {
+            return FrameStep::NeedMore;
+        }
+        let frame = Frame::decode_body(&self.buf[4..4 + len]);
+        self.buf.drain(..4 + len);
+        match frame {
+            Some(f) => FrameStep::Frame(f),
+            None => self.poison("undecodable frame body"),
+        }
+    }
+
+    fn poison(&mut self, why: &'static str) -> FrameStep {
+        self.poisoned = Some(why);
+        self.buf.clear();
+        FrameStep::Malformed(why)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let wire = f.encode();
+        let mut fr = FrameReader::new();
+        fr.feed(&wire);
+        assert_eq!(fr.next_frame(), FrameStep::Frame(f));
+        assert_eq!(fr.next_frame(), FrameStep::NeedMore);
+        assert_eq!(fr.buffered(), 0);
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        roundtrip(Frame::Hello {
+            version: PROTO_VERSION,
+            sid: 0,
+        });
+        roundtrip(Frame::WriteBatch {
+            sid: 9,
+            wsn: 3,
+            pages: vec![(1, vec![0xAA; 100]), (2, Vec::new())],
+        });
+        roundtrip(Frame::ReadBatch {
+            lpids: vec![1, 2, 3],
+        });
+        roundtrip(Frame::DeleteBatch { lpids: vec![7] });
+        roundtrip(Frame::Shutdown);
+        roundtrip(Frame::HelloOk {
+            sid: 42,
+            highest_wsn: 17,
+        });
+        roundtrip(Frame::Ack {
+            sid: 42,
+            highest_wsn: 17,
+            group: 3,
+        });
+        roundtrip(Frame::ReadResp {
+            pages: vec![Some(vec![1, 2, 3]), None],
+        });
+        roundtrip(Frame::DeleteOk);
+        roundtrip(Frame::Err {
+            code: ERR_BAD_REQUEST,
+            detail: "nope".into(),
+        });
+        roundtrip(Frame::ShutdownOk);
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding_reassembles() {
+        let f = Frame::WriteBatch {
+            sid: 1,
+            wsn: 1,
+            pages: vec![(5, vec![7; 33])],
+        };
+        let wire = f.encode();
+        let mut fr = FrameReader::new();
+        for &b in &wire[..wire.len() - 1] {
+            fr.feed(&[b]);
+            assert_eq!(fr.next_frame(), FrameStep::NeedMore);
+        }
+        fr.feed(&wire[wire.len() - 1..]);
+        assert_eq!(fr.next_frame(), FrameStep::Frame(f));
+    }
+
+    #[test]
+    fn oversized_length_poisons() {
+        let mut fr = FrameReader::new();
+        fr.feed(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(matches!(fr.next_frame(), FrameStep::Malformed(_)));
+        // Sticky: feeding more does not resurrect the stream.
+        fr.feed(&Frame::Shutdown.encode());
+        assert!(matches!(fr.next_frame(), FrameStep::Malformed(_)));
+    }
+
+    #[test]
+    fn trailing_garbage_in_body_poisons() {
+        let mut wire = Frame::Shutdown.encode();
+        // Stretch the declared length and append a junk byte inside it.
+        wire[0] += 1;
+        wire.push(0xFF);
+        let mut fr = FrameReader::new();
+        fr.feed(&wire);
+        assert!(matches!(fr.next_frame(), FrameStep::Malformed(_)));
+    }
+
+    #[test]
+    fn write_batch_count_overflow_is_malformed() {
+        let mut body = Vec::new();
+        {
+            let mut w = Writer(&mut body);
+            w.u8(OP_WRITE_BATCH);
+            w.u64(1);
+            w.u64(1);
+            w.u32(u32::MAX); // claims 4B entries, provides none
+        }
+        assert_eq!(Frame::decode_body(&body), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! Killed-connection differential tests (ISSUE 10 satellite 3).
+//!
+//! The chaos oracle from `eleos-server::chaos` upholds the
+//! acked-or-atomic-group contract: a connection dropped at every protocol
+//! ordinal of a scripted run never loses an ACKed batch (unACKed ones
+//! may vanish, but reconnect-redo re-applies them exactly once), and the
+//! final state — over the wire and on the drained controller — matches
+//! the op-order model with zero divergences.
+
+use eleos_server::{run_kill_sweep, run_net_chaos, NetChaosConfig};
+
+#[test]
+fn killed_at_every_ordinal_upholds_acked_or_atomic_group() {
+    let report = run_kill_sweep(10, 1, 0xD1E);
+    assert!(
+        report.divergences.is_empty(),
+        "divergences: {:#?}",
+        report.divergences
+    );
+    assert!(report.kills >= 10, "every ordinal killed at least once");
+    assert_eq!(report.kills, report.reconnects);
+}
+
+#[test]
+fn killed_at_every_ordinal_sharded() {
+    let report = run_kill_sweep(8, 2, 0xD1E5);
+    assert!(
+        report.divergences.is_empty(),
+        "divergences: {:#?}",
+        report.divergences
+    );
+    assert!(report.kills >= 8);
+}
+
+#[test]
+fn randomized_matrix_of_kills_partial_frames_and_slow_readers() {
+    for (seed, partial, slow) in [
+        (1u64, true, true),
+        (2, true, false),
+        (3, false, true),
+    ] {
+        let cfg = NetChaosConfig {
+            seed,
+            clients: 3,
+            ops: 90,
+            kill_every: 13,
+            partial_frames: partial,
+            slow_reader: slow,
+            shards: 1,
+            lpids_per_client: 6,
+        };
+        let r = run_net_chaos(&cfg);
+        assert!(
+            r.divergences.is_empty(),
+            "seed {seed} partial={partial} slow={slow}: {:#?}",
+            r.divergences
+        );
+        assert!(r.kills > 0 && r.reconnects == r.kills);
+    }
+}

@@ -56,13 +56,16 @@ pub enum Activity {
     /// Host front-end work: group-commit queueing, coalescing client
     /// batches, and time-threshold flush waits (DESIGN.md §11).
     Frontend,
+    /// Network service work: wire-frame decode, per-connection session
+    /// bookkeeping, and ingress dispatch in `eleos-server` (DESIGN.md §16).
+    Net,
     /// Time charged on the shared clock outside the controller (host-side
     /// CPU from bwtree/lss drivers, unattributed residue).
     Host,
 }
 
 impl Activity {
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
     pub const ALL: [Activity; Activity::COUNT] = [
         Activity::UserWrite,
         Activity::UserRead,
@@ -73,6 +76,7 @@ impl Activity {
         Activity::Migrate,
         Activity::MapIo,
         Activity::Frontend,
+        Activity::Net,
         Activity::Host,
     ];
 
@@ -88,7 +92,8 @@ impl Activity {
             Activity::Migrate => 6,
             Activity::MapIo => 7,
             Activity::Frontend => 8,
-            Activity::Host => 9,
+            Activity::Net => 9,
+            Activity::Host => 10,
         }
     }
 
@@ -103,6 +108,7 @@ impl Activity {
             Activity::Migrate => "migrate",
             Activity::MapIo => "map_io",
             Activity::Frontend => "frontend",
+            Activity::Net => "net",
             Activity::Host => "host",
         }
     }

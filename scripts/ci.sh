@@ -6,8 +6,10 @@
 # the sharded-router gates (cross-shard crash sweep, 1-shard identity,
 # monotonic shard scaling, sharded refinement proptest), bounded
 # chaos-soak smokes (fault-injected differential oracle, single-client,
-# multi-client and sharded), then the wall-clock perf smoke gate against
-# the committed BENCH_controller.json.
+# multi-client and sharded), the wire-server gates (loopback e2e, frame
+# fuzz, killed-connection sweep, session WSN redo, net chaos smoke), then
+# the wall-clock perf smoke gate against the committed
+# BENCH_controller.json.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -77,6 +79,28 @@ cargo run --release -p eleos-bench --bin chaos -- --seeds 5 --clients 4
 echo "== sharded chaos smoke (2 shards, cross-shard 2PC groups, 5 seeds) =="
 cargo run --release -p eleos-bench --bin chaos -- --seeds 5 --clients 4 --shards 2
 
+echo "== wire-server gates (loopback e2e, frame fuzz, killed-connection sweep) =="
+# The eleos-server suite: N concurrent TCP clients through group commit
+# with read-your-writes and drain-on-shutdown (loopback), frame-decoder
+# robustness under arbitrary splits/truncation/garbage (frame_fuzz), and
+# the connection killed at every protocol ordinal upholding the
+# acked-or-atomic-group contract, single and sharded (conn_chaos).
+cargo test -q --release -p eleos-server --test loopback
+cargo test -q --release -p eleos-server --test frame_fuzz
+cargo test -q --release -p eleos-server --test conn_chaos
+
+echo "== session WSN redo gate (gap/duplicate re-ACK, crash idempotence) =="
+# Satellite of DESIGN.md §16: gap/duplicate WSNs are never applied and
+# re-ACK the durable high-water; redo after crash()/recover() is
+# idempotent; multi-session advances commit atomically with their group,
+# unsharded and across the 2PC coordinator.
+cargo test -q --release -p eleos --test session_redo
+
+echo "== net chaos smoke (killed conns, partial frames, slow readers) =="
+# Randomized wire-level chaos against the loopback server plus a bounded
+# kill-at-every-ordinal sweep, audited by the differential oracle.
+cargo run --release -p eleos-bench --bin chaos -- --net --seeds 3 --kill-sweep 8 --shards 2
+
 echo "== telemetry gate (snapshot schema + conservation) =="
 # perfbench --telemetry-out runs a small mixed scenario, enforces the
 # attribution conservation invariant in-process (exit 1 on violation),
@@ -101,7 +125,7 @@ echo "== bench schema gate (host_threads/shards/mapping/gc keys) =="
 # the sharded router with its shard count, and since the demand-paged
 # mapping with its cache bound and GC policy; the parser defaults
 # pre-existing entries (1 thread, 1 shard, unbounded map, paper policy).
-for key in host_threads shards mapping_cache_pages gc_policy; do
+for key in host_threads shards mapping_cache_pages gc_policy net_clients; do
   grep -q "\"$key\"" BENCH_controller.json \
     || { echo "bench schema gate: BENCH_controller.json has no $key key" >&2; exit 1; }
 done
